@@ -1,0 +1,131 @@
+"""Figure 1 / §4.1.2: deterministic convergence techniques.
+
+Runs the two pathological routing patterns of Figure 1 and a BGP-heavy
+mesh under four scheduling regimes:
+
+* ``lockstep`` (uncontrolled parallelism) with and without logical
+  clocks — expect the Figure 1b border-router pattern to oscillate;
+* ``colored`` (protocol-specific graph coloring) with and without
+  clocks — expect deterministic convergence, with clocks reducing the
+  number of BGP routes processed (re-advertisement churn) on the
+  equally-good-routes pattern of Figure 1a.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from benchmarks.benchlib import print_table
+except ImportError:  # running as `python benchmarks/bench_*.py`
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.benchlib import print_table
+from repro.config.loader import load_snapshot_from_texts
+from repro.routing.engine import ConvergenceSettings, compute_dataplane
+from repro.synth.isp import isp
+from repro.synth.special import figure1a, figure1b
+
+_SCENARIOS = {
+    "fig1a-route-reflectors": figure1a,
+    "fig1b-border-routers": figure1b,
+    "isp-mesh": lambda: isp(num_core=4, num_customers=6, num_peers=2),
+}
+
+_REGIMES = [
+    ("lockstep", False),
+    ("lockstep", True),
+    ("colored", False),
+    ("colored", True),
+]
+
+
+def _run(scenario: str, schedule: str, clocks: bool):
+    snapshot = load_snapshot_from_texts(_SCENARIOS[scenario]())
+    settings = ConvergenceSettings(
+        schedule=schedule, use_logical_clocks=clocks, max_iterations=60
+    )
+    return compute_dataplane(snapshot, settings)
+
+
+@pytest.mark.parametrize("schedule,clocks", _REGIMES)
+def test_figure1a_converges_everywhere(benchmark, schedule, clocks):
+    """The RR pattern converges under every regime; the cost differs."""
+    result = benchmark.pedantic(
+        _run, args=("fig1a-route-reflectors", schedule, clocks),
+        rounds=1, iterations=1,
+    )
+    assert result.converged
+
+
+def test_figure1b_lockstep_oscillates(benchmark):
+    result = benchmark.pedantic(
+        _run, args=("fig1b-border-routers", "lockstep", True),
+        rounds=1, iterations=1,
+    )
+    assert not result.converged
+    assert result.oscillating_prefixes
+
+
+def test_figure1b_coloring_converges(benchmark):
+    result = benchmark.pedantic(
+        _run, args=("fig1b-border-routers", "colored", True),
+        rounds=1, iterations=1,
+    )
+    assert result.converged
+
+
+def test_clocks_reduce_churn_on_equally_good_routes():
+    """Figure 1a: without arrival-time tie-breaking, equally good
+    advertisements displace each other (newest wins), causing extra
+    best-route churn that the clocks remove."""
+    without = _run("fig1a-route-reflectors", "lockstep", False)
+    with_clocks = _run("fig1a-route-reflectors", "lockstep", True)
+    assert with_clocks.converged and without.converged
+    assert (
+        with_clocks.stats.best_route_changes
+        < without.stats.best_route_changes
+    )
+
+
+def test_colored_schedule_is_deterministic():
+    outcomes = set()
+    for _ in range(3):
+        result = _run("isp-mesh", "colored", True)
+        routes = tuple(
+            route.describe()
+            for node in sorted(result.nodes)
+            for route in result.main_rib(node).routes()
+        )
+        outcomes.add(routes)
+    assert len(outcomes) == 1
+
+
+def main():
+    rows = []
+    for scenario in _SCENARIOS:
+        for schedule, clocks in _REGIMES:
+            result = _run(scenario, schedule, clocks)
+            rows.append(
+                [
+                    scenario,
+                    schedule,
+                    "on" if clocks else "off",
+                    "yes" if result.converged else "NO (oscillates)",
+                    str(result.stats.iterations),
+                    str(result.stats.bgp_routes_processed),
+                    str(result.stats.best_route_changes),
+                ]
+            )
+    print_table(
+        "Figure 1 / §4.1.2: convergence under scheduling regimes",
+        ["scenario", "schedule", "clocks", "converged", "iterations",
+         "routes processed", "best-route churn"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Table 1: the networks we study.
+
+Regenerates the inventory table: network name, type, device count,
+configuration lines, total main-RIB routes, vendors, and protocols —
+the same columns the paper reports for its 11 real networks (ours are
+the synthetic equivalents; see DESIGN.md for the substitution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from benchmarks.benchlib import cached_pipeline, print_table
+except ImportError:  # running as `python benchmarks/bench_*.py`
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.benchlib import cached_pipeline, print_table
+from repro.synth.networks import NETWORKS
+
+_FAST_NETWORKS = ["NET1", "NET2", "NET5", "NET7", "NET8"]
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in NETWORKS])
+def test_network_builds_and_converges(benchmark, name):
+    """Benchmark snapshot parsing for every Table 1 network, asserting
+    the control plane converges."""
+    pipeline = cached_pipeline(name)  # warm build outside the timer
+    from repro.config.loader import load_snapshot_from_texts
+
+    result = benchmark.pedantic(
+        load_snapshot_from_texts, args=(pipeline.configs,), rounds=3, iterations=1
+    )
+    assert result.hostnames() == pipeline.snapshot.hostnames()
+    assert pipeline.dataplane.converged
+
+
+def table1_rows():
+    rows = []
+    for spec in NETWORKS:
+        pipeline = cached_pipeline(spec.name)
+        rows.append(
+            [
+                spec.name,
+                spec.network_type,
+                str(pipeline.num_devices),
+                str(pipeline.config_lines),
+                str(pipeline.total_routes),
+                "+".join(spec.vendors),
+                "+".join(spec.protocols),
+            ]
+        )
+    return rows
+
+
+def main():
+    print_table(
+        "Table 1: networks studied (synthetic equivalents, scale=1)",
+        ["network", "type", "nodes", "LoC", "routes", "vendors", "protocols"],
+        table1_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Table 2: performance of current Batfish.
+
+For every Table 1 network, times the paper's four phases: configuration
+parsing, data-plane generation ("DP gen"), destination reachability
+("Dest reach" — backward propagation to one delivery location), and
+multipath consistency (the all-forwarding-rules verification query).
+The paper's headline — analysis completes in minutes even on the
+largest networks, dominated by DP generation — should hold in shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    from benchmarks.benchlib import cached_pipeline, print_table, timed
+except ImportError:  # running as `python benchmarks/bench_*.py`
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from benchmarks.benchlib import cached_pipeline, print_table, timed
+from repro.config.loader import load_snapshot_from_texts
+from repro.routing.engine import ConvergenceSettings, compute_dataplane
+from repro.synth.networks import NETWORKS
+
+#: Subset benchmarked under pytest-benchmark (full table via main()).
+_BENCH_NETWORKS = ["NET1", "NET2", "NET5", "NET6", "NET7"]
+
+
+@pytest.mark.parametrize("name", _BENCH_NETWORKS)
+def test_parse(benchmark, name):
+    pipeline = cached_pipeline(name)
+    benchmark.pedantic(
+        load_snapshot_from_texts, args=(pipeline.configs,), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", _BENCH_NETWORKS)
+def test_dataplane_generation(benchmark, name):
+    pipeline = cached_pipeline(name)
+    result = benchmark.pedantic(
+        compute_dataplane,
+        args=(pipeline.snapshot, ConvergenceSettings()),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.converged
+
+
+@pytest.mark.parametrize("name", _BENCH_NETWORKS)
+def test_destination_reachability(benchmark, name):
+    pipeline = cached_pipeline(name)
+    analyzer = pipeline.analyzer
+    target = _first_delivery_location(analyzer)
+    result = benchmark.pedantic(
+        analyzer.destination_reachability, args=target, rounds=3, iterations=1
+    )
+    assert isinstance(result, dict)
+
+
+@pytest.mark.parametrize("name", _BENCH_NETWORKS)
+def test_multipath_consistency(benchmark, name):
+    pipeline = cached_pipeline(name)
+    analyzer = pipeline.analyzer
+    benchmark.pedantic(analyzer.multipath_consistency, rounds=1, iterations=1)
+
+
+def _first_delivery_location(analyzer):
+    for node in analyzer.graph.sink_nodes():
+        if node[0] == "sink":
+            return (node[1], node[2])
+    # No host subnets: fall back to accepting at the first device.
+    hostname = analyzer.dataplane.snapshot.hostnames()[0]
+    return (hostname, None)
+
+
+def table2_rows():
+    rows = []
+    for spec in NETWORKS:
+        pipeline = cached_pipeline(spec.name)
+        analyzer = pipeline.analyzer
+        dest_seconds, _ = timed(
+            lambda: analyzer.destination_reachability(
+                *_first_delivery_location(analyzer)
+            )
+        )
+        multipath_seconds, violations = timed(analyzer.multipath_consistency)
+        rows.append(
+            [
+                spec.name,
+                str(pipeline.num_devices),
+                f"{pipeline.parse_seconds:.2f}s",
+                f"{pipeline.dataplane_seconds:.2f}s",
+                f"{pipeline.graph_seconds:.2f}s",
+                f"{dest_seconds:.3f}s",
+                f"{multipath_seconds:.2f}s",
+                str(len(violations)),
+            ]
+        )
+    return rows
+
+
+def main():
+    print_table(
+        "Table 2: performance of the current pipeline",
+        [
+            "network", "nodes", "parse", "DP gen", "graph",
+            "dest reach", "multipath", "violations",
+        ],
+        table2_rows(),
+    )
+
+
+if __name__ == "__main__":
+    main()

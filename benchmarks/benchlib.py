@@ -1,0 +1,103 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper's §6 has a module here that (a)
+exposes pytest-benchmark tests runnable via
+``pytest benchmarks/ --benchmark-only`` and (b) prints the paper-style
+table when executed directly (``python benchmarks/bench_*.py``). The
+recorded outputs live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Snapshot
+from repro.dataplane.fib import compute_fibs
+from repro.reachability.queries import NetworkAnalyzer
+from repro.routing.engine import ConvergenceSettings, DataPlane, compute_dataplane
+from repro.synth.networks import NETWORKS, NetworkSpec
+
+
+@dataclass
+class TimedPipeline:
+    """All pipeline artifacts for one network with phase timings."""
+
+    spec_name: str
+    configs: Dict[str, str]
+    snapshot: Snapshot
+    dataplane: DataPlane
+    analyzer: NetworkAnalyzer
+    parse_seconds: float
+    dataplane_seconds: float
+    graph_seconds: float
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.snapshot.devices)
+
+    @property
+    def config_lines(self) -> int:
+        return sum(d.config_lines for d in self.snapshot.devices.values())
+
+    @property
+    def total_routes(self) -> int:
+        return self.dataplane.stats.total_routes
+
+
+def run_pipeline(spec: NetworkSpec, scale: int = 1) -> TimedPipeline:
+    configs = spec.generate(scale)
+    started = time.perf_counter()
+    snapshot = load_snapshot_from_texts(configs)
+    parse_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    dataplane = compute_dataplane(snapshot, ConvergenceSettings())
+    dataplane_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    fibs = compute_fibs(dataplane)
+    analyzer = NetworkAnalyzer(dataplane, fibs=fibs)
+    graph_seconds = time.perf_counter() - started
+    return TimedPipeline(
+        spec_name=spec.name,
+        configs=configs,
+        snapshot=snapshot,
+        dataplane=dataplane,
+        analyzer=analyzer,
+        parse_seconds=parse_seconds,
+        dataplane_seconds=dataplane_seconds,
+        graph_seconds=graph_seconds,
+    )
+
+
+_pipeline_cache: Dict[Tuple[str, int], TimedPipeline] = {}
+
+
+def cached_pipeline(name: str, scale: int = 1) -> TimedPipeline:
+    """Pipeline artifacts for a registry network, cached per process so
+    multiple benchmarks share the expensive build."""
+    key = (name, scale)
+    if key not in _pipeline_cache:
+        spec = next(s for s in NETWORKS if s.name == name)
+        _pipeline_cache[key] = run_pipeline(spec, scale)
+    return _pipeline_cache[key]
+
+
+def timed(fn: Callable[[], object]) -> Tuple[float, object]:
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    print()

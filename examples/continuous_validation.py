@@ -1,0 +1,96 @@
+"""Continuous validation: the §5.2 use-case.
+
+An operator periodically pulls the latest configuration snapshot and
+compares it against the previous run. Errors that pre-date monitoring
+become tracked background debt ("completely error-free configurations
+are generally not a high-priority goal"); *new* errors are flagged
+immediately.
+
+This example simulates three nightly snapshots of an evolving campus:
+
+* snapshot 1 — the baseline (with some pre-existing debt),
+* snapshot 2 — a benign change (a new access router),
+* snapshot 3 — a bad out-of-band change (a typo'd ACL reference and a
+  duplicated address), caught by comparing question results across
+  runs.
+
+Run:  python examples/continuous_validation.py
+"""
+
+from repro import Session
+from repro.synth.campus import campus
+
+
+def _snapshot1():
+    configs = campus(num_blocks=2, access_per_block=2)
+    # Pre-existing debt: an unused ACL someone forgot years ago.
+    configs["ccore1"] += "ip access-list extended OLD_MIGRATION_FILTER\n permit ip any any\n"
+    return configs
+
+
+def _snapshot2():
+    configs = _snapshot1()
+    # Benign growth: one more access router would normally appear here;
+    # we keep the topology stable and just touch a description.
+    configs["access0-0"] = configs["access0-0"].replace(
+        "description user subnet", "description user subnet floor-3"
+    )
+    return configs
+
+
+def _snapshot3():
+    configs = _snapshot2()
+    # Out-of-band damage: a typo'd ACL binding and a fat-fingered address.
+    configs["access1-0"] = configs["access1-0"].replace(
+        "ip access-group USER_IN in", "ip access-group USER-IN in"
+    )
+    configs["access1-1"] = configs["access1-1"].replace(
+        "ip address 172.17.1.1 255.255.255.0",
+        "ip address 172.17.0.1 255.255.255.0",
+    )
+    return configs
+
+
+def _issue_fingerprints(session):
+    issues = set()
+    for ref in session.undefined_references().rows:
+        issues.add(("undefined-ref", ref.hostname, ref.name))
+    for row in session.duplicate_ips().rows:
+        issues.add(("duplicate-ip", str(row.ip)))
+    for row in session.unused_structures().rows:
+        issues.add(("unused", row.hostname, row.name))
+    for issue in session.bgp_session_compatibility()[1]:
+        issues.add(("bgp", issue.node, issue.issue))
+    if not session.dataplane.converged:
+        issues.add(("non-convergence",))
+    return issues
+
+
+def main():
+    baseline = None
+    for night, build in enumerate(
+        (_snapshot1, _snapshot2, _snapshot3), start=1
+    ):
+        session = Session.from_texts(build())
+        issues = _issue_fingerprints(session)
+        print(f"== night {night} ==")
+        print(f"total findings: {len(issues)}")
+        if baseline is None:
+            print("(first run: all findings become tracked background debt)")
+            for issue in sorted(issues):
+                print(f"  tracked: {issue}")
+        else:
+            new = issues - baseline
+            fixed = baseline - issues
+            if not new and not fixed:
+                print("no new findings - change is clean")
+            for issue in sorted(new):
+                print(f"  NEW ISSUE (page someone): {issue}")
+            for issue in sorted(fixed):
+                print(f"  resolved: {issue}")
+        baseline = issues
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Quickstart: parse a small network, ask the classic questions.
+
+This walks the four-stage pipeline on the three-router network from
+Figure 2 of the paper (R1 has a direct ssh-only link to R3 plus a path
+through R2), showing:
+
+* Stage 1 — parsing and configuration questions,
+* Stage 2 — data-plane generation,
+* Stage 3 — BDD verification (reachability, multipath consistency),
+* Stage 4 — explaining a violation with contrasting examples and a
+  concrete traceroute.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HeaderSpace, Ip, Packet, Session
+from repro.reachability.examples import differing_fields
+from repro.reachability.graph import src_node
+
+CONFIGS = {
+    "r1": """
+hostname r1
+interface i0
+ ip address 10.0.1.1 255.255.255.0
+interface i1
+ ip address 10.0.12.1 255.255.255.0
+interface i3
+ ip address 10.0.13.1 255.255.255.0
+ ip access-group SSH_ONLY out
+ip route 10.0.2.0 255.255.255.0 10.0.12.2
+ip route 10.0.3.0 255.255.255.0 10.0.13.3
+ip route 10.0.3.0 255.255.255.0 10.0.12.2
+ip access-list extended SSH_ONLY
+ permit tcp any any eq 22
+ntp server 192.0.2.123
+""",
+    "r2": """
+hostname r2
+interface i0
+ ip address 10.0.2.1 255.255.255.0
+interface i1
+ ip address 10.0.12.2 255.255.255.0
+interface i2
+ ip address 10.0.23.2 255.255.255.0
+ip route 10.0.1.0 255.255.255.0 10.0.12.1
+ip route 10.0.3.0 255.255.255.0 10.0.23.3
+ntp server 192.0.2.123
+""",
+    "r3": """
+hostname r3
+interface i0
+ ip address 10.0.3.1 255.255.255.0
+interface i2
+ ip address 10.0.23.3 255.255.255.0
+interface i3
+ ip address 10.0.13.3 255.255.255.0
+ip route 10.0.1.0 255.255.255.0 10.0.13.1
+ip route 10.0.2.0 255.255.255.0 10.0.23.2
+""",
+}
+
+
+def main():
+    session = Session.from_texts(CONFIGS)
+
+    print("== Stage 1: parse ==")
+    print(f"devices: {session.snapshot.hostnames()}")
+    print(f"parse warnings: {len(session.parse_warnings())}")
+    print(f"undefined references: {len(session.undefined_references().rows)}")
+    ntp = session.management_plane_consistency(expected_ntp=["192.0.2.123"])
+    for row in ntp.rows:
+        print(f"  NTP deviation on {row.hostname}: has {row.values}")
+
+    print("\n== Stage 2: data plane ==")
+    session.assert_converged()
+    print(f"total routes: {len(session.routes())}")
+    for row in session.routes("r1")[:6]:
+        print(f"  r1: {row.description}")
+
+    print("\n== Stage 3: verification ==")
+    answer = session.reachability(
+        HeaderSpace.build(src="10.0.1.0/24", dst="10.0.3.0/24"),
+        sources=[("r1", "i0")],
+    )
+    for disposition, packet_set in sorted(
+        answer.by_disposition.items(), key=lambda kv: kv[0].value
+    ):
+        example = session.encoder.example_packet(packet_set)
+        print(f"  {disposition.value}: e.g. {example.describe() if example else '-'}")
+
+    violations = session.analyzer.multipath_consistency(
+        {src_node("r1", "i0"): session.encoder.tcp()}
+    )
+    print(f"\nmultipath-consistency violations: {len(violations)}")
+
+    print("\n== Stage 4: explain the violation ==")
+    violation = violations[0]
+    bad = violation.example
+    print(f"counterexample: {bad.describe()}")
+    print(f"  succeeds via: {[d.value for d in violation.success_dispositions]}")
+    print(f"  fails via:    {[d.value for d in violation.failure_dispositions]}")
+    full_answer = session.analyzer.reachability(
+        {src_node("r1", "i0"): session.encoder.tcp()}
+    )
+    engine = session.encoder.engine
+    cleanly_delivered = engine.diff(
+        full_answer.success_set(), full_answer.failure_set()
+    )
+    # Anchor the positive example to the counterexample so the contrast
+    # isolates the problematic field (§4.4.3).
+    good = session.encoder.example_packet(
+        cleanly_delivered,
+        [
+            session.encoder.ip_eq("dst_ip", bad.dst_ip),
+            session.encoder.ip_eq("src_ip", bad.src_ip),
+        ],
+    )
+    print(f"positive example: {good.describe()}")
+    print(f"  differing fields: {differing_fields(bad, good)}")
+    print("\nconcrete traces of the counterexample:")
+    for trace in session.traceroute(bad, "r1", "i0"):
+        print(f"  {trace.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro: a from-scratch reproduction of the Batfish configuration
+analysis system, as described in "Lessons from the evolution of the
+Batfish configuration analysis tool" (SIGCOMM 2023).
+
+Public entry point: :class:`repro.Session`.
+"""
+
+from repro.core.session import NotConvergedError, Session
+from repro.hdr import HeaderSpace, Ip, Packet, PacketEncoder, Prefix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "NotConvergedError",
+    "HeaderSpace",
+    "Ip",
+    "Packet",
+    "PacketEncoder",
+    "Prefix",
+    "__version__",
+]

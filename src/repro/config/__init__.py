@@ -1,0 +1,18 @@
+"""Configuration parsing and the vendor-independent model (Stage 1)."""
+
+from repro.config.loader import (
+    detect_syntax,
+    load_snapshot_from_dir,
+    load_snapshot_from_texts,
+    parse_config_text,
+)
+from repro.config.model import Device, Snapshot
+
+__all__ = [
+    "detect_syntax",
+    "load_snapshot_from_dir",
+    "load_snapshot_from_texts",
+    "parse_config_text",
+    "Device",
+    "Snapshot",
+]

@@ -1,0 +1,445 @@
+"""The vendor-independent configuration model (Stage 1).
+
+Configuration text, whose syntax is specific to a router OS, is parsed by
+the vendor parsers (:mod:`repro.config.cisco`, :mod:`repro.config.juniper`)
+into vendor-specific structures and then *converted* into the classes in
+this module. Everything downstream — data-plane generation, BDD analysis,
+and the configuration questions of Lesson 5 — operates on this model only.
+
+The model is deliberately deep (per Lesson 5, "deep configuration modeling
+has many applications"): it captures not just what affects forwarding
+(interfaces, ACLs, routing processes, policies, NAT, zones) but also
+management-plane settings (NTP/DNS servers) that configuration-hygiene
+questions check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+
+
+class Action(enum.Enum):
+    """Permit/deny disposition used by ACL lines, prefix lists, and
+    route-map clauses."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class Protocol(enum.Enum):
+    """Routing protocols recognized by the control-plane model, in the
+    role of route provenance."""
+
+    CONNECTED = "connected"
+    STATIC = "static"
+    OSPF = "ospf"
+    OSPF_IA = "ospfIA"
+    OSPF_E2 = "ospfE2"
+    BGP = "bgp"
+    IBGP = "ibgp"
+    AGGREGATE = "aggregate"
+
+
+# ----------------------------------------------------------------------
+# ACLs
+
+
+@dataclass(frozen=True)
+class AclLine:
+    """One line of an access control list.
+
+    ``src_wildcard``/``dst_wildcard`` use prefix semantics (already
+    normalized from vendor-specific wildcard masks by the parsers).
+    ``established`` models the classic "TCP responses only" match
+    (ACK or RST set) — one source of the *uninteresting violations*
+    usability lesson.
+    """
+
+    action: Action
+    protocol: Optional[int] = None  # None = any IP protocol
+    src: Optional[Prefix] = None  # None = any
+    dst: Optional[Prefix] = None
+    src_ports: Tuple[Tuple[int, int], ...] = ()
+    dst_ports: Tuple[Tuple[int, int], ...] = ()
+    established: bool = False
+    icmp_type: Optional[int] = None
+    name: str = ""  # rendering of the original line, for annotations
+    # Source-level provenance carried through normalization (§7.3: the
+    # compiler-metadata technique — vendor-independent structures keep a
+    # pointer back to the configuration text they came from).
+    source_file: str = ""
+    source_line: int = 0
+
+
+@dataclass
+class Acl:
+    """A named ACL: ordered lines with first-match semantics and an
+    implicit deny-all at the end."""
+
+    name: str
+    lines: List[AclLine] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Routing policy structures
+
+
+@dataclass(frozen=True)
+class PrefixListLine:
+    action: Action
+    prefix: Prefix
+    ge: Optional[int] = None  # minimum matched length (inclusive)
+    le: Optional[int] = None  # maximum matched length (inclusive)
+
+    def matches(self, prefix: Prefix) -> bool:
+        """Whether a concrete route prefix matches this line."""
+        if not self.prefix.contains_prefix(prefix):
+            return False
+        low = self.ge if self.ge is not None else self.prefix.length
+        high = self.le if self.le is not None else (
+            32 if self.ge is not None else self.prefix.length
+        )
+        # A bare prefix-list entry matches the exact length only; ge/le
+        # widen the match to a length band (vendor-documented semantics).
+        if self.ge is None and self.le is None:
+            return prefix.length == self.prefix.length
+        return low <= prefix.length <= high
+
+
+@dataclass
+class PrefixList:
+    name: str
+    lines: List[PrefixListLine] = field(default_factory=list)
+
+    def permits(self, prefix: Prefix) -> bool:
+        """First-match evaluation with implicit deny."""
+        for line in self.lines:
+            if line.matches(prefix):
+                return line.action is Action.PERMIT
+        return False
+
+
+@dataclass
+class CommunityList:
+    """A standard community list: permits a route if the route carries
+    any of the listed communities."""
+
+    name: str
+    communities: List[str] = field(default_factory=list)
+
+    def permits(self, route_communities: Sequence[str]) -> bool:
+        return any(c in self.communities for c in route_communities)
+
+
+@dataclass
+class AsPathList:
+    """An AS-path access list holding a regular expression over the
+    space-separated AS path rendering (``_`` matches a boundary,
+    per vendor convention)."""
+
+    name: str
+    regex: str = ""
+
+    def permits(self, as_path: Sequence[int]) -> bool:
+        import re
+
+        # Vendor semantics: '^' anchors to path start, '$' to end, and
+        # '_' matches any AS boundary (start, end, or separator). We
+        # render the path space-separated so '^'/'$' keep their native
+        # regex meaning and '_' becomes a boundary alternation.
+        rendering = " ".join(str(asn) for asn in as_path)
+        pattern = self.regex.replace("_", "(?:^| |$)")
+        return re.search(pattern, rendering) is not None
+
+
+class MatchKind(enum.Enum):
+    PREFIX_LIST = "prefix-list"
+    COMMUNITY = "community"
+    AS_PATH = "as-path"
+    TAG = "tag"
+    METRIC = "metric"
+    PROTOCOL = "protocol"
+
+
+@dataclass(frozen=True)
+class RouteMapMatch:
+    kind: MatchKind
+    value: str  # structure name, or literal rendered as a string
+
+
+class SetKind(enum.Enum):
+    LOCAL_PREF = "local-preference"
+    METRIC = "metric"
+    COMMUNITY = "community"
+    COMMUNITY_ADDITIVE = "community-additive"
+    AS_PATH_PREPEND = "as-path-prepend"
+    NEXT_HOP = "next-hop"
+    TAG = "tag"
+    WEIGHT = "weight"
+
+
+@dataclass(frozen=True)
+class RouteMapSet:
+    kind: SetKind
+    value: str
+
+
+@dataclass
+class RouteMapClause:
+    """One sequenced clause: all matches must hold (AND); on a permit
+    clause the sets are applied and the route is accepted."""
+
+    seq: int
+    action: Action
+    matches: List[RouteMapMatch] = field(default_factory=list)
+    sets: List[RouteMapSet] = field(default_factory=list)
+
+
+@dataclass
+class RouteMap:
+    name: str
+    clauses: List[RouteMapClause] = field(default_factory=list)
+
+    def sorted_clauses(self) -> List[RouteMapClause]:
+        return sorted(self.clauses, key=lambda c: c.seq)
+
+
+# ----------------------------------------------------------------------
+# Routing processes
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    prefix: Prefix
+    next_hop_ip: Optional[Ip] = None
+    next_hop_interface: Optional[str] = None  # includes null interfaces
+    admin_distance: int = 1
+    tag: int = 0
+
+    @property
+    def is_null_routed(self) -> bool:
+        iface = (self.next_hop_interface or "").lower()
+        return iface.startswith("null") or iface == "discard"
+
+
+@dataclass(frozen=True)
+class Redistribution:
+    """Route redistribution into a protocol, optionally filtered and
+    transformed by a route map."""
+
+    source: Protocol
+    route_map: Optional[str] = None
+    metric: Optional[int] = None
+
+
+@dataclass
+class OspfProcess:
+    process_id: str = "1"
+    router_id: Optional[Ip] = None
+    reference_bandwidth: int = 100_000_000  # 100 Mbps, classic default
+    redistributions: List[Redistribution] = field(default_factory=list)
+    max_metric_stub: bool = False
+    default_information_originate: bool = False
+
+
+@dataclass
+class BgpNeighbor:
+    peer_ip: Ip
+    remote_as: int
+    description: str = ""
+    import_policy: Optional[str] = None  # route-map name
+    export_policy: Optional[str] = None
+    next_hop_self: bool = False
+    send_community: bool = False
+    route_reflector_client: bool = False
+    ebgp_multihop: bool = False
+    update_source: Optional[str] = None  # interface name
+    local_as: Optional[int] = None
+
+
+@dataclass
+class BgpProcess:
+    local_as: int
+    router_id: Optional[Ip] = None
+    neighbors: Dict[Ip, BgpNeighbor] = field(default_factory=dict)
+    networks: List[Prefix] = field(default_factory=list)
+    redistributions: List[Redistribution] = field(default_factory=list)
+    maximum_paths: int = 1  # >1 enables BGP multipath
+
+
+# ----------------------------------------------------------------------
+# NAT and zones
+
+
+class NatKind(enum.Enum):
+    SOURCE = "source"
+    DESTINATION = "destination"
+    STATIC = "static"
+
+
+@dataclass(frozen=True)
+class NatRule:
+    """A NAT rule on an interface: packets matching ``match_acl`` get the
+    relevant address field rewritten into ``pool`` (a prefix; a /32 means
+    a fixed rewrite)."""
+
+    kind: NatKind
+    match_acl: Optional[str]  # None = match everything
+    pool: Prefix
+    # Static NAT maps a specific inside prefix to an outside prefix 1:1.
+    static_inside: Optional[Prefix] = None
+
+
+@dataclass
+class Zone:
+    """A firewall zone: a named set of interfaces (§4.2.3)."""
+
+    name: str
+    interfaces: List[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ZonePolicy:
+    """Filtering applied to traffic from one zone to another, expressed
+    as an ACL reference. Absence of a policy means default-deny across
+    zones (and default-permit within a zone)."""
+
+    from_zone: str
+    to_zone: str
+    acl: str
+
+
+# ----------------------------------------------------------------------
+# Interfaces and devices
+
+
+@dataclass
+class Interface:
+    name: str
+    address: Optional[Ip] = None
+    prefix_length: Optional[int] = None
+    enabled: bool = True
+    description: str = ""
+    bandwidth: int = 1_000_000_000  # bps
+    # OSPF per-interface settings.
+    ospf_enabled: bool = False
+    ospf_area: int = 0
+    ospf_cost: Optional[int] = None
+    ospf_passive: bool = False
+    # Filters and transformations.
+    incoming_acl: Optional[str] = None
+    outgoing_acl: Optional[str] = None
+    src_nat_rules: List[NatRule] = field(default_factory=list)
+    dst_nat_rules: List[NatRule] = field(default_factory=list)
+    zone: Optional[str] = None
+
+    @property
+    def prefix(self) -> Optional[Prefix]:
+        """The connected prefix of the interface, if it has an address."""
+        if self.address is None or self.prefix_length is None:
+            return None
+        return Prefix(self.address, self.prefix_length)
+
+    @property
+    def is_loopback(self) -> bool:
+        return self.name.lower().startswith(("lo", "loopback"))
+
+
+class DeviceRole(enum.Enum):
+    ROUTER = "router"
+    FIREWALL = "firewall"
+    LOAD_BALANCER = "load_balancer"
+
+
+@dataclass
+class Device:
+    """The vendor-independent configuration of one network device."""
+
+    hostname: str
+    vendor: str = "ciscoish"
+    role: DeviceRole = DeviceRole.ROUTER
+    interfaces: Dict[str, Interface] = field(default_factory=dict)
+    acls: Dict[str, Acl] = field(default_factory=dict)
+    prefix_lists: Dict[str, PrefixList] = field(default_factory=dict)
+    community_lists: Dict[str, CommunityList] = field(default_factory=dict)
+    as_path_lists: Dict[str, AsPathList] = field(default_factory=dict)
+    route_maps: Dict[str, RouteMap] = field(default_factory=dict)
+    static_routes: List[StaticRoute] = field(default_factory=list)
+    ospf: Optional[OspfProcess] = None
+    bgp: Optional[BgpProcess] = None
+    zones: Dict[str, Zone] = field(default_factory=dict)
+    zone_policies: Dict[Tuple[str, str], ZonePolicy] = field(default_factory=dict)
+    ntp_servers: List[Ip] = field(default_factory=list)
+    dns_servers: List[Ip] = field(default_factory=list)
+    snmp_communities: List[str] = field(default_factory=list)
+    config_lines: int = 0  # LoC of the original text, for reporting
+
+    def interface_ips(self) -> List[Tuple[str, Ip, int]]:
+        """(interface, address, prefix-length) for all addressed
+        interfaces. Used by duplicate-IP and topology inference."""
+        return [
+            (name, iface.address, iface.prefix_length)
+            for name, iface in sorted(self.interfaces.items())
+            if iface.address is not None and iface.enabled
+        ]
+
+    def zone_of_interface(self, interface_name: str) -> Optional[str]:
+        iface = self.interfaces.get(interface_name)
+        if iface is not None and iface.zone is not None:
+            return iface.zone
+        for zone in self.zones.values():
+            if interface_name in zone.interfaces:
+                return zone.name
+        return None
+
+    def router_id(self) -> Ip:
+        """Effective router id: explicit BGP/OSPF id, else the highest
+        loopback address, else the highest interface address — the
+        vendor-documented fallback chain."""
+        if self.bgp is not None and self.bgp.router_id is not None:
+            return self.bgp.router_id
+        if self.ospf is not None and self.ospf.router_id is not None:
+            return self.ospf.router_id
+        loopbacks = [
+            i.address
+            for i in self.interfaces.values()
+            if i.is_loopback and i.address is not None
+        ]
+        if loopbacks:
+            return max(loopbacks)
+        addresses = [
+            i.address for i in self.interfaces.values() if i.address is not None
+        ]
+        if addresses:
+            return max(addresses)
+        return Ip(0)
+
+
+@dataclass
+class ParseWarning:
+    """A non-fatal issue found while parsing or converting configuration
+    (unrecognized lines, suspicious constructs). Mirrors Batfish's
+    parse-warning surface."""
+
+    hostname: str
+    line_number: int
+    text: str
+    comment: str
+
+
+@dataclass
+class Snapshot:
+    """A parsed network snapshot: all devices plus parse metadata."""
+
+    devices: Dict[str, Device] = field(default_factory=dict)
+    warnings: List[ParseWarning] = field(default_factory=list)
+
+    def device(self, hostname: str) -> Device:
+        return self.devices[hostname]
+
+    def hostnames(self) -> List[str]:
+        return sorted(self.devices)

@@ -1,0 +1,180 @@
+"""Tracking of configuration-structure definitions and references.
+
+Lesson 5: checking "whether all referenced routing policies are defined"
+and finding unused structures are among the most used analyses, because
+errors localize trivially. This module derives both directly from the
+vendor-independent model: definitions are the names present in a device's
+structure dictionaries; references are every usage point (an interface
+using an ACL, a BGP neighbor using a route map, a route-map clause using
+a prefix list, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.config.model import Device, MatchKind
+
+
+class StructureType(enum.Enum):
+    ACL = "acl"
+    PREFIX_LIST = "prefix-list"
+    COMMUNITY_LIST = "community-list"
+    AS_PATH_LIST = "as-path-list"
+    ROUTE_MAP = "route-map"
+    ZONE = "zone"
+    INTERFACE = "interface"
+
+
+@dataclass(frozen=True)
+class StructureRef:
+    """One reference from a usage context to a named structure."""
+
+    hostname: str
+    structure_type: StructureType
+    name: str
+    context: str  # human-readable description of the referencing spot
+
+
+def iter_references(device: Device) -> Iterator[StructureRef]:
+    """Yield every structure reference made by a device's configuration."""
+    host = device.hostname
+    for iface in device.interfaces.values():
+        if iface.incoming_acl:
+            yield StructureRef(
+                host, StructureType.ACL, iface.incoming_acl,
+                f"interface {iface.name} incoming filter",
+            )
+        if iface.outgoing_acl:
+            yield StructureRef(
+                host, StructureType.ACL, iface.outgoing_acl,
+                f"interface {iface.name} outgoing filter",
+            )
+        if iface.zone:
+            yield StructureRef(
+                host, StructureType.ZONE, iface.zone,
+                f"interface {iface.name} zone membership",
+            )
+        for rule in iface.src_nat_rules + iface.dst_nat_rules:
+            if rule.match_acl:
+                yield StructureRef(
+                    host, StructureType.ACL, rule.match_acl,
+                    f"interface {iface.name} NAT rule match",
+                )
+    if device.bgp is not None:
+        for neighbor in device.bgp.neighbors.values():
+            if neighbor.import_policy:
+                yield StructureRef(
+                    host, StructureType.ROUTE_MAP, neighbor.import_policy,
+                    f"bgp neighbor {neighbor.peer_ip} import policy",
+                )
+            if neighbor.export_policy:
+                yield StructureRef(
+                    host, StructureType.ROUTE_MAP, neighbor.export_policy,
+                    f"bgp neighbor {neighbor.peer_ip} export policy",
+                )
+            if neighbor.update_source:
+                yield StructureRef(
+                    host, StructureType.INTERFACE, neighbor.update_source,
+                    f"bgp neighbor {neighbor.peer_ip} update-source",
+                )
+        for redist in device.bgp.redistributions:
+            if redist.route_map:
+                yield StructureRef(
+                    host, StructureType.ROUTE_MAP, redist.route_map,
+                    f"bgp redistribute {redist.source.value}",
+                )
+    if device.ospf is not None:
+        for redist in device.ospf.redistributions:
+            if redist.route_map:
+                yield StructureRef(
+                    host, StructureType.ROUTE_MAP, redist.route_map,
+                    f"ospf redistribute {redist.source.value}",
+                )
+    for route_map in device.route_maps.values():
+        for clause in route_map.clauses:
+            for match in clause.matches:
+                ref_type = {
+                    MatchKind.PREFIX_LIST: StructureType.PREFIX_LIST,
+                    MatchKind.COMMUNITY: StructureType.COMMUNITY_LIST,
+                    MatchKind.AS_PATH: StructureType.AS_PATH_LIST,
+                }.get(match.kind)
+                if ref_type is not None:
+                    yield StructureRef(
+                        host, ref_type, match.value,
+                        f"route-map {route_map.name} clause {clause.seq} match",
+                    )
+    for policy in device.zone_policies.values():
+        yield StructureRef(
+            host, StructureType.ACL, policy.acl,
+            f"zone-pair {policy.from_zone} -> {policy.to_zone} policy",
+        )
+        for zone_name in (policy.from_zone, policy.to_zone):
+            yield StructureRef(
+                host, StructureType.ZONE, zone_name,
+                f"zone-pair {policy.from_zone} -> {policy.to_zone}",
+            )
+    for static in device.static_routes:
+        if static.next_hop_interface and not static.is_null_routed:
+            yield StructureRef(
+                host, StructureType.INTERFACE, static.next_hop_interface,
+                f"static route {static.prefix} next-hop interface",
+            )
+
+
+def _definitions(device: Device, structure_type: StructureType) -> List[str]:
+    return {
+        StructureType.ACL: lambda: list(device.acls),
+        StructureType.PREFIX_LIST: lambda: list(device.prefix_lists),
+        StructureType.COMMUNITY_LIST: lambda: list(device.community_lists),
+        StructureType.AS_PATH_LIST: lambda: list(device.as_path_lists),
+        StructureType.ROUTE_MAP: lambda: list(device.route_maps),
+        StructureType.ZONE: lambda: list(device.zones),
+        StructureType.INTERFACE: lambda: list(device.interfaces),
+    }[structure_type]()
+
+
+def undefined_references(device: Device) -> List[StructureRef]:
+    """References to structures that are not defined on the device."""
+    return [
+        ref
+        for ref in iter_references(device)
+        if ref.name not in _definitions(device, ref.structure_type)
+    ]
+
+
+@dataclass(frozen=True)
+class UnusedStructure:
+    hostname: str
+    structure_type: StructureType
+    name: str
+
+
+_CHECKED_FOR_UNUSED = (
+    StructureType.ACL,
+    StructureType.PREFIX_LIST,
+    StructureType.COMMUNITY_LIST,
+    StructureType.AS_PATH_LIST,
+    StructureType.ROUTE_MAP,
+    StructureType.ZONE,
+)
+
+
+def unused_structures(device: Device) -> List[UnusedStructure]:
+    """Defined structures never referenced anywhere on the device."""
+    referenced = {
+        (ref.structure_type, ref.name) for ref in iter_references(device)
+    }
+    # A route map referenced by another route map's continuation is not
+    # modeled; route maps referenced only via redistribution/neighbors are
+    # covered by iter_references.
+    unused: List[UnusedStructure] = []
+    for structure_type in _CHECKED_FOR_UNUSED:
+        for name in _definitions(device, structure_type):
+            if (structure_type, name) not in referenced:
+                unused.append(
+                    UnusedStructure(device.hostname, structure_type, name)
+                )
+    return unused

@@ -1,0 +1,5 @@
+"""Public API: the analysis session."""
+
+from repro.core.session import NotConvergedError, RouteRow, Session
+
+__all__ = ["Session", "RouteRow", "NotConvergedError"]

@@ -1,0 +1,248 @@
+"""The public API: a Batfish-style session over a snapshot.
+
+A :class:`Session` wraps the full pipeline — parse (Stage 1), data-plane
+generation (Stage 2), verification (Stage 3), explanation (Stage 4) —
+behind lazily-computed properties, and exposes the question surface the
+paper's users rely on (Lesson 5 configuration questions, §4.4.1
+specialized reachability questions, §4.3.2 differential validation).
+
+Typical use::
+
+    session = Session.from_texts(configs)
+    session.assert_converged()
+    print(session.undefined_references().rows)
+    answer = session.service_reachable("172.16.0.10", port=443)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
+from repro.config.model import ParseWarning, Snapshot
+from repro.dataplane.fib import Fib, compute_fibs
+from repro.hdr.headerspace import HeaderSpace, PacketEncoder
+from repro.hdr.packet import Packet
+from repro.questions.configuration import (
+    DuplicateIpsAnswer,
+    PropertyConsistencyAnswer,
+    UndefinedReferencesAnswer,
+    UnusedStructuresAnswer,
+    duplicate_ips_question,
+    management_plane_consistency,
+    undefined_references_question,
+    unused_structures_question,
+)
+from repro.questions.filters import (
+    SearchFiltersRow,
+    TestFilterRow,
+    UnreachableLineRow,
+    search_filters,
+    test_filter,
+    unreachable_filter_lines,
+)
+from repro.questions.specialized import (
+    ServiceIsolationAnswer,
+    ServiceReachabilityAnswer,
+    service_reachable,
+    service_unreachable,
+)
+from repro.reachability.queries import (
+    MultipathViolation,
+    NetworkAnalyzer,
+    ReachabilityAnswer,
+)
+from repro.routing.engine import (
+    ConvergenceSettings,
+    DataPlane,
+    compute_dataplane,
+)
+from repro.routing.policy import DEFAULT_SEMANTICS, PolicySemantics
+from repro.traceroute.engine import Trace, TracerouteEngine
+
+
+@dataclass
+class RouteRow:
+    node: str
+    description: str
+
+
+class NotConvergedError(RuntimeError):
+    """Raised when routing did not converge (Batfish detects and reports
+    non-convergence rather than forcing it, §4.1.2)."""
+
+
+class Session:
+    """One analysis session over one configuration snapshot."""
+
+    def __init__(
+        self,
+        snapshot: Snapshot,
+        settings: Optional[ConvergenceSettings] = None,
+        semantics: PolicySemantics = DEFAULT_SEMANTICS,
+    ):
+        self.snapshot = snapshot
+        self.settings = settings or ConvergenceSettings()
+        self.semantics = semantics
+        self._dataplane: Optional[DataPlane] = None
+        self._fibs: Optional[Dict[str, Fib]] = None
+        self._analyzer: Optional[NetworkAnalyzer] = None
+        self._tracer: Optional[TracerouteEngine] = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_texts(cls, configs: Dict[str, str], **kwargs) -> "Session":
+        """Build a session from ``{name: config_text}``."""
+        return cls(load_snapshot_from_texts(configs), **kwargs)
+
+    @classmethod
+    def from_dir(cls, path: str, **kwargs) -> "Session":
+        """Build a session from a snapshot directory of ``*.cfg`` files."""
+        return cls(load_snapshot_from_dir(path), **kwargs)
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def parse_warnings(self) -> List[ParseWarning]:
+        """Stage 1 diagnostics: lines the parsers could not model."""
+        return list(self.snapshot.warnings)
+
+    @property
+    def dataplane(self) -> DataPlane:
+        """Stage 2: the computed data plane (lazily derived)."""
+        if self._dataplane is None:
+            self._dataplane = compute_dataplane(
+                self.snapshot, self.settings, self.semantics
+            )
+        return self._dataplane
+
+    @property
+    def fibs(self) -> Dict[str, Fib]:
+        if self._fibs is None:
+            self._fibs = compute_fibs(self.dataplane)
+        return self._fibs
+
+    @property
+    def analyzer(self) -> NetworkAnalyzer:
+        """Stage 3: the BDD verification engine (lazily built)."""
+        if self._analyzer is None:
+            self._analyzer = NetworkAnalyzer(self.dataplane, fibs=self.fibs)
+        return self._analyzer
+
+    @property
+    def encoder(self) -> PacketEncoder:
+        return self.analyzer.encoder
+
+    def assert_converged(self) -> None:
+        """Raise unless routing converged deterministically."""
+        if not self.dataplane.converged:
+            oscillating = ", ".join(
+                str(p) for p in self.dataplane.oscillating_prefixes[:5]
+            )
+            raise NotConvergedError(
+                f"routing did not converge; oscillating prefixes: {oscillating}"
+            )
+
+    # -- configuration questions (Lesson 5) --------------------------------
+
+    def undefined_references(self) -> UndefinedReferencesAnswer:
+        return undefined_references_question(self.snapshot)
+
+    def unused_structures(self) -> UnusedStructuresAnswer:
+        return unused_structures_question(self.snapshot)
+
+    def duplicate_ips(self) -> DuplicateIpsAnswer:
+        return duplicate_ips_question(self.snapshot)
+
+    def management_plane_consistency(
+        self,
+        expected_ntp: Optional[List[str]] = None,
+        expected_dns: Optional[List[str]] = None,
+    ) -> PropertyConsistencyAnswer:
+        return management_plane_consistency(
+            self.snapshot, expected_ntp, expected_dns
+        )
+
+    def bgp_session_compatibility(self):
+        """Candidate sessions and compatibility issues (uses the data
+        plane's session evaluation, including TCP viability)."""
+        dataplane = self.dataplane
+        return dataplane.sessions, dataplane.session_issues
+
+    def routes(self, node: Optional[str] = None) -> List[RouteRow]:
+        """Main-RIB contents (the `routes` question)."""
+        rows: List[RouteRow] = []
+        hostnames = [node] if node else self.snapshot.hostnames()
+        for hostname in hostnames:
+            for route in self.dataplane.main_rib(hostname).routes():
+                rows.append(RouteRow(node=hostname, description=route.describe()))
+        return rows
+
+    # -- filter questions ---------------------------------------------------
+
+    def test_filter(self, node: str, filter_name: str, packet: Packet) -> TestFilterRow:
+        return test_filter(self.snapshot, node, filter_name, packet)
+
+    def search_filters(self, headerspace: HeaderSpace, **kwargs) -> List[SearchFiltersRow]:
+        return search_filters(self.snapshot, headerspace, encoder=self.encoder, **kwargs)
+
+    def unreachable_filter_lines(self) -> List[UnreachableLineRow]:
+        return unreachable_filter_lines(self.snapshot, encoder=self.encoder)
+
+    # -- forwarding questions (Stage 3) --------------------------------------
+
+    def reachability(
+        self,
+        headerspace: Optional[HeaderSpace] = None,
+        sources: Optional[Sequence[Tuple[str, Optional[str]]]] = None,
+        scoped: bool = True,
+    ) -> ReachabilityAnswer:
+        """General reachability with §4.4.2 scoped defaults."""
+        analyzer = self.analyzer
+        space = (headerspace or HeaderSpace()).to_bdd(self.encoder)
+        if sources is not None:
+            source_map = analyzer.sources_at(sources, space)
+        elif scoped:
+            source_map = analyzer.default_sources(space)
+        else:
+            source_map = analyzer.all_sources(space)
+        return analyzer.reachability(source_map)
+
+    def multipath_consistency(self, scoped: bool = False) -> List[MultipathViolation]:
+        analyzer = self.analyzer
+        sources = (
+            analyzer.default_sources() if scoped else analyzer.all_sources()
+        )
+        return analyzer.multipath_consistency(sources)
+
+    def service_reachable(self, service_ip, port: int, **kwargs) -> ServiceReachabilityAnswer:
+        return service_reachable(self.analyzer, service_ip, port, **kwargs)
+
+    def service_unreachable(self, service_ip, port: int, **kwargs) -> ServiceIsolationAnswer:
+        return service_unreachable(self.analyzer, service_ip, port, **kwargs)
+
+    def route_diff(self, candidate: "Session"):
+        """Differential routes question: what a candidate snapshot
+        changes relative to this one (§5.1 proactive validation)."""
+        from repro.questions.differential import compare_routes
+
+        return compare_routes(self.dataplane, candidate.dataplane)
+
+    # -- concrete engine (Stage 4 explanations, §4.3.2 validation) ----------
+
+    @property
+    def tracer(self) -> TracerouteEngine:
+        if self._tracer is None:
+            self._tracer = TracerouteEngine(self.dataplane, self.fibs)
+        return self._tracer
+
+    def traceroute(self, packet: Packet, node: str, interface: str) -> List[Trace]:
+        return self.tracer.trace(packet, node, interface)
+
+    def validate_engines(self):
+        """Run the §4.3.2 differential cross-validation of the two
+        forwarding engines on this snapshot."""
+        from repro.fidelity.differential import run_differential_suite
+
+        return run_differential_suite(self.analyzer)

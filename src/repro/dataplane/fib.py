@@ -1,0 +1,180 @@
+"""FIB construction: from main-RIB best routes to concrete forwarding
+entries with resolved output interfaces and next-hop addresses.
+
+Recursive next hops (BGP routes whose next hop is reached via an IGP
+route) are resolved here, bounded to a fixed depth. Null-routed
+prefixes become explicit drop entries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.engine import DataPlane, NodeState
+from repro.routing.prefix_trie import PrefixTrie
+from repro.routing.route import (
+    BgpRoute,
+    ConnectedRoute,
+    OspfRoute,
+    StaticRouteEntry,
+)
+
+_MAX_RESOLUTION_DEPTH = 8
+
+
+class FibActionType(enum.Enum):
+    FORWARD = "forward"
+    DROP_NULL = "drop-null"  # null-routed / discard
+    DROP_NO_ROUTE = "drop-no-route"  # unresolvable
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One resolved forwarding entry.
+
+    ``arp_ip`` is the address the packet is forwarded toward on the wire
+    — ``None`` for connected prefixes (deliver to the destination
+    itself).
+    """
+
+    prefix: Prefix
+    action: FibActionType
+    out_interface: Optional[str] = None
+    arp_ip: Optional[Ip] = None
+    source_route: Optional[object] = None  # provenance for annotations
+
+    def describe(self) -> str:
+        if self.action is not FibActionType.FORWARD:
+            return f"{self.prefix} {self.action.value}"
+        via = f" via {self.arp_ip}" if self.arp_ip else ""
+        return f"{self.prefix} -> {self.out_interface}{via}"
+
+
+class Fib:
+    """The forwarding table of one node, with LPM lookup."""
+
+    def __init__(self, hostname: str):
+        self.hostname = hostname
+        self._trie: PrefixTrie = PrefixTrie()
+
+    def add(self, entry: FibEntry) -> None:
+        self._trie.add(entry.prefix, entry)
+
+    def lookup(self, ip: "Ip | int") -> List[FibEntry]:
+        """All ECMP entries for the longest matching prefix (empty list
+        when no route covers the address)."""
+        match = self._trie.longest_match(ip)
+        if match is None:
+            return []
+        _prefix, entries = match
+        return entries
+
+    def entries(self) -> List[Tuple[Prefix, List[FibEntry]]]:
+        return list(self._trie.items())
+
+    def __len__(self) -> int:
+        return sum(len(entries) for _, entries in self._trie.items())
+
+
+def build_fib(state: NodeState) -> Fib:
+    """Resolve every best route of the node's main RIB into FIB entries."""
+    fib = Fib(state.device.hostname)
+    for route in state.main_rib.routes():
+        for entry in _resolve_route(state, route, route, 0, None):
+            fib.add(entry)
+    return fib
+
+
+def _resolve_route(
+    state: NodeState, original, route, depth, via_ip: Optional[Ip]
+) -> List[FibEntry]:
+    """Resolve ``route`` for the ``original`` route's prefix.
+
+    ``via_ip`` is the most recent next-hop address along the recursive
+    resolution chain; when the chain bottoms out on a connected prefix,
+    that innermost next hop is the address the packet is ARP'd toward.
+    """
+    prefix = original.prefix
+    if depth > _MAX_RESOLUTION_DEPTH:
+        return [FibEntry(prefix, FibActionType.DROP_NO_ROUTE, source_route=original)]
+    if isinstance(route, ConnectedRoute):
+        return [
+            FibEntry(
+                prefix,
+                FibActionType.FORWARD,
+                out_interface=route.interface,
+                arp_ip=via_ip,
+                source_route=original,
+            )
+        ]
+    if isinstance(route, OspfRoute):
+        return [
+            FibEntry(
+                prefix,
+                FibActionType.FORWARD,
+                out_interface=route.next_hop_interface,
+                arp_ip=route.next_hop_ip,
+                source_route=original,
+            )
+        ]
+    if isinstance(route, StaticRouteEntry):
+        if route.is_null_routed:
+            return [FibEntry(prefix, FibActionType.DROP_NULL, source_route=original)]
+        if route.next_hop_interface is not None:
+            return [
+                FibEntry(
+                    prefix,
+                    FibActionType.FORWARD,
+                    out_interface=route.next_hop_interface,
+                    arp_ip=route.next_hop_ip,
+                    source_route=original,
+                )
+            ]
+        return _resolve_via_rib(state, original, route.next_hop_ip, depth)
+    if isinstance(route, BgpRoute):
+        return _resolve_via_rib(state, original, route.next_hop_ip, depth)
+    return [FibEntry(prefix, FibActionType.DROP_NO_ROUTE, source_route=original)]
+
+
+def _resolve_via_rib(state, original, next_hop: Optional[Ip], depth) -> List[FibEntry]:
+    if next_hop is None:
+        return [
+            FibEntry(
+                original.prefix, FibActionType.DROP_NO_ROUTE, source_route=original
+            )
+        ]
+    match = state.main_rib.longest_match(next_hop)
+    if match is None:
+        return [
+            FibEntry(
+                original.prefix, FibActionType.DROP_NO_ROUTE, source_route=original
+            )
+        ]
+    _prefix, resolving_routes = match
+    entries: List[FibEntry] = []
+    for resolving in resolving_routes:
+        if resolving.prefix == original.prefix and resolving is original:
+            continue  # self-resolution guard
+        for entry in _resolve_route(state, original, resolving, depth + 1, next_hop):
+            entries.append(entry)
+    # Deduplicate ECMP duplicates deterministically.
+    unique: Dict[Tuple, FibEntry] = {}
+    for entry in entries:
+        key = (entry.action, entry.out_interface, entry.arp_ip)
+        unique.setdefault(key, entry)
+    return [unique[key] for key in sorted(unique, key=repr)]
+
+
+def _next_hop_of(route) -> Optional[Ip]:
+    return getattr(route, "next_hop_ip", None)
+
+
+def compute_fibs(dataplane: DataPlane) -> Dict[str, Fib]:
+    """Build the FIB of every node in a computed data plane."""
+    return {
+        hostname: build_fib(state)
+        for hostname, state in sorted(dataplane.nodes.items())
+    }

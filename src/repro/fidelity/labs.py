@@ -1,0 +1,196 @@
+"""Validation against ground truth (§4.3.1).
+
+The paper's workflow: (1) create small lab networks exercising features
+of interest, using recommended configuration *and possible deviations*;
+(2) collect configurations and runtime state (show commands, traceroute
+output) from real devices under emulation; (3) validate that the model,
+given the same configurations, matches the collected state. Labs and
+live-network data go into a repository and step 3 runs daily.
+
+Substitution (documented in DESIGN.md): we have no GNS3/router images,
+so the "collected runtime state" of each lab is a golden snapshot
+checked into the repository — structurally identical to what `show ip
+route` / traceroute collection would produce. Deviations are expressed
+both in the configs (e.g. a route map that is referenced but undefined)
+and as :class:`~repro.routing.policy.PolicySemantics` knobs, letting the
+framework detect when a model-semantics choice diverges from the
+recorded device behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.dataplane.fib import compute_fibs
+from repro.hdr.packet import Packet
+from repro.reachability.graph import Disposition
+from repro.routing.engine import ConvergenceSettings, compute_dataplane
+from repro.routing.policy import DEFAULT_SEMANTICS, PolicySemantics
+from repro.traceroute.engine import TracerouteEngine
+
+
+@dataclass
+class ExpectedTrace:
+    """One collected traceroute observation."""
+
+    packet: Packet
+    start_node: str
+    start_interface: str
+    disposition: Disposition
+    path: Optional[List[str]] = None  # expected node sequence, if recorded
+
+
+@dataclass
+class RuntimeState:
+    """The "collected" ground truth of a lab network."""
+
+    #: node -> sorted route descriptions (like parsed `show ip route`).
+    routes: Dict[str, List[str]] = field(default_factory=dict)
+    traces: List[ExpectedTrace] = field(default_factory=list)
+
+
+@dataclass
+class Lab:
+    """A small network exercising a feature plus its ground truth."""
+
+    name: str
+    description: str
+    configs: Dict[str, str]
+    expected: RuntimeState
+    semantics: PolicySemantics = field(default_factory=lambda: DEFAULT_SEMANTICS)
+
+
+@dataclass
+class LabFailure:
+    lab: str
+    kind: str  # "routes" | "trace"
+    detail: str
+
+
+@dataclass
+class LabReport:
+    labs_run: int = 0
+    checks: int = 0
+    failures: List[LabFailure] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def collect_runtime_state(configs: Dict[str, str],
+                          semantics: PolicySemantics = DEFAULT_SEMANTICS,
+                          traces: Optional[List[ExpectedTrace]] = None) -> RuntimeState:
+    """Produce the model's view of runtime state for a lab.
+
+    Used both to *record* golden state when a lab is created (after
+    manual review, standing in for emulator collection) and to compare
+    against recorded state on every run.
+    """
+    snapshot = load_snapshot_from_texts(configs)
+    dataplane = compute_dataplane(snapshot, ConvergenceSettings(), semantics)
+    fibs = compute_fibs(dataplane)
+    state = RuntimeState()
+    for hostname in snapshot.hostnames():
+        state.routes[hostname] = sorted(
+            route.describe() for route in dataplane.main_rib(hostname).routes()
+        )
+    if traces:
+        tracer = TracerouteEngine(dataplane, fibs)
+        for expected in traces:
+            results = tracer.trace(
+                expected.packet, expected.start_node, expected.start_interface
+            )
+            observed = results[0] if results else None
+            state.traces.append(
+                ExpectedTrace(
+                    packet=expected.packet,
+                    start_node=expected.start_node,
+                    start_interface=expected.start_interface,
+                    disposition=(
+                        observed.disposition if observed else Disposition.NO_ROUTE
+                    ),
+                    path=observed.path_nodes() if observed else [],
+                )
+            )
+    return state
+
+
+class LabRepository:
+    """The repository of labs, run routinely (daily in production)."""
+
+    def __init__(self):
+        self._labs: Dict[str, Lab] = {}
+
+    def register(self, lab: Lab) -> None:
+        if lab.name in self._labs:
+            raise ValueError(f"duplicate lab name: {lab.name}")
+        self._labs[lab.name] = lab
+
+    def labs(self) -> List[Lab]:
+        return [self._labs[name] for name in sorted(self._labs)]
+
+    def run(self, lab_name: Optional[str] = None) -> LabReport:
+        """Validate the model against every lab's recorded state."""
+        report = LabReport()
+        labs = [self._labs[lab_name]] if lab_name else self.labs()
+        for lab in labs:
+            report.labs_run += 1
+            self._run_one(lab, report)
+        return report
+
+    def _run_one(self, lab: Lab, report: LabReport) -> None:
+        probe_traces = [
+            ExpectedTrace(
+                packet=t.packet,
+                start_node=t.start_node,
+                start_interface=t.start_interface,
+                disposition=t.disposition,
+            )
+            for t in lab.expected.traces
+        ]
+        actual = collect_runtime_state(lab.configs, lab.semantics, probe_traces)
+        for hostname, expected_routes in sorted(lab.expected.routes.items()):
+            report.checks += 1
+            actual_routes = actual.routes.get(hostname, [])
+            if actual_routes != sorted(expected_routes):
+                missing = set(expected_routes) - set(actual_routes)
+                extra = set(actual_routes) - set(expected_routes)
+                report.failures.append(
+                    LabFailure(
+                        lab=lab.name,
+                        kind="routes",
+                        detail=(
+                            f"{hostname}: missing {sorted(missing)}, "
+                            f"unexpected {sorted(extra)}"
+                        ),
+                    )
+                )
+        for expected, observed in zip(lab.expected.traces, actual.traces):
+            report.checks += 1
+            if observed.disposition is not expected.disposition:
+                report.failures.append(
+                    LabFailure(
+                        lab=lab.name,
+                        kind="trace",
+                        detail=(
+                            f"{expected.packet.describe()} from "
+                            f"{expected.start_node}: expected "
+                            f"{expected.disposition.value}, observed "
+                            f"{observed.disposition.value}"
+                        ),
+                    )
+                )
+            elif expected.path is not None and observed.path != expected.path:
+                report.failures.append(
+                    LabFailure(
+                        lab=lab.name,
+                        kind="trace",
+                        detail=(
+                            f"{expected.packet.describe()}: expected path "
+                            f"{expected.path}, observed {observed.path}"
+                        ),
+                    )
+                )

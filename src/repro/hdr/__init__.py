@@ -1,0 +1,19 @@
+"""Packet headers: IPv4 primitives, concrete packets, and the BDD
+packet-set encoding (§4.2.2 of the paper)."""
+
+from repro.hdr.fields import DEFAULT_LAYOUT, HeaderLayout
+from repro.hdr.headerspace import HeaderSpace, PacketEncoder
+from repro.hdr.ip import Ip, Prefix, ip_range_to_prefixes
+from repro.hdr.packet import Packet, packet_from_field_values
+
+__all__ = [
+    "DEFAULT_LAYOUT",
+    "HeaderLayout",
+    "HeaderSpace",
+    "PacketEncoder",
+    "Ip",
+    "Prefix",
+    "ip_range_to_prefixes",
+    "Packet",
+    "packet_from_field_values",
+]

@@ -1,0 +1,111 @@
+"""Concrete packets, as used by the traceroute engine and example output.
+
+A :class:`Packet` is one point of the header space the symbolic engines
+reason about. The same field names are used by :mod:`repro.hdr.fields`
+(the BDD encoding) so concrete and symbolic engines can be differentially
+tested against each other (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.hdr import fields as f
+from repro.hdr.ip import Ip
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable concrete IPv4 packet header."""
+
+    dst_ip: Ip = field(default_factory=lambda: Ip(0))
+    src_ip: Ip = field(default_factory=lambda: Ip(0))
+    dst_port: int = 0
+    src_port: int = 0
+    icmp_code: int = 0
+    icmp_type: int = 0
+    ip_protocol: int = f.PROTO_TCP
+    tcp_flags: int = 0
+    packet_length: int = 64
+    dscp: int = 0
+    ecn: int = 0
+
+    def __post_init__(self):
+        _check_width("dst_port", self.dst_port, 16)
+        _check_width("src_port", self.src_port, 16)
+        _check_width("icmp_code", self.icmp_code, 8)
+        _check_width("icmp_type", self.icmp_type, 8)
+        _check_width("ip_protocol", self.ip_protocol, 8)
+        _check_width("tcp_flags", self.tcp_flags, 8)
+        _check_width("packet_length", self.packet_length, 16)
+        _check_width("dscp", self.dscp, 6)
+        _check_width("ecn", self.ecn, 2)
+
+    def field_value(self, name: str) -> int:
+        """Integer value of a header field by its layout name."""
+        value = getattr(self, name)
+        return value.value if isinstance(value, Ip) else value
+
+    def with_fields(self, **changes) -> "Packet":
+        """A copy of this packet with some fields replaced."""
+        return replace(self, **changes)
+
+    def tcp_flag(self, bit: int) -> bool:
+        """Whether a TCP flag (bit position per repro.hdr.fields) is set."""
+        return bool((self.tcp_flags >> (7 - bit)) & 1)
+
+    def reversed(self) -> "Packet":
+        """The header of return traffic: endpoints swapped.
+
+        Used by bidirectional reachability and session matching.
+        """
+        return replace(
+            self,
+            dst_ip=self.src_ip,
+            src_ip=self.dst_ip,
+            dst_port=self.src_port,
+            src_port=self.dst_port,
+        )
+
+    def describe(self) -> str:
+        """Short human-readable rendering used in answers and traces."""
+        proto = {
+            f.PROTO_ICMP: "icmp",
+            f.PROTO_TCP: "tcp",
+            f.PROTO_UDP: "udp",
+            f.PROTO_OSPF: "ospf",
+        }.get(self.ip_protocol, str(self.ip_protocol))
+        if self.ip_protocol in (f.PROTO_TCP, f.PROTO_UDP):
+            return (
+                f"{proto} {self.src_ip}:{self.src_port} -> "
+                f"{self.dst_ip}:{self.dst_port}"
+            )
+        if self.ip_protocol == f.PROTO_ICMP:
+            return (
+                f"icmp {self.src_ip} -> {self.dst_ip} "
+                f"type {self.icmp_type} code {self.icmp_code}"
+            )
+        return f"{proto} {self.src_ip} -> {self.dst_ip}"
+
+
+def _check_width(name: str, value: int, width: int) -> None:
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"{name} out of range for {width} bits: {value}")
+
+
+def packet_from_field_values(values: Dict[str, int]) -> Packet:
+    """Build a packet from a (possibly partial) field-name -> int mapping.
+
+    Missing fields take :class:`Packet` defaults. Used to materialize
+    example packets from BDD satisfying assignments.
+    """
+    kwargs: Dict[str, object] = {}
+    for name, value in values.items():
+        if name in (f.DST_IP, f.SRC_IP):
+            kwargs[name] = Ip(value)
+        elif name in (f.ZONE_IN, f.ZONE_OUT, f.WAYPOINT):
+            continue  # analysis-internal fields, not part of the header
+        else:
+            kwargs[name] = value
+    return Packet(**kwargs)

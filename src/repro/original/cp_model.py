@@ -1,0 +1,191 @@
+"""The original, Datalog-encoded control-plane model (§2, Stage 2).
+
+Configurations are translated to logical facts — "if the configuration
+of node N declared an OSPF link cost of 500 on interface I, then we
+produced the Datalog fact OspfCost(N, I, 500)" — and recursive rules
+derive routes until fixed point, producing the data plane as
+``Forward(node, prefix, neighbor)`` / ``Fib`` facts.
+
+This model has the authentic limitations of Lesson 1:
+
+* routes for *all* cost values up to a bound are derived and retained
+  (the engine cannot forget sub-optimal intermediates; best-route
+  selection happens in a later stratum via negation);
+* there is no way to order evaluation (e.g. statics before OSPF
+  externals) — everything is one big fixed point;
+* feature coverage is limited to what the original supported
+  (connected, static, single-area OSPF) — the paper notes "the original
+  code does not support the configuration features of our other real
+  networks", which is why Figure 3 uses NET1 only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.config.model import Snapshot
+from repro.hdr.ip import Prefix
+from repro.original.datalog import DatalogEngine, Rule, Var, add, atom, le, lt, ne
+from repro.routing.ospf import interface_cost
+from repro.routing.topology import build_layer3_topology
+
+#: Costs are explored only up to this bound — the classic trick to keep
+#: a recursive cost computation finite without aggregation support.
+#: Every cost value below the bound yields a distinct retained fact
+#: (cyclic topologies derive routes that loop the ring several times),
+#: which is the Lesson 1 memory/performance pathology in miniature.
+#: LogicBlox's aggregation extensions softened but did not remove this.
+MAX_COST = 128
+
+
+@dataclass
+class DatalogDataPlane:
+    """The data plane as derived by the Datalog model."""
+
+    engine: DatalogEngine
+    #: (node, prefix, next_hop_node) facts.
+    forwards: Set[Tuple[str, Prefix, str]]
+    #: (node, prefix) pairs that are null-routed.
+    drops: Set[Tuple[str, Prefix]]
+    total_facts: int
+    facts_derived: int
+
+
+def populate_facts(engine: DatalogEngine, snapshot: Snapshot) -> None:
+    """Stage 1 (original): translate configurations into Datalog facts."""
+    topology = build_layer3_topology(snapshot)
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        engine.add_fact("Node", hostname)
+        for iface in sorted(device.interfaces.values(), key=lambda i: i.name):
+            if not iface.enabled or iface.prefix is None:
+                continue
+            prefix = iface.prefix
+            engine.add_fact(
+                "InterfacePrefix", hostname, iface.name, prefix
+            )
+            engine.add_fact("ConnectedRoute", hostname, prefix)
+            if iface.ospf_enabled and device.ospf is not None:
+                engine.add_fact(
+                    "OspfCost",
+                    hostname,
+                    iface.name,
+                    interface_cost(device, iface.name),
+                )
+                engine.add_fact("OspfPrefix", hostname, prefix)
+        for static in device.static_routes:
+            if static.is_null_routed:
+                engine.add_fact("NullRoute", hostname, static.prefix)
+            elif static.next_hop_ip is not None:
+                engine.add_fact(
+                    "StaticRoute", hostname, static.prefix, static.next_hop_ip
+                )
+    for edge in topology.edges():
+        tail_device = snapshot.device(edge.tail.node)
+        head_iface = snapshot.device(edge.head.node).interfaces[
+            edge.head.interface
+        ]
+        engine.add_fact(
+            "Link", edge.tail.node, edge.tail.interface,
+            edge.head.node, edge.head.interface,
+        )
+        engine.add_fact("NeighborIp", edge.tail.node, edge.head_ip, edge.head.node)
+        tail_iface = tail_device.interfaces[edge.tail.interface]
+        if (
+            tail_iface.ospf_enabled
+            and head_iface.ospf_enabled
+            and not tail_iface.ospf_passive
+            and not head_iface.ospf_passive
+            and tail_iface.ospf_area == head_iface.ospf_area
+            and tail_device.ospf is not None
+            and snapshot.device(edge.head.node).ospf is not None
+        ):
+            engine.add_fact(
+                "OspfAdjacency", edge.tail.node, edge.tail.interface, edge.head.node
+            )
+
+
+def install_rules(engine: DatalogEngine) -> None:
+    """Stage 2 (original): the recursive control-plane rules."""
+    N, M, I, J, P, C, C2, D, NH = (
+        Var("N"), Var("M"), Var("I"), Var("J"), Var("P"),
+        Var("C"), Var("C2"), Var("D"), Var("NH"),
+    )
+    # --- OSPF: route costs propagate hop by hop (all costs retained). --
+    # OspfRoute(N, P, C, M): N reaches prefix P with cost C via next-hop
+    # node M.
+    engine.add_rule(Rule(
+        head=atom("OspfRoute", N, P, C, M),
+        body=[atom("OspfAdjacency", N, I, M), atom("OspfPrefix", M, P),
+              atom("OspfCost", N, I, C)],
+        negated=[atom("ConnectedRoute", N, P)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("OspfRoute", N, P, C, M),
+        body=[atom("OspfAdjacency", N, I, M),
+              atom("OspfRoute", M, P, C2, Var("K")),
+              atom("OspfCost", N, I, D)],
+        negated=[atom("ConnectedRoute", N, P)],
+        builtins=[add(D, C2, C), le(C, MAX_COST)],
+    ))
+    # Best OSPF cost via stratified negation.
+    engine.add_rule(Rule(
+        head=atom("BetterOspf", N, P, C),
+        body=[atom("OspfRoute", N, P, C, M), atom("OspfRoute", N, P, C2, Var("K"))],
+        builtins=[lt(C2, C)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("BestOspf", N, P, C, M),
+        body=[atom("OspfRoute", N, P, C, M)],
+        negated=[atom("BetterOspf", N, P, C)],
+    ))
+    # --- Static routes resolve their next hop to a neighbor node. ------
+    engine.add_rule(Rule(
+        head=atom("StaticForward", N, P, M),
+        body=[atom("StaticRoute", N, P, NH), atom("NeighborIp", N, NH, M)],
+    ))
+    # --- Admin distance: connected > static > ospf. --------------------
+    engine.add_rule(Rule(
+        head=atom("HasStatic", N, P),
+        body=[atom("StaticForward", N, P, M)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("HasStatic", N, P),
+        body=[atom("NullRoute", N, P)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("Forward", N, P, M),
+        body=[atom("StaticForward", N, P, M)],
+        negated=[atom("ConnectedRoute", N, P)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("Forward", N, P, M),
+        body=[atom("BestOspf", N, P, C, M)],
+        negated=[atom("ConnectedRoute", N, P), atom("HasStatic", N, P)],
+    ))
+    engine.add_rule(Rule(
+        head=atom("Drop", N, P),
+        body=[atom("NullRoute", N, P)],
+        negated=[atom("ConnectedRoute", N, P)],
+    ))
+
+
+def compute_dataplane_datalog(snapshot: Snapshot) -> DatalogDataPlane:
+    """Derive the data plane with the original Datalog pipeline."""
+    engine = DatalogEngine()
+    populate_facts(engine, snapshot)
+    install_rules(engine)
+    engine.run()
+    forwards = {
+        (node, prefix, neighbor)
+        for node, prefix, neighbor in engine.facts("Forward")
+    }
+    drops = {(node, prefix) for node, prefix in engine.facts("Drop")}
+    return DatalogDataPlane(
+        engine=engine,
+        forwards=forwards,
+        drops=drops,
+        total_facts=engine.total_facts(),
+        facts_derived=engine.total_facts_derived,
+    )

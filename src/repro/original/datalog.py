@@ -1,0 +1,321 @@
+"""A Datalog engine, standing in for LogicBlox (§2, Lesson 1).
+
+The original Batfish encoded its control-plane model as Datalog rules
+and let the engine derive all implied facts to a fixed point. This
+module provides that substrate: stratified Datalog with negation and
+arithmetic builtins, evaluated semi-naively.
+
+It intentionally shares the architectural properties the paper's
+Lesson 1 identifies as production roadblocks:
+
+* **no execution-order control** — rules fire whenever their bodies
+  match; there is no way to say "finish IGP before BGP";
+* **retention of all intermediate facts** — every derived fact,
+  including routes later deemed sub-optimal, stays in memory until the
+  end (``total_facts`` exposes the count for the memory comparison);
+* **limited expressiveness** — encoding best-route selection requires
+  the negation-as-stratification idiom, and bounded-cost tricks stand
+  in for aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable (upper-case by convention)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = object  # Var or a hashable constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+def atom(relation: str, *terms: Term) -> Atom:
+    return Atom(relation, tuple(terms))
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """An arithmetic/comparison constraint evaluated under bindings.
+
+    ``kind``: "lt" | "le" | "eq" | "ne" | "add" (add binds its third
+    term: X + Y = Z with Z possibly unbound).
+    """
+
+    kind: str
+    terms: Tuple[Term, ...]
+
+
+def lt(a: Term, b: Term) -> Builtin:
+    return Builtin("lt", (a, b))
+
+
+def le(a: Term, b: Term) -> Builtin:
+    return Builtin("le", (a, b))
+
+
+def ne(a: Term, b: Term) -> Builtin:
+    return Builtin("ne", (a, b))
+
+
+def add(a: Term, b: Term, result: Term) -> Builtin:
+    return Builtin("add", (a, b, result))
+
+
+@dataclass
+class Rule:
+    head: Atom
+    body: List[Atom] = field(default_factory=list)
+    negated: List[Atom] = field(default_factory=list)
+    builtins: List[Builtin] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        parts = [repr(a) for a in self.body]
+        parts += [f"!{a!r}" for a in self.negated]
+        parts += [f"{b.kind}{b.terms}" for b in self.builtins]
+        return f"{self.head!r} :- {', '.join(parts)}"
+
+
+Bindings = Dict[str, object]
+
+
+class DatalogError(Exception):
+    pass
+
+
+class DatalogEngine:
+    """Stratified semi-naive Datalog evaluation."""
+
+    def __init__(self):
+        self._facts: Dict[str, Set[Tuple]] = {}
+        self._rules: List[Rule] = []
+        self.total_facts_derived = 0  # includes later-superseded facts
+
+    # -- construction -----------------------------------------------------
+
+    def add_fact(self, relation: str, *terms) -> None:
+        table = self._facts.setdefault(relation, set())
+        if tuple(terms) not in table:
+            table.add(tuple(terms))
+            self.total_facts_derived += 1
+
+    def add_rule(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    # -- queries ------------------------------------------------------------
+
+    def facts(self, relation: str) -> Set[Tuple]:
+        return set(self._facts.get(relation, set()))
+
+    def total_facts(self) -> int:
+        """All facts currently retained (the Lesson 1 memory issue: the
+        engine cannot forget intermediates)."""
+        return sum(len(table) for table in self._facts.values())
+
+    # -- evaluation -----------------------------------------------------
+
+    def run(self) -> None:
+        """Evaluate all rules to a fixed point, stratum by stratum."""
+        for stratum in self._stratify():
+            self._run_stratum(stratum)
+
+    def _stratify(self) -> List[List[Rule]]:
+        """Order rules so every negated dependency is fully computed in
+        an earlier stratum. Raises on negation cycles."""
+        heads: Dict[str, List[Rule]] = {}
+        for rule in self._rules:
+            heads.setdefault(rule.head.relation, []).append(rule)
+        # Compute stratum numbers per relation with Bellman-Ford-style
+        # relaxation: positive deps keep the stratum, negative deps bump.
+        relations = set(heads)
+        stratum_of: Dict[str, int] = {rel: 0 for rel in relations}
+        for _ in range(len(relations) + 1):
+            changed = False
+            for rule in self._rules:
+                head_rel = rule.head.relation
+                for body_atom in rule.body:
+                    if body_atom.relation in stratum_of:
+                        required = stratum_of[body_atom.relation]
+                        if stratum_of[head_rel] < required:
+                            stratum_of[head_rel] = required
+                            changed = True
+                for negated_atom in rule.negated:
+                    if negated_atom.relation in stratum_of:
+                        required = stratum_of[negated_atom.relation] + 1
+                        if stratum_of[head_rel] < required:
+                            stratum_of[head_rel] = required
+                            changed = True
+            if not changed:
+                break
+        else:
+            raise DatalogError("negation cycle: program is not stratifiable")
+        if any(level > len(relations) for level in stratum_of.values()):
+            raise DatalogError("negation cycle: program is not stratifiable")
+        strata: Dict[int, List[Rule]] = {}
+        for rule in self._rules:
+            strata.setdefault(stratum_of[rule.head.relation], []).append(rule)
+        return [strata[level] for level in sorted(strata)]
+
+    def _run_stratum(self, rules: List[Rule]) -> None:
+        """Semi-naive iteration: only join against facts that are new
+        since the previous round."""
+        # Initial round: evaluate every rule against the full database.
+        delta: Dict[str, Set[Tuple]] = {}
+        for rule in rules:
+            for derived in list(self._evaluate(rule, None)):
+                if self._insert(rule.head.relation, derived):
+                    delta.setdefault(rule.head.relation, set()).add(derived)
+        while delta:
+            new_delta: Dict[str, Set[Tuple]] = {}
+            for rule in rules:
+                body_relations = {a.relation for a in rule.body}
+                if not body_relations & set(delta):
+                    continue
+                for derived in list(self._evaluate(rule, delta)):
+                    if self._insert(rule.head.relation, derived):
+                        new_delta.setdefault(rule.head.relation, set()).add(
+                            derived
+                        )
+            delta = new_delta
+
+    def _insert(self, relation: str, terms: Tuple) -> bool:
+        table = self._facts.setdefault(relation, set())
+        if terms in table:
+            return False
+        table.add(terms)
+        self.total_facts_derived += 1
+        return True
+
+    def _evaluate(
+        self, rule: Rule, delta: Optional[Dict[str, Set[Tuple]]]
+    ) -> Iterable[Tuple]:
+        """All new head tuples derivable from the rule.
+
+        With ``delta``, requires at least one body atom to match a delta
+        fact (semi-naive); each delta position is tried in turn.
+        """
+        positions = range(len(rule.body)) if delta else [None]
+        seen: Set[Tuple] = set()
+        for delta_position in positions:
+            if delta is not None:
+                if rule.body[delta_position].relation not in delta:
+                    continue
+            for bindings in self._match_body(rule, 0, {}, delta, delta_position):
+                if not self._check_negated(rule, bindings):
+                    continue
+                head = tuple(
+                    self._substitute(term, bindings) for term in rule.head.terms
+                )
+                if any(isinstance(t, Var) for t in head):
+                    raise DatalogError(f"unbound variable in head of {rule!r}")
+                if head not in seen:
+                    seen.add(head)
+                    yield head
+
+    def _match_body(
+        self,
+        rule: Rule,
+        index: int,
+        bindings: Bindings,
+        delta: Optional[Dict[str, Set[Tuple]]],
+        delta_position: Optional[int],
+    ) -> Iterable[Bindings]:
+        if index == len(rule.body):
+            final = self._apply_builtins(rule, bindings)
+            if final is not None:
+                yield final
+            return
+        body_atom = rule.body[index]
+        if delta is not None and index == delta_position:
+            source = delta.get(body_atom.relation, set())
+        else:
+            source = self._facts.get(body_atom.relation, set())
+        for fact in source:
+            extended = self._unify(body_atom.terms, fact, bindings)
+            if extended is not None:
+                yield from self._match_body(
+                    rule, index + 1, extended, delta, delta_position
+                )
+
+    def _unify(
+        self, terms: Tuple[Term, ...], fact: Tuple, bindings: Bindings
+    ) -> Optional[Bindings]:
+        if len(terms) != len(fact):
+            return None
+        extended = dict(bindings)
+        for term, value in zip(terms, fact):
+            if isinstance(term, Var):
+                bound = extended.get(term.name, _UNSET)
+                if bound is _UNSET:
+                    extended[term.name] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return extended
+
+    def _apply_builtins(self, rule: Rule, bindings: Bindings) -> Optional[Bindings]:
+        current = dict(bindings)
+        for builtin in rule.builtins:
+            values = [self._substitute(t, current) for t in builtin.terms]
+            if builtin.kind == "add":
+                a, b, result = values
+                if isinstance(a, Var) or isinstance(b, Var):
+                    raise DatalogError("add requires bound operands")
+                total = a + b
+                if isinstance(result, Var):
+                    current[result.name] = total
+                elif result != total:
+                    return None
+            else:
+                a, b = values
+                if isinstance(a, Var) or isinstance(b, Var):
+                    raise DatalogError(f"{builtin.kind} requires bound operands")
+                ok = {
+                    "lt": a < b,
+                    "le": a <= b,
+                    "eq": a == b,
+                    "ne": a != b,
+                }[builtin.kind]
+                if not ok:
+                    return None
+        return current
+
+    def _check_negated(self, rule: Rule, bindings: Bindings) -> bool:
+        for negated_atom in rule.negated:
+            probe = tuple(
+                self._substitute(term, bindings) for term in negated_atom.terms
+            )
+            if any(isinstance(t, Var) for t in probe):
+                raise DatalogError(
+                    f"negated atom with unbound variable in {rule!r}"
+                )
+            if probe in self._facts.get(negated_atom.relation, set()):
+                return False
+        return True
+
+    @staticmethod
+    def _substitute(term: Term, bindings: Bindings):
+        if isinstance(term, Var):
+            return bindings.get(term.name, term)
+        return term
+
+
+_UNSET = object()

@@ -1,0 +1,26 @@
+"""Configuration and forwarding questions (Lesson 5, §4.4.1)."""
+
+from repro.questions.configuration import (
+    duplicate_ips_question,
+    management_plane_consistency,
+    undefined_references_question,
+    unused_structures_question,
+)
+from repro.questions.filters import (
+    search_filters,
+    test_filter,
+    unreachable_filter_lines,
+)
+from repro.questions.specialized import service_reachable, service_unreachable
+
+__all__ = [
+    "duplicate_ips_question",
+    "management_plane_consistency",
+    "undefined_references_question",
+    "unused_structures_question",
+    "search_filters",
+    "test_filter",
+    "unreachable_filter_lines",
+    "service_reachable",
+    "service_unreachable",
+]

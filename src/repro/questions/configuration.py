@@ -1,0 +1,142 @@
+"""Configuration-hygiene questions (Lesson 5).
+
+"Network engineers wanted the tool to check many other configuration
+properties ... checking configuration settings (e.g., NTP servers),
+compatibility of BGP configuration across neighbors, whether all
+referenced routing policies are defined, uniqueness of assigned IP
+addresses". These analyses are local, easy to localize, and robust to
+modeling bugs — which is why they are the most used analyses in manual
+workflows (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.model import Snapshot
+from repro.config.references import (
+    StructureRef,
+    UnusedStructure,
+    undefined_references,
+    unused_structures,
+)
+from repro.hdr.ip import Ip
+from repro.routing.topology import InterfaceId, duplicate_ips
+
+
+@dataclass
+class UndefinedReferencesAnswer:
+    rows: List[StructureRef]
+
+    def by_node(self) -> Dict[str, List[StructureRef]]:
+        grouped: Dict[str, List[StructureRef]] = {}
+        for row in self.rows:
+            grouped.setdefault(row.hostname, []).append(row)
+        return grouped
+
+
+def undefined_references_question(snapshot: Snapshot) -> UndefinedReferencesAnswer:
+    """All references to structures that are not defined — "if a missing
+    route-map results in bad forwarding, it is much easier to find this
+    error by checking for undefined route-maps than by debugging based
+    on the counterexample to a data plane verification query"."""
+    rows: List[StructureRef] = []
+    for hostname in snapshot.hostnames():
+        rows.extend(undefined_references(snapshot.device(hostname)))
+    return UndefinedReferencesAnswer(rows=rows)
+
+
+@dataclass
+class UnusedStructuresAnswer:
+    rows: List[UnusedStructure]
+
+
+def unused_structures_question(snapshot: Snapshot) -> UnusedStructuresAnswer:
+    """Defined-but-never-referenced structures (dead configuration,
+    prime candidates for the refactoring use-case of §5.3)."""
+    rows: List[UnusedStructure] = []
+    for hostname in snapshot.hostnames():
+        rows.extend(unused_structures(snapshot.device(hostname)))
+    return UnusedStructuresAnswer(rows=rows)
+
+
+@dataclass
+class DuplicateIpRow:
+    ip: Ip
+    owners: List[InterfaceId]
+
+
+@dataclass
+class DuplicateIpsAnswer:
+    rows: List[DuplicateIpRow]
+
+
+def duplicate_ips_question(snapshot: Snapshot) -> DuplicateIpsAnswer:
+    """Addresses assigned to more than one interface network-wide."""
+    return DuplicateIpsAnswer(
+        rows=[
+            DuplicateIpRow(ip=ip, owners=owners)
+            for ip, owners in duplicate_ips(snapshot)
+        ]
+    )
+
+
+@dataclass
+class PropertyConsistencyRow:
+    hostname: str
+    property_name: str
+    values: Tuple[str, ...]
+    expected: Tuple[str, ...]
+
+
+@dataclass
+class PropertyConsistencyAnswer:
+    #: The reference value set (the majority across devices).
+    reference: Dict[str, Tuple[str, ...]]
+    #: Devices deviating from the reference.
+    rows: List[PropertyConsistencyRow]
+
+
+def management_plane_consistency(
+    snapshot: Snapshot,
+    expected_ntp: Optional[List[str]] = None,
+    expected_dns: Optional[List[str]] = None,
+) -> PropertyConsistencyAnswer:
+    """Are NTP/DNS servers consistent across all devices?
+
+    Without explicit expectations, the majority configuration becomes
+    the reference (a reasonable default per §4.4.2) and deviants are
+    reported.
+    """
+    properties: Dict[str, Dict[str, Tuple[str, ...]]] = {"ntp": {}, "dns": {}}
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        properties["ntp"][hostname] = tuple(sorted(str(s) for s in device.ntp_servers))
+        properties["dns"][hostname] = tuple(sorted(str(s) for s in device.dns_servers))
+    reference: Dict[str, Tuple[str, ...]] = {}
+    rows: List[PropertyConsistencyRow] = []
+    explicit = {
+        "ntp": tuple(sorted(expected_ntp)) if expected_ntp is not None else None,
+        "dns": tuple(sorted(expected_dns)) if expected_dns is not None else None,
+    }
+    for property_name, per_node in properties.items():
+        if explicit[property_name] is not None:
+            reference_value = explicit[property_name]
+        else:
+            counts: Dict[Tuple[str, ...], int] = {}
+            for value in per_node.values():
+                counts[value] = counts.get(value, 0) + 1
+            reference_value = max(counts, key=lambda v: (counts[v], v))
+        reference[property_name] = reference_value
+        for hostname, value in sorted(per_node.items()):
+            if value != reference_value:
+                rows.append(
+                    PropertyConsistencyRow(
+                        hostname=hostname,
+                        property_name=property_name,
+                        values=value,
+                        expected=reference_value,
+                    )
+                )
+    return PropertyConsistencyAnswer(reference=reference, rows=rows)

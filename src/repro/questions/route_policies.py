@@ -1,0 +1,131 @@
+"""Route-policy questions: testRoutePolicies / searchRoutePolicies.
+
+Lesson 5 again: beyond forwarding, engineers want to unit-test their
+routing policies directly. ``test_route_policy`` evaluates one candidate
+route against a named policy and reports the decision with the full
+clause trace; ``search_route_policies`` sweeps a set of candidate
+prefixes and reports which are permitted/denied and how their attributes
+are transformed — the offline policy review used when refactoring
+routing design (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.model import Action, Snapshot
+from repro.hdr.ip import Prefix
+from repro.routing.policy import (
+    DEFAULT_SEMANTICS,
+    PolicyRoute,
+    PolicySemantics,
+    apply_route_map,
+)
+
+
+@dataclass
+class RoutePolicyTestResult:
+    hostname: str
+    policy: str
+    input_route: PolicyRoute
+    action: Action
+    output_route: Optional[PolicyRoute]
+    trace: List[str]
+
+    @property
+    def permitted(self) -> bool:
+        return self.action is Action.PERMIT
+
+    def attribute_changes(self) -> Dict[str, Tuple[object, object]]:
+        """Attributes the policy modified: name -> (before, after)."""
+        if self.output_route is None:
+            return {}
+        changes: Dict[str, Tuple[object, object]] = {}
+        for name in (
+            "local_pref", "med", "as_path", "next_hop_ip", "tag", "weight",
+        ):
+            before = getattr(self.input_route, name)
+            after = getattr(self.output_route, name)
+            if before != after:
+                changes[name] = (before, after)
+        if self.input_route.communities != self.output_route.communities:
+            changes["communities"] = (
+                tuple(sorted(self.input_route.communities)),
+                tuple(sorted(self.output_route.communities)),
+            )
+        return changes
+
+
+def test_route_policy(
+    snapshot: Snapshot,
+    hostname: str,
+    policy: str,
+    route: PolicyRoute,
+    semantics: PolicySemantics = DEFAULT_SEMANTICS,
+) -> RoutePolicyTestResult:
+    """Evaluate one candidate route against one policy, with trace."""
+    device = snapshot.device(hostname)
+    if policy not in device.route_maps:
+        raise KeyError(f"{hostname} has no route map {policy!r}")
+    result = apply_route_map(device, policy, route, semantics)
+    return RoutePolicyTestResult(
+        hostname=hostname,
+        policy=policy,
+        input_route=route,
+        action=Action.PERMIT if result.permitted else Action.DENY,
+        output_route=result.route,
+        trace=result.trace,
+    )
+
+
+@dataclass
+class RoutePolicySearchRow:
+    hostname: str
+    policy: str
+    prefix: Prefix
+    action: Action
+    changes: Dict[str, Tuple[object, object]] = field(default_factory=dict)
+
+
+def search_route_policies(
+    snapshot: Snapshot,
+    prefixes: Sequence[Prefix],
+    action: Action = Action.PERMIT,
+    nodes: Optional[Sequence[str]] = None,
+    semantics: PolicySemantics = DEFAULT_SEMANTICS,
+) -> List[RoutePolicySearchRow]:
+    """For every policy on the selected nodes, report which of the
+    candidate prefixes it treats with ``action`` (and how it rewrites
+    their attributes)."""
+    rows: List[RoutePolicySearchRow] = []
+    hostnames = list(nodes) if nodes is not None else snapshot.hostnames()
+    for hostname in hostnames:
+        device = snapshot.device(hostname)
+        for policy_name in sorted(device.route_maps):
+            for prefix in prefixes:
+                candidate = PolicyRoute(prefix=prefix)
+                result = apply_route_map(
+                    device, policy_name, candidate, semantics
+                )
+                decided = Action.PERMIT if result.permitted else Action.DENY
+                if decided is not action:
+                    continue
+                test = RoutePolicyTestResult(
+                    hostname=hostname,
+                    policy=policy_name,
+                    input_route=candidate,
+                    action=decided,
+                    output_route=result.route,
+                    trace=result.trace,
+                )
+                rows.append(
+                    RoutePolicySearchRow(
+                        hostname=hostname,
+                        policy=policy_name,
+                        prefix=prefix,
+                        action=decided,
+                        changes=test.attribute_changes(),
+                    )
+                )
+    return rows

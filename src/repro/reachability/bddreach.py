@@ -1,0 +1,120 @@
+"""BDD dataflow propagation over the forwarding graph (§4.2.1).
+
+"Following standard dataflow analysis, we start with the set of packets
+of interest at the source and iteratively traverse edges in the graph to
+update the set of packets that can reach each node, until we reach a
+fixed point." Multipath routing is modeled inherently since all paths
+are traversed.
+
+Both directions are provided:
+
+* :func:`forward_reachability` — the general engine;
+* :func:`backward_reachability` — the single-destination optimization:
+  "we walk the graph backwards from the destination toward the sources
+  ... it saves us from walking the edges that do not lie on the
+  destination's forwarding tree."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.bdd.engine import FALSE
+from repro.reachability.graph import ForwardingGraph, GraphNode
+
+
+def forward_reachability(
+    graph: ForwardingGraph,
+    sources: Dict[GraphNode, int],
+    max_visits_per_node: int = 10_000,
+) -> Dict[GraphNode, int]:
+    """Fixed-point forward propagation.
+
+    ``sources`` maps graph nodes to initial packet sets; the result maps
+    every node to the set of packets that can reach it. Receivers union
+    incoming sets, so everything reachable over any path is captured.
+    """
+    engine = graph.encoder.engine
+    reach: Dict[GraphNode, int] = {}
+    worklist = deque()
+    queued = set()
+    for node, packet_set in sorted(sources.items(), key=_node_key):
+        if packet_set == FALSE:
+            continue
+        reach[node] = engine.or_(reach.get(node, FALSE), packet_set)
+        if node not in queued:
+            worklist.append(node)
+            queued.add(node)
+    visits: Dict[GraphNode, int] = {}
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > max_visits_per_node:
+            raise RuntimeError(f"propagation did not stabilize at {node}")
+        current = reach.get(node, FALSE)
+        if current == FALSE:
+            continue
+        for edge in graph.out_edges(node):
+            moved = edge.fn.forward(current)
+            if moved == FALSE:
+                continue
+            existing = reach.get(edge.head, FALSE)
+            merged = engine.or_(existing, moved)
+            if merged != existing:
+                reach[edge.head] = merged
+                if edge.head not in queued:
+                    worklist.append(edge.head)
+                    queued.add(edge.head)
+    return reach
+
+
+def backward_reachability(
+    graph: ForwardingGraph,
+    targets: Dict[GraphNode, int],
+    max_visits_per_node: int = 10_000,
+) -> Dict[GraphNode, int]:
+    """Fixed-point backward propagation from target sets.
+
+    The result maps each node to the set of packets that, arriving at
+    that node, can go on to reach a target. Only edges on the targets'
+    (reverse) forwarding tree are walked.
+    """
+    engine = graph.encoder.engine
+    reach: Dict[GraphNode, int] = {}
+    worklist = deque()
+    queued = set()
+    for node, packet_set in sorted(targets.items(), key=_node_key):
+        if packet_set == FALSE:
+            continue
+        reach[node] = engine.or_(reach.get(node, FALSE), packet_set)
+        if node not in queued:
+            worklist.append(node)
+            queued.add(node)
+    visits: Dict[GraphNode, int] = {}
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > max_visits_per_node:
+            raise RuntimeError(f"backward propagation did not stabilize at {node}")
+        current = reach.get(node, FALSE)
+        if current == FALSE:
+            continue
+        for edge in graph.in_edges(node):
+            moved = edge.fn.backward(current)
+            if moved == FALSE:
+                continue
+            existing = reach.get(edge.tail, FALSE)
+            merged = engine.or_(existing, moved)
+            if merged != existing:
+                reach[edge.tail] = merged
+                if edge.tail not in queued:
+                    worklist.append(edge.tail)
+                    queued.add(edge.tail)
+    return reach
+
+
+def _node_key(item: Tuple[GraphNode, int]):
+    return tuple(str(part) for part in item[0])

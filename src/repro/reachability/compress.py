@@ -1,0 +1,118 @@
+"""Graph compression (§4.2.3).
+
+"Many nodes in the dataflow graph are simple, i.e., they have only one
+incoming or outgoing edge ... We implemented an optimization that
+identifies and deletes these" — contracting chains of pass-through nodes
+and composing their edge functions, which removes the repeated BDD work
+of walking trivial hops during propagation.
+
+A node is contractible when it has exactly one incoming and one outgoing
+edge and is neither a source, a sink, nor a disposition node. The two
+edge functions compose; adjacent :class:`Constraint` functions fuse into
+a single conjunction so the compressed edge costs one BDD op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.reachability.graph import (
+    Compose,
+    Constraint,
+    Edge,
+    EdgeFunction,
+    ForwardingGraph,
+    Identity,
+)
+
+#: Node kinds never contracted: sources, sinks, dispositions, and the
+#: stateful-firewall points that session recording (post_zone) and
+#: session fast-path splicing (zone_policy/zone_clear, in_acl) attach to.
+_PROTECTED_KINDS = {
+    "src", "sink", "disp", "zone_policy", "zone_clear", "post_zone", "in_acl",
+}
+
+
+@dataclass
+class CompressionStats:
+    nodes_before: int = 0
+    edges_before: int = 0
+    nodes_after: int = 0
+    edges_after: int = 0
+    nodes_removed: int = 0
+
+
+def _compose(engine, first: EdgeFunction, second: EdgeFunction) -> EdgeFunction:
+    """Compose two edge functions, fusing constraints where possible."""
+    if isinstance(first, Identity):
+        return second
+    if isinstance(second, Identity):
+        return first
+    if isinstance(first, Constraint) and isinstance(second, Constraint):
+        return Constraint(
+            engine,
+            engine.and_(first.label, second.label),
+            f"{first.note} & {second.note}",
+        )
+    parts: List[EdgeFunction] = []
+    for fn in (first, second):
+        if isinstance(fn, Compose):
+            parts.extend(fn.parts)
+        else:
+            parts.append(fn)
+    return Compose(parts)
+
+
+def compress_graph(graph: ForwardingGraph) -> CompressionStats:
+    """Contract simple nodes in place. Returns before/after statistics.
+
+    Works over mutable adjacency maps with a worklist, so each
+    contraction is O(1) plus one BDD conjunction for fused constraints.
+    """
+    stats = CompressionStats(
+        nodes_before=graph.num_nodes(), edges_before=graph.num_edges()
+    )
+    engine = graph.encoder.engine
+    out_edges: Dict[tuple, List[Edge]] = {}
+    in_edges: Dict[tuple, List[Edge]] = {}
+    for edge in graph.edges:
+        out_edges.setdefault(edge.tail, []).append(edge)
+        in_edges.setdefault(edge.head, []).append(edge)
+    worklist = sorted(graph.nodes, key=lambda n: tuple(str(p) for p in n))
+    queued: Set[tuple] = set(worklist)
+    removed_nodes: Set[tuple] = set()
+    while worklist:
+        node = worklist.pop()
+        queued.discard(node)
+        if node in removed_nodes or node[0] in _PROTECTED_KINDS:
+            continue
+        ins = in_edges.get(node, [])
+        outs = out_edges.get(node, [])
+        if len(ins) != 1 or len(outs) != 1:
+            continue
+        incoming, outgoing = ins[0], outs[0]
+        if incoming.tail == node or outgoing.head == node:
+            continue  # self loop, leave alone
+        fused = Edge(
+            incoming.tail, outgoing.head, _compose(engine, incoming.fn, outgoing.fn)
+        )
+        out_edges[incoming.tail].remove(incoming)
+        in_edges[outgoing.head].remove(outgoing)
+        out_edges.setdefault(fused.tail, []).append(fused)
+        in_edges.setdefault(fused.head, []).append(fused)
+        in_edges.pop(node, None)
+        out_edges.pop(node, None)
+        removed_nodes.add(node)
+        stats.nodes_removed += 1
+        for endpoint in (incoming.tail, outgoing.head):
+            if endpoint not in queued:
+                worklist.append(endpoint)
+                queued.add(endpoint)
+    graph.edges = [
+        edge for edges in out_edges.values() for edge in edges
+    ]
+    graph.rebuild_indices()
+    stats.nodes_after = graph.num_nodes()
+    stats.edges_after = graph.num_edges()
+    return stats

@@ -1,0 +1,605 @@
+"""The dataflow (forwarding) graph of §4.2.
+
+Nodes represent points in the general device pipeline (§7.2): packet
+sources per interface, the incoming ACL, destination NAT, the FIB
+lookup, source NAT, the outgoing ACL, per-interface destination sinks,
+and per-node disposition sinks. Edge labels are packet sets (BDDs)
+derived from FIBs and ACLs; NAT edges carry transformation relations;
+zone-based firewalls set/test/erase zone bits (§4.2.3).
+
+Edge semantics are packaged as :class:`EdgeFunction` objects supporting
+forward and backward application, so the same graph serves forward
+reachability, the backward single-destination optimization, and the
+instrumented return-direction pass of bidirectional reachability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.bdd.engine import FALSE, TRUE, BddEngine
+from repro.config.model import Device
+from repro.dataplane.acl import acl_permit_space
+from repro.dataplane.fib import Fib, FibActionType, FibEntry
+from repro.dataplane.nat import NatPipeline
+from repro.hdr import fields as f
+from repro.hdr.headerspace import PacketEncoder
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.engine import DataPlane
+from repro.routing.prefix_trie import PrefixTrie
+from repro.routing.topology import InterfaceId
+
+
+class Disposition(enum.Enum):
+    """Terminal fates of a packet (mirrors Batfish's flow dispositions)."""
+
+    ACCEPTED = "accepted"  # delivered to the device itself
+    DELIVERED = "delivered"  # delivered to a host on a connected subnet
+    EXITS_NETWORK = "exits-network"  # leaves the modeled network
+    DENIED_IN = "denied-in"
+    DENIED_OUT = "denied-out"
+    NO_ROUTE = "no-route"
+    NULL_ROUTED = "null-routed"
+    LOOP = "loop"
+
+
+# Graph node naming. Nodes are plain tuples so they hash/sort cheaply:
+#   ("src", node, iface)        packets entering at iface
+#   ("in", node, iface)         post-ingress (after in ACL and dst NAT)
+#   ("fwd", node)               FIB lookup point
+#   ("out", node, iface)        pre-egress (before src NAT / out ACL)
+#   ("egress", node, iface)     after egress processing, on the wire
+#   ("sink", node, iface)       delivered/exits sink per interface
+#   ("disp", node, disposition) per-node disposition sink
+GraphNode = Tuple
+
+
+def src_node(node: str, iface: str) -> GraphNode:
+    return ("src", node, iface)
+
+
+def fwd_node(node: str) -> GraphNode:
+    return ("fwd", node)
+
+
+def sink_node(node: str, iface: str) -> GraphNode:
+    return ("sink", node, iface)
+
+
+def disp_node(node: str, disposition: Disposition) -> GraphNode:
+    return ("disp", node, disposition.value)
+
+
+class EdgeFunction:
+    """Base edge semantics: how a packet set crosses an edge."""
+
+    def forward(self, packet_set: int) -> int:
+        raise NotImplementedError
+
+    def backward(self, packet_set: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class Identity(EdgeFunction):
+    def __init__(self, engine: BddEngine):
+        self._engine = engine
+
+    def forward(self, packet_set: int) -> int:
+        return packet_set
+
+    def backward(self, packet_set: int) -> int:
+        return packet_set
+
+    def describe(self) -> str:
+        return "identity"
+
+
+class Constraint(EdgeFunction):
+    """Intersect with a fixed packet set (FIB entry, ACL space, ...)."""
+
+    def __init__(self, engine: BddEngine, label: int, note: str = ""):
+        self._engine = engine
+        self.label = label
+        self.note = note
+
+    def forward(self, packet_set: int) -> int:
+        return self._engine.and_(packet_set, self.label)
+
+    def backward(self, packet_set: int) -> int:
+        return self._engine.and_(packet_set, self.label)
+
+    def describe(self) -> str:
+        return f"constraint({self.note})" if self.note else "constraint"
+
+
+class Transform(EdgeFunction):
+    """A packet transformation (NAT rule set) with pass-through for
+    non-matching packets, built from a NatPipeline."""
+
+    def __init__(self, encoder: PacketEncoder, pipeline: NatPipeline, note: str = ""):
+        self._encoder = encoder
+        self._pipeline = pipeline
+        self.note = note
+
+    def forward(self, packet_set: int) -> int:
+        return self._pipeline.apply_symbolic(self._encoder, packet_set)
+
+    def backward(self, packet_set: int) -> int:
+        # Preimage: packets that the pipeline maps into packet_set.
+        engine = self._encoder.engine
+        remaining_pre = TRUE
+        result = FALSE
+        for step in self._pipeline.symbolic_steps(self._encoder):
+            # Packets matching this step: preimage through the relation.
+            field = step.field
+            out_map = engine.rename_map(
+                {
+                    self._encoder.layout.var(field, bit): self._encoder.layout.out_var(
+                        field, bit
+                    )
+                    for bit in range(self._encoder.layout.width(field))
+                }
+            )
+            shifted = engine.rename(packet_set, out_map)
+            out_cube = engine.cube(self._encoder.layout.out_vars_of(field))
+            pre = engine.and_exists(shifted, step.relation, out_cube)
+            result = engine.or_(result, engine.and_(pre, step.match))
+            remaining_pre = engine.diff(remaining_pre, step.match)
+        # Non-matching packets pass through unchanged.
+        result = engine.or_(result, engine.and_(packet_set, remaining_pre))
+        return result
+
+    def describe(self) -> str:
+        return f"transform({self.note})" if self.note else "transform"
+
+
+class AssignField(EdgeFunction):
+    """Set a field to a constant (zone tagging, waypoint marking)."""
+
+    def __init__(self, encoder: PacketEncoder, field_name: str, value: int):
+        self._encoder = encoder
+        self.field_name = field_name
+        self.value = value
+
+    def forward(self, packet_set: int) -> int:
+        engine = self._encoder.engine
+        erased = self._encoder.erase(packet_set, [self.field_name])
+        return engine.and_(
+            erased, self._encoder.field_eq(self.field_name, self.value)
+        )
+
+    def backward(self, packet_set: int) -> int:
+        engine = self._encoder.engine
+        narrowed = engine.and_(
+            packet_set, self._encoder.field_eq(self.field_name, self.value)
+        )
+        return self._encoder.erase(narrowed, [self.field_name])
+
+    def describe(self) -> str:
+        return f"assign({self.field_name}={self.value})"
+
+
+class EraseField(EdgeFunction):
+    """Existentially erase a field (leaving a firewall's zone scope)."""
+
+    def __init__(self, encoder: PacketEncoder, field_name: str):
+        self._encoder = encoder
+        self.field_name = field_name
+
+    def forward(self, packet_set: int) -> int:
+        return self._encoder.erase(packet_set, [self.field_name])
+
+    def backward(self, packet_set: int) -> int:
+        # Preimage of erase for reachability: any pre-value whose erased
+        # image intersects the target. (Over-approximation-free here
+        # because erase only widens.)
+        return self._encoder.erase(packet_set, [self.field_name])
+
+    def describe(self) -> str:
+        return f"erase({self.field_name})"
+
+
+class Compose(EdgeFunction):
+    """Sequential composition of edge functions (graph compression)."""
+
+    def __init__(self, parts: List[EdgeFunction]):
+        self.parts = parts
+
+    def forward(self, packet_set: int) -> int:
+        for part in self.parts:
+            packet_set = part.forward(packet_set)
+            if packet_set == FALSE:
+                return FALSE
+        return packet_set
+
+    def backward(self, packet_set: int) -> int:
+        for part in reversed(self.parts):
+            packet_set = part.backward(packet_set)
+            if packet_set == FALSE:
+                return FALSE
+        return packet_set
+
+    def describe(self) -> str:
+        return " ; ".join(part.describe() for part in self.parts)
+
+
+@dataclass
+class Edge:
+    tail: GraphNode
+    head: GraphNode
+    fn: EdgeFunction
+
+
+class ForwardingGraph:
+    """The dataflow graph plus indices for traversal."""
+
+    def __init__(self, encoder: PacketEncoder):
+        self.encoder = encoder
+        self.edges: List[Edge] = []
+        self._out: Dict[GraphNode, List[Edge]] = {}
+        self._in: Dict[GraphNode, List[Edge]] = {}
+        self.nodes: Set[GraphNode] = set()
+
+    def add_edge(self, tail: GraphNode, head: GraphNode, fn: EdgeFunction) -> None:
+        edge = Edge(tail, head, fn)
+        self.edges.append(edge)
+        self._out.setdefault(tail, []).append(edge)
+        self._in.setdefault(head, []).append(edge)
+        self.nodes.add(tail)
+        self.nodes.add(head)
+
+    def out_edges(self, node: GraphNode) -> List[Edge]:
+        return self._out.get(node, [])
+
+    def in_edges(self, node: GraphNode) -> List[Edge]:
+        return self._in.get(node, [])
+
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def source_nodes(self) -> List[GraphNode]:
+        return sorted(n for n in self.nodes if n[0] == "src")
+
+    def sink_nodes(self) -> List[GraphNode]:
+        return sorted(
+            (n for n in self.nodes if n[0] in ("sink", "disp")),
+            key=lambda n: tuple(str(part) for part in n),
+        )
+
+    def rebuild_indices(self) -> None:
+        """Recompute adjacency after compression mutated `edges`."""
+        self._out = {}
+        self._in = {}
+        self.nodes = set()
+        for edge in self.edges:
+            self._out.setdefault(edge.tail, []).append(edge)
+            self._in.setdefault(edge.head, []).append(edge)
+            self.nodes.add(edge.tail)
+            self.nodes.add(edge.head)
+
+
+@dataclass
+class GraphBuildOptions:
+    """Feature toggles (consumed by the ablation benchmarks)."""
+
+    model_acls: bool = True
+    model_nat: bool = True
+    model_zones: bool = True
+
+
+def build_forwarding_graph(
+    dataplane: DataPlane,
+    fibs: Dict[str, Fib],
+    encoder: Optional[PacketEncoder] = None,
+    options: Optional[GraphBuildOptions] = None,
+) -> ForwardingGraph:
+    """Construct the dataflow graph for a computed data plane."""
+    encoder = encoder or PacketEncoder()
+    options = options or GraphBuildOptions()
+    graph = ForwardingGraph(encoder)
+    engine = encoder.engine
+    snapshot = dataplane.snapshot
+    topology = dataplane.topology
+
+    # Own-IP sets per device (packets the device accepts).
+    own_ips: Dict[str, int] = {}
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        own_ips[hostname] = engine.all_or(
+            encoder.ip_eq(f.DST_IP, address)
+            for _name, address, _len in device.interface_ips()
+        )
+
+    zone_indices: Dict[str, Dict[str, int]] = {}
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        names = sorted(device.zones)
+        zone_indices[hostname] = {name: i + 1 for i, name in enumerate(names)}
+
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        _build_device_pipeline(
+            graph, device, fibs[hostname], own_ips[hostname],
+            zone_indices[hostname], topology, options,
+        )
+    return graph
+
+
+def _build_device_pipeline(
+    graph: ForwardingGraph,
+    device: Device,
+    fib: Fib,
+    own_ip_set: int,
+    zones: Dict[str, int],
+    topology,
+    options: GraphBuildOptions,
+) -> None:
+    encoder = graph.encoder
+    engine = encoder.engine
+    hostname = device.hostname
+    has_zones = bool(zones) and options.model_zones
+
+    # --- ingress side: src -> (in ACL, dst NAT, zone tag) -> fwd -------
+    for iface in sorted(device.interfaces.values(), key=lambda i: i.name):
+        if not iface.enabled or iface.address is None:
+            continue
+        entry = src_node(hostname, iface.name)
+        current = entry
+        if options.model_acls and iface.incoming_acl:
+            acl = device.acls.get(iface.incoming_acl)
+            permit = acl_permit_space(acl, encoder) if acl else TRUE
+            acl_point = ("in_acl", hostname, iface.name)
+            graph.add_edge(current, acl_point, Identity(engine))
+            graph.add_edge(
+                acl_point,
+                ("post_in_acl", hostname, iface.name),
+                Constraint(engine, permit, f"acl {iface.incoming_acl} permits"),
+            )
+            graph.add_edge(
+                acl_point,
+                disp_node(hostname, Disposition.DENIED_IN),
+                Constraint(engine, engine.not_(permit), "acl denies"),
+            )
+            current = ("post_in_acl", hostname, iface.name)
+        if options.model_nat and iface.dst_nat_rules:
+            nat_point = ("dst_nat", hostname, iface.name)
+            graph.add_edge(current, nat_point, Identity(engine))
+            graph.add_edge(
+                nat_point,
+                ("post_dst_nat", hostname, iface.name),
+                Transform(
+                    encoder,
+                    NatPipeline(device, iface.dst_nat_rules, kind=None),
+                    f"dst-nat {iface.name}",
+                ),
+            )
+            current = ("post_dst_nat", hostname, iface.name)
+        if has_zones:
+            zone_name = device.zone_of_interface(iface.name)
+            zone_value = zones.get(zone_name, 0) if zone_name else 0
+            tag_point = ("zone_tag", hostname, iface.name)
+            graph.add_edge(current, tag_point, Identity(engine))
+            graph.add_edge(
+                tag_point,
+                fwd_node(hostname),
+                AssignField(encoder, f.ZONE_IN, zone_value),
+            )
+        else:
+            graph.add_edge(current, fwd_node(hostname), Identity(engine))
+
+    # --- FIB lookup: fwd -> accept / out chains / drops ----------------
+    fwd = fwd_node(hostname)
+    graph.add_edge(
+        fwd,
+        disp_node(hostname, Disposition.ACCEPTED),
+        Constraint(engine, own_ip_set, "destined to device"),
+    )
+    not_accepted = engine.not_(own_ip_set)
+    routed_space = FALSE
+    # Effective per-entry spaces: prefix match minus longer prefixes.
+    shadow = PrefixTrie()
+    for prefix, _entries in fib.entries():
+        shadow.add(prefix, True)
+    # Per out-interface: which packet space is forwarded toward which
+    # next hop (arp_ip None = deliver toward the destination itself).
+    arp_spaces: Dict[str, Dict[Optional[Ip], int]] = {}
+    for prefix, entries in fib.entries():
+        space = encoder.ip_in_prefix(f.DST_IP, prefix)
+        for longer in shadow.covered_prefixes(prefix):
+            space = engine.diff(space, encoder.ip_in_prefix(f.DST_IP, longer))
+        space = engine.and_(space, not_accepted)
+        routed_space = engine.or_(routed_space, space)
+        if space == FALSE:
+            continue
+        for entry in entries:
+            if entry.action is FibActionType.DROP_NULL:
+                graph.add_edge(
+                    fwd,
+                    disp_node(hostname, Disposition.NULL_ROUTED),
+                    Constraint(engine, space, f"null route {prefix}"),
+                )
+            elif entry.action is FibActionType.DROP_NO_ROUTE:
+                graph.add_edge(
+                    fwd,
+                    disp_node(hostname, Disposition.NO_ROUTE),
+                    Constraint(engine, space, f"unresolvable {prefix}"),
+                )
+            else:
+                out_point = ("out", hostname, entry.out_interface)
+                graph.add_edge(
+                    fwd,
+                    out_point,
+                    Constraint(engine, space, f"fib {prefix} -> {entry.out_interface}"),
+                )
+                per_arp = arp_spaces.setdefault(entry.out_interface, {})
+                per_arp[entry.arp_ip] = engine.or_(
+                    per_arp.get(entry.arp_ip, FALSE), space
+                )
+    no_route_space = engine.diff(engine.not_(own_ip_set), routed_space)
+    graph.add_edge(
+        fwd,
+        disp_node(hostname, Disposition.NO_ROUTE),
+        Constraint(engine, no_route_space, "no matching route"),
+    )
+
+    # --- egress side: out -> zone policy -> src NAT -> out ACL -> wire --
+    for iface in sorted(device.interfaces.values(), key=lambda i: i.name):
+        if not iface.enabled or iface.address is None:
+            continue
+        out_point = ("out", hostname, iface.name)
+        if out_point not in graph.nodes:
+            continue  # no FIB entry forwards out this interface
+        current = out_point
+        if has_zones:
+            current = _add_zone_policy(
+                graph, device, iface.name, zones, current, hostname
+            )
+        if options.model_nat and iface.src_nat_rules:
+            nat_point = ("src_nat", hostname, iface.name)
+            graph.add_edge(current, nat_point, Identity(engine))
+            graph.add_edge(
+                nat_point,
+                ("post_src_nat", hostname, iface.name),
+                Transform(
+                    encoder,
+                    NatPipeline(device, iface.src_nat_rules, kind=None),
+                    f"src-nat {iface.name}",
+                ),
+            )
+            current = ("post_src_nat", hostname, iface.name)
+        if options.model_acls and iface.outgoing_acl:
+            acl = device.acls.get(iface.outgoing_acl)
+            permit = acl_permit_space(acl, encoder) if acl else TRUE
+            acl_point = ("out_acl", hostname, iface.name)
+            graph.add_edge(current, acl_point, Identity(engine))
+            graph.add_edge(
+                acl_point,
+                ("post_out_acl", hostname, iface.name),
+                Constraint(engine, permit, f"acl {iface.outgoing_acl} permits"),
+            )
+            graph.add_edge(
+                acl_point,
+                disp_node(hostname, Disposition.DENIED_OUT),
+                Constraint(engine, engine.not_(permit), "acl denies"),
+            )
+            current = ("post_out_acl", hostname, iface.name)
+        egress = ("egress", hostname, iface.name)
+        graph.add_edge(current, egress, Identity(engine))
+        _wire_egress(
+            graph, device, iface, egress, topology,
+            arp_spaces.get(iface.name, {}),
+        )
+
+
+def _add_zone_policy(graph, device, iface_name, zones, current, hostname):
+    """Edges enforcing zone-pair policies for traffic leaving via
+    ``iface_name``; the zone-in bits are tested and then erased."""
+    encoder = graph.encoder
+    engine = encoder.engine
+    to_zone = device.zone_of_interface(iface_name)
+    to_index = zones.get(to_zone, 0) if to_zone else 0
+    allowed = FALSE
+    # Intra-zone traffic is permitted by default.
+    allowed = engine.or_(allowed, encoder.field_eq(f.ZONE_IN, to_index))
+    for (from_zone, policy_to_zone), policy in sorted(device.zone_policies.items()):
+        if policy_to_zone != to_zone:
+            continue
+        from_index = zones.get(from_zone, 0)
+        acl = device.acls.get(policy.acl)
+        permit = acl_permit_space(acl, encoder) if acl else FALSE
+        allowed = engine.or_(
+            allowed,
+            engine.and_(encoder.field_eq(f.ZONE_IN, from_index), permit),
+        )
+    policy_point = ("zone_policy", hostname, iface_name)
+    graph.add_edge(current, policy_point, Identity(engine))
+    graph.add_edge(
+        policy_point,
+        disp_node(hostname, Disposition.DENIED_OUT),
+        Constraint(engine, engine.not_(allowed), "zone policy denies"),
+    )
+    cleared = ("zone_clear", hostname, iface_name)
+    graph.add_edge(
+        policy_point,
+        cleared,
+        Constraint(engine, allowed, "zone policy permits"),
+    )
+    erased = ("post_zone", hostname, iface_name)
+    graph.add_edge(cleared, erased, EraseField(encoder, f.ZONE_IN))
+    return erased
+
+
+def _wire_egress(
+    graph, device, iface, egress, topology, arp_spaces: Dict[Optional[Ip], int]
+) -> None:
+    """Connect an egress point to neighbors and/or sinks, honouring the
+    FIB's next-hop choice on multi-access links.
+
+    ``arp_spaces`` maps next-hop address (None = deliver toward the
+    destination itself) to the dst-based packet space forwarded that
+    way. dst constraints computed at the FIB remain valid here because
+    only source NAT runs on the egress side.
+    """
+    encoder = graph.encoder
+    engine = encoder.engine
+    hostname = device.hostname
+    interface_id = InterfaceId(hostname, iface.name)
+    neighbor_edges = topology.edges_from(interface_id)
+    neighbor_ip_set: Dict[Ip, object] = {e.head_ip: e for e in neighbor_edges}
+    direct_space = arp_spaces.get(None, FALSE)
+    for l3_edge in neighbor_edges:
+        to_neighbor = arp_spaces.get(l3_edge.head_ip, FALSE)
+        # Directly-delivered traffic destined to the neighbor's own
+        # address also crosses the link.
+        to_neighbor = engine.or_(
+            to_neighbor,
+            engine.and_(direct_space, encoder.ip_eq(f.DST_IP, l3_edge.head_ip)),
+        )
+        if to_neighbor == FALSE:
+            continue
+        head = src_node(l3_edge.head.node, l3_edge.head.interface)
+        graph.add_edge(
+            egress, head,
+            Constraint(engine, to_neighbor, f"to {l3_edge.head.node}"),
+        )
+    prefix = iface.prefix
+    delivered = FALSE
+    if prefix is not None:
+        # Delivered to hosts on the connected subnet (addresses not owned
+        # by modeled neighbors).
+        subnet = encoder.ip_in_prefix(f.DST_IP, prefix)
+        neighbor_ips = engine.all_or(
+            encoder.ip_eq(f.DST_IP, ip) for ip in neighbor_ip_set
+        )
+        delivered = engine.and_(direct_space, engine.diff(subnet, neighbor_ips))
+        if delivered != FALSE:
+            graph.add_edge(
+                egress,
+                sink_node(hostname, iface.name),
+                Constraint(engine, delivered, "delivered to subnet"),
+            )
+    # Traffic forwarded toward an unmodeled next hop (e.g. a provider
+    # address we do not have the config for), or directly forwarded
+    # beyond the subnet, exits the network here.
+    exits = engine.diff(direct_space, delivered)
+    exits = engine.diff(
+        exits,
+        engine.all_or(encoder.ip_eq(f.DST_IP, ip) for ip in neighbor_ip_set),
+    )
+    for arp_ip, space in arp_spaces.items():
+        if arp_ip is not None and arp_ip not in neighbor_ip_set:
+            exits = engine.or_(exits, space)
+    if exits != FALSE:
+        graph.add_edge(
+            egress,
+            disp_node(hostname, Disposition.EXITS_NETWORK),
+            Constraint(engine, exits, "exits network"),
+        )

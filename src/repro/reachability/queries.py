@@ -1,0 +1,512 @@
+"""Verification queries over the BDD dataflow analysis.
+
+:class:`NetworkAnalyzer` is the user-facing facade: it builds (and
+optionally compresses) the forwarding graph once and answers queries:
+
+* forward reachability with per-disposition answers,
+* destination reachability via backward propagation (§4.2.3),
+* multipath consistency (the paper's §6 benchmark query),
+* waypoint enforcement using waypoint bits (§4.2.3),
+* bidirectional reachability with firewall session fast paths (§4.2.3),
+* forwarding-loop detection.
+
+Scoped defaults (§4.4.2) are implemented by
+:meth:`NetworkAnalyzer.default_sources`: starting locations are limited
+to host-facing and network-edge interfaces, and source IPs to addresses
+that can plausibly originate there — which suppresses the "spoofed
+source IP" class of uninteresting violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bdd.engine import FALSE, TRUE
+from repro.dataplane.fib import Fib, compute_fibs
+from repro.hdr import fields as f
+from repro.hdr.headerspace import HeaderSpace, PacketEncoder
+from repro.hdr.ip import Ip, Prefix
+from repro.hdr.packet import Packet
+from repro.reachability.bddreach import backward_reachability, forward_reachability
+from repro.reachability.compress import CompressionStats, compress_graph
+from repro.reachability.examples import default_preferences
+from repro.reachability.graph import (
+    Constraint,
+    Disposition,
+    Edge,
+    ForwardingGraph,
+    GraphBuildOptions,
+    GraphNode,
+    build_forwarding_graph,
+    disp_node,
+    fwd_node,
+    sink_node,
+    src_node,
+)
+from repro.routing.engine import DataPlane
+from repro.routing.topology import InterfaceId
+
+SUCCESS_DISPOSITIONS = (
+    Disposition.ACCEPTED,
+    Disposition.DELIVERED,
+    Disposition.EXITS_NETWORK,
+)
+FAILURE_DISPOSITIONS = (
+    Disposition.DENIED_IN,
+    Disposition.DENIED_OUT,
+    Disposition.NO_ROUTE,
+    Disposition.NULL_ROUTED,
+    Disposition.LOOP,
+)
+
+
+@dataclass
+class ReachabilityAnswer:
+    """Per-disposition reachable sets plus chosen examples (§4.4.3)."""
+
+    #: disposition -> union of packet sets arriving with that fate.
+    by_disposition: Dict[Disposition, int] = field(default_factory=dict)
+    #: (sink graph node) -> packet set.
+    by_sink: Dict[GraphNode, int] = field(default_factory=dict)
+    #: full reach map (node -> set), for deeper inspection.
+    reach: Dict[GraphNode, int] = field(default_factory=dict)
+
+    def success_set(self) -> int:
+        return self._union(SUCCESS_DISPOSITIONS)
+
+    def failure_set(self) -> int:
+        return self._union(FAILURE_DISPOSITIONS)
+
+    def _union(self, dispositions) -> int:
+        result = FALSE
+        for disposition in dispositions:
+            value = self.by_disposition.get(disposition, FALSE)
+            if value != FALSE:
+                result = value if result == FALSE else self._or(result, value)
+        return result
+
+    _or = None  # bound by NetworkAnalyzer
+
+
+@dataclass
+class MultipathViolation:
+    """A flow accepted along some paths and dropped along others."""
+
+    source: GraphNode
+    packet_set: int
+    example: Optional[Packet]
+    success_dispositions: List[Disposition]
+    failure_dispositions: List[Disposition]
+
+
+@dataclass
+class LoopViolation:
+    cycle: List[GraphNode]
+    packet_set: int
+    example: Optional[Packet]
+
+
+class NetworkAnalyzer:
+    """Builds the dataflow graph for a data plane and answers queries."""
+
+    def __init__(
+        self,
+        dataplane: DataPlane,
+        encoder: Optional[PacketEncoder] = None,
+        fibs: Optional[Dict[str, Fib]] = None,
+        compress: bool = True,
+        options: Optional[GraphBuildOptions] = None,
+    ):
+        self.dataplane = dataplane
+        self.encoder = encoder or PacketEncoder()
+        self.fibs = fibs if fibs is not None else compute_fibs(dataplane)
+        self.graph = build_forwarding_graph(
+            dataplane, self.fibs, self.encoder, options
+        )
+        self.compression: Optional[CompressionStats] = None
+        if compress:
+            self.compression = compress_graph(self.graph)
+
+    # ------------------------------------------------------------------
+    # Sources and scoping defaults (§4.4.2)
+
+    def all_sources(self, headerspace_bdd: int = TRUE) -> Dict[GraphNode, int]:
+        """Every interface as a starting location, unscoped headers."""
+        return {node: headerspace_bdd for node in self.graph.source_nodes()}
+
+    def default_sources(
+        self, headerspace_bdd: int = TRUE
+    ) -> Dict[GraphNode, int]:
+        """Scoped default search space: start only at host-facing or
+        network-edge interfaces, with source IPs limited to addresses
+        that can plausibly originate there."""
+        sources: Dict[GraphNode, int] = {}
+        engine = self.encoder.engine
+        for hostname in self.dataplane.snapshot.hostnames():
+            device = self.dataplane.snapshot.device(hostname)
+            for iface in device.interfaces.values():
+                if not iface.enabled or iface.prefix is None:
+                    continue
+                interface_id = InterfaceId(hostname, iface.name)
+                if self.dataplane.topology.has_remote_end(interface_id):
+                    continue  # inter-router link, commonly not of interest
+                scope = engine.and_(
+                    headerspace_bdd,
+                    self.encoder.ip_in_prefix(f.SRC_IP, iface.prefix),
+                )
+                if scope != FALSE:
+                    sources[src_node(hostname, iface.name)] = scope
+        return sources
+
+    def sources_at(
+        self,
+        locations: Sequence[Tuple[str, Optional[str]]],
+        headerspace_bdd: int = TRUE,
+    ) -> Dict[GraphNode, int]:
+        """Sources from (node, interface) pairs; interface None = all
+        interfaces of the node."""
+        sources: Dict[GraphNode, int] = {}
+        for hostname, iface_name in locations:
+            if iface_name is not None:
+                sources[src_node(hostname, iface_name)] = headerspace_bdd
+                continue
+            for node in self.graph.source_nodes():
+                if node[1] == hostname:
+                    sources[node] = headerspace_bdd
+        return sources
+
+    # ------------------------------------------------------------------
+    # Core queries
+
+    def reachability(
+        self, sources: Dict[GraphNode, int]
+    ) -> ReachabilityAnswer:
+        """Forward reachability from the given sources."""
+        engine = self.encoder.engine
+        reach = forward_reachability(self.graph, sources)
+        answer = ReachabilityAnswer(reach=reach)
+        answer._or = engine.or_
+        for node, packet_set in reach.items():
+            if node[0] == "disp":
+                disposition = Disposition(node[2])
+                answer.by_disposition[disposition] = engine.or_(
+                    answer.by_disposition.get(disposition, FALSE), packet_set
+                )
+                answer.by_sink[node] = packet_set
+            elif node[0] == "sink":
+                answer.by_disposition[Disposition.DELIVERED] = engine.or_(
+                    answer.by_disposition.get(Disposition.DELIVERED, FALSE),
+                    packet_set,
+                )
+                answer.by_sink[node] = packet_set
+        return answer
+
+    def destination_reachability(
+        self, hostname: str, interface: Optional[str] = None,
+        headerspace_bdd: int = TRUE,
+    ) -> Dict[GraphNode, int]:
+        """Which packets, starting where, can be delivered at a given
+        device (interface)? Uses backward propagation (§4.2.3): walks
+        only the destination's forwarding tree."""
+        engine = self.encoder.engine
+        targets: Dict[GraphNode, int] = {}
+        accepted = disp_node(hostname, Disposition.ACCEPTED)
+        if accepted in self.graph.nodes:
+            targets[accepted] = headerspace_bdd
+        for node in self.graph.nodes:
+            if node[0] == "sink" and node[1] == hostname:
+                if interface is None or node[2] == interface:
+                    targets[node] = headerspace_bdd
+        reach = backward_reachability(self.graph, targets)
+        return {
+            node: packet_set
+            for node, packet_set in reach.items()
+            if node[0] == "src" and packet_set != FALSE
+        }
+
+    def multipath_consistency(
+        self, sources: Optional[Dict[GraphNode, int]] = None
+    ) -> List[MultipathViolation]:
+        """Find flows accepted along some paths and dropped along others
+        (the paper's §6 verification benchmark)."""
+        engine = self.encoder.engine
+        sources = sources if sources is not None else self.all_sources()
+        violations: List[MultipathViolation] = []
+        for source in sorted(sources, key=lambda n: tuple(map(str, n))):
+            answer = self.reachability({source: sources[source]})
+            success = answer.success_set()
+            failure = answer.failure_set()
+            if success == FALSE or failure == FALSE:
+                continue
+            both = engine.and_(success, failure)
+            if both == FALSE:
+                continue
+            example = self.encoder.example_packet(
+                both, default_preferences(self.encoder)
+            )
+            violations.append(
+                MultipathViolation(
+                    source=source,
+                    packet_set=both,
+                    example=example,
+                    success_dispositions=[
+                        d for d in SUCCESS_DISPOSITIONS
+                        if engine.and_(
+                            answer.by_disposition.get(d, FALSE), both
+                        ) != FALSE
+                    ],
+                    failure_dispositions=[
+                        d for d in FAILURE_DISPOSITIONS
+                        if engine.and_(
+                            answer.by_disposition.get(d, FALSE), both
+                        ) != FALSE
+                    ],
+                )
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Waypoints (§4.2.3)
+
+    def waypoint_reachability(
+        self,
+        sources: Dict[GraphNode, int],
+        waypoint_hostname: str,
+        waypoint_bit: int = 0,
+    ) -> Tuple[int, int]:
+        """Split delivered traffic by whether it traversed a waypoint.
+
+        Adds a temporary marking edge at the waypoint's FIB node (the
+        bit is set when the packet passes through), runs the analysis,
+        and returns ``(through_waypoint, bypassing_waypoint)`` for all
+        delivered/accepted traffic. Requires only one extra BDD bit.
+        """
+        from repro.reachability.graph import AssignField
+
+        engine = self.encoder.engine
+        level = self.encoder.layout.var(f.WAYPOINT, waypoint_bit)
+        marked = engine.var(level)
+        unmarked = engine.nvar(level)
+        waypoint = fwd_node(waypoint_hostname)
+        if waypoint not in self.graph.nodes:
+            raise ValueError(f"no such device in graph: {waypoint_hostname}")
+        # Splice the marker in front of the waypoint's outgoing edges.
+        mark_fn = _SetBit(self.encoder, level)
+        original_edges = list(self.graph.out_edges(waypoint))
+        replaced: List[Tuple[Edge, Edge]] = []
+        for edge in original_edges:
+            new_edge = Edge(edge.tail, edge.head, _ComposePair(mark_fn, edge.fn))
+            replaced.append((edge, new_edge))
+        try:
+            for old, new in replaced:
+                self.graph.edges.remove(old)
+                self.graph.edges.append(new)
+            self.graph.rebuild_indices()
+            # Sources start with the bit clear.
+            scoped = {
+                node: engine.and_(packet_set, unmarked)
+                for node, packet_set in sources.items()
+            }
+            answer = self.reachability(scoped)
+            delivered = answer.success_set()
+            through = engine.and_(delivered, marked)
+            bypass = engine.and_(delivered, unmarked)
+            # Erase the waypoint bit so callers see pure header sets.
+            cube = engine.cube([level])
+            return engine.exists(through, cube), engine.exists(bypass, cube)
+        finally:
+            for old, new in replaced:
+                self.graph.edges.remove(new)
+                self.graph.edges.append(old)
+            self.graph.rebuild_indices()
+
+    # ------------------------------------------------------------------
+    # Bidirectional reachability (§4.2.3)
+
+    def bidirectional_reachability(
+        self,
+        sources: Dict[GraphNode, int],
+        return_sources: Sequence[Tuple[str, str]],
+    ) -> Tuple[int, int]:
+        """Round-trip analysis with stateful session fast paths.
+
+        Runs the forward analysis, derives the firewall session sets,
+        instruments the graph with session fast-path edges, and runs the
+        return direction from ``return_sources`` (the destination-side
+        locations). Returns ``(forward_delivered, roundtrip_ok)`` where
+        ``roundtrip_ok`` is the subset of forward flows whose return
+        traffic reaches back.
+
+        NAT coordinates: session sets are recorded at the firewalls'
+        ``post_zone`` points, *before* source NAT, so they are expressed
+        in original (inside) addresses. The return pass injects the
+        endpoint-swapped session set at ``return_sources`` — modeling
+        the firewall's session table un-translating return traffic —
+        and ``roundtrip_ok`` is reported in the same pre-NAT
+        coordinates. Without stateful devices, the plain delivered set
+        is swapped instead.
+        """
+        engine = self.encoder.engine
+        forward_answer = self.reachability(sources)
+        delivered = forward_answer.success_set()
+        if delivered == FALSE:
+            return FALSE, FALSE
+        sessions = self._session_sets(forward_answer)
+        swap = self._endpoint_swap_map()
+        fast_path_edges: List[Edge] = []
+        for firewall, session_set in sessions.items():
+            return_match = engine.permute(session_set, swap)
+            for node in list(self.graph.nodes):
+                if node[0] == "zone_policy" and node[1] == firewall:
+                    cleared = ("zone_clear", node[1], node[2])
+                    if cleared in self.graph.nodes:
+                        fast_path_edges.append(
+                            Edge(
+                                node,
+                                cleared,
+                                Constraint(engine, return_match, "session fast path"),
+                            )
+                        )
+                if node[0] == "in_acl" and node[1] == firewall:
+                    post = ("post_in_acl", node[1], node[2])
+                    if post in self.graph.nodes:
+                        fast_path_edges.append(
+                            Edge(
+                                node,
+                                post,
+                                Constraint(engine, return_match, "session fast path"),
+                            )
+                        )
+        try:
+            for edge in fast_path_edges:
+                self.graph.edges.append(edge)
+            self.graph.rebuild_indices()
+            if sessions:
+                forward_base = engine.all_or(sessions.values())
+            else:
+                forward_base = delivered
+            return_header = engine.permute(forward_base, swap)
+            back_sources = {
+                src_node(node, iface): return_header
+                for node, iface in return_sources
+            }
+            return_answer = self.reachability(back_sources)
+            returned = return_answer.success_set()
+            roundtrip = engine.and_(forward_base, engine.permute(returned, swap))
+            return delivered, roundtrip
+        finally:
+            for edge in fast_path_edges:
+                self.graph.edges.remove(edge)
+            self.graph.rebuild_indices()
+
+    def _session_sets(self, answer: ReachabilityAnswer) -> Dict[str, int]:
+        """Per-stateful-device session sets: flows that passed its zone
+        policies in the forward direction."""
+        engine = self.encoder.engine
+        sessions: Dict[str, int] = {}
+        for node, packet_set in answer.reach.items():
+            if node[0] == "post_zone":
+                hostname = node[1]
+                sessions[hostname] = engine.or_(
+                    sessions.get(hostname, FALSE), packet_set
+                )
+        return sessions
+
+    def _endpoint_swap_map(self) -> Dict[int, int]:
+        layout = self.encoder.layout
+        mapping: Dict[int, int] = {}
+        for field_a, field_b in ((f.DST_IP, f.SRC_IP), (f.DST_PORT, f.SRC_PORT)):
+            for bit in range(layout.width(field_a)):
+                a = layout.var(field_a, bit)
+                b = layout.var(field_b, bit)
+                mapping[a] = b
+                mapping[b] = a
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Loop detection
+
+    def detect_loops(
+        self, sources: Optional[Dict[GraphNode, int]] = None
+    ) -> List[LoopViolation]:
+        """Find forwarding loops: cycles in the graph that some packet
+        can traverse end to end."""
+        engine = self.encoder.engine
+        sources = sources if sources is not None else self.all_sources()
+        reach = forward_reachability(self.graph, sources)
+        # Restrict to nodes with flow, then find cycles.
+        import networkx as nx
+
+        digraph = nx.DiGraph()
+        for edge in self.graph.edges:
+            if reach.get(edge.tail, FALSE) == FALSE:
+                continue
+            digraph.add_edge(edge.tail, edge.head, fn=edge.fn)
+        violations: List[LoopViolation] = []
+        for component in nx.strongly_connected_components(digraph):
+            if len(component) < 2:
+                node = next(iter(component))
+                if not digraph.has_edge(node, node):
+                    continue
+            subgraph = digraph.subgraph(component)
+            try:
+                cycle_edges = nx.find_cycle(subgraph)
+            except nx.NetworkXNoCycle:
+                continue
+            survivor = reach.get(cycle_edges[0][0], FALSE)
+            cycle_nodes = [cycle_edges[0][0]]
+            for tail, head in cycle_edges:
+                survivor = digraph[tail][head]["fn"].forward(survivor)
+                cycle_nodes.append(head)
+                if survivor == FALSE:
+                    break
+            if survivor == FALSE:
+                continue
+            example = self.encoder.example_packet(
+                survivor, default_preferences(self.encoder)
+            )
+            violations.append(
+                LoopViolation(
+                    cycle=cycle_nodes, packet_set=survivor, example=example
+                )
+            )
+        return violations
+
+
+class _SetBit:
+    """Edge function that sets one BDD variable to 1 (waypoint marker)."""
+
+    def __init__(self, encoder: PacketEncoder, level: int):
+        self._engine = encoder.engine
+        self._level = level
+
+    def forward(self, packet_set: int) -> int:
+        engine = self._engine
+        erased = engine.exists(packet_set, engine.cube([self._level]))
+        return engine.and_(erased, engine.var(self._level))
+
+    def backward(self, packet_set: int) -> int:
+        engine = self._engine
+        narrowed = engine.and_(packet_set, engine.var(self._level))
+        return engine.exists(narrowed, engine.cube([self._level]))
+
+    def describe(self) -> str:
+        return f"set-bit({self._level})"
+
+
+class _ComposePair:
+    """Minimal two-step composition used by the waypoint splice."""
+
+    def __init__(self, first, second):
+        self._first = first
+        self._second = second
+
+    def forward(self, packet_set: int) -> int:
+        return self._second.forward(self._first.forward(packet_set))
+
+    def backward(self, packet_set: int) -> int:
+        return self._first.backward(self._second.backward(packet_set))
+
+    def describe(self) -> str:
+        return f"{self._first.describe()} ; {self._second.describe()}"

@@ -1,0 +1,190 @@
+"""A binary trie over IPv4 prefixes for longest-prefix matching.
+
+Used by RIBs (resolve a next hop), FIBs (forward a concrete packet), and
+the BDD dataflow-graph builder (enumerate entries with their "shadowed by
+longer prefixes" structure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.hdr.ip import Ip, Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "values")
+
+    def __init__(self):
+        self.children: List[Optional[_Node[V]]] = [None, None]
+        self.values: Optional[List[V]] = None  # None = no prefix ends here
+
+
+class PrefixTrie(Generic[V]):
+    """Maps prefixes to lists of values with longest-prefix-match lookup."""
+
+    def __init__(self):
+        self._root: _Node[V] = _Node()
+        self._len = 0
+
+    def __len__(self) -> int:
+        """Number of distinct prefixes present."""
+        return self._len
+
+    def add(self, prefix: Prefix, value: V) -> None:
+        """Append ``value`` under ``prefix`` (duplicates allowed)."""
+        node = self._walk_create(prefix)
+        if node.values is None:
+            node.values = []
+            self._len += 1
+        node.values.append(value)
+
+    def replace(self, prefix: Prefix, values: List[V]) -> None:
+        """Replace all values under ``prefix`` (empty list removes it)."""
+        if not values:
+            self.remove_prefix(prefix)
+            return
+        node = self._walk_create(prefix)
+        if node.values is None:
+            self._len += 1
+        node.values = list(values)
+
+    def remove(self, prefix: Prefix, value: V) -> bool:
+        """Remove one occurrence of ``value`` under ``prefix``.
+
+        Returns True if it was present.
+        """
+        node = self._walk(prefix)
+        if node is None or node.values is None:
+            return False
+        try:
+            node.values.remove(value)
+        except ValueError:
+            return False
+        if not node.values:
+            node.values = None
+            self._len -= 1
+        return True
+
+    def remove_prefix(self, prefix: Prefix) -> bool:
+        """Remove the prefix and all its values."""
+        node = self._walk(prefix)
+        if node is None or node.values is None:
+            return False
+        node.values = None
+        self._len -= 1
+        return True
+
+    def get(self, prefix: Prefix) -> List[V]:
+        """Exact-match lookup (no LPM)."""
+        node = self._walk(prefix)
+        if node is None or node.values is None:
+            return []
+        return list(node.values)
+
+    def longest_match(self, ip: "Ip | int") -> Optional[Tuple[Prefix, List[V]]]:
+        """Longest-prefix match for an address.
+
+        Returns ``(matched_prefix, values)`` or ``None``.
+        """
+        value = ip.value if isinstance(ip, Ip) else ip
+        node = self._root
+        best: Optional[Tuple[int, int, List[V]]] = None
+        depth = 0
+        network = 0
+        while node is not None:
+            if node.values is not None:
+                best = (depth, network, list(node.values))
+            if depth == 32:
+                break
+            bit = (value >> (31 - depth)) & 1
+            node = node.children[bit]
+            network = (network << 1) | bit
+            depth += 1
+        if best is None:
+            return None
+        length, network, values = best
+        return Prefix(network << (32 - length) if length else 0, length), values
+
+    def items(self) -> Iterator[Tuple[Prefix, List[V]]]:
+        """Iterate (prefix, values) pairs in lexicographic prefix order."""
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        collected: List[Tuple[Prefix, List[V]]] = []
+        while stack:
+            node, network, depth = stack.pop()
+            if node.values is not None:
+                prefix = Prefix(network << (32 - depth) if depth else 0, depth)
+                collected.append((prefix, list(node.values)))
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (network << 1) | bit, depth + 1))
+        collected.sort(key=lambda pair: pair[0])
+        yield from collected
+
+    def covering_prefixes(self, prefix: Prefix) -> List[Prefix]:
+        """All stored prefixes that contain ``prefix`` (themselves
+        included), shortest first."""
+        result: List[Prefix] = []
+        node = self._root
+        value = prefix.network.value
+        for depth in range(prefix.length + 1):
+            if node.values is not None:
+                result.append(Prefix(value, depth))
+            if depth == prefix.length:
+                break
+            bit = (value >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+        return result
+
+    def covered_prefixes(self, prefix: Prefix) -> List[Prefix]:
+        """All stored prefixes strictly longer than and inside ``prefix``."""
+        node = self._walk(prefix, create=False, allow_partial=True)
+        if node is None:
+            return []
+        result: List[Prefix] = []
+        start_network = (
+            prefix.network.value >> (32 - prefix.length) if prefix.length else 0
+        )
+        stack = [(node, start_network, prefix.length)]
+        while stack:
+            current, network, depth = stack.pop()
+            # Exclude the node at `prefix` itself (depth == prefix.length).
+            if current.values is not None and depth > prefix.length:
+                result.append(Prefix(network << (32 - depth) if depth else 0, depth))
+            if depth == 32:
+                continue
+            for bit in (0, 1):
+                child = current.children[bit]
+                if child is not None:
+                    stack.append((child, (network << 1) | bit, depth + 1))
+        result.sort()
+        return result
+
+    # -- internals -------------------------------------------------------
+
+    def _walk_create(self, prefix: Prefix) -> _Node[V]:
+        return self._walk(prefix, create=True)
+
+    def _walk(
+        self, prefix: Prefix, create: bool = False, allow_partial: bool = False
+    ) -> Optional[_Node[V]]:
+        node = self._root
+        value = prefix.network.value
+        for depth in range(prefix.length):
+            bit = (value >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                if create:
+                    child = _Node()
+                    node.children[bit] = child
+                elif allow_partial:
+                    return None
+                else:
+                    return None
+            node = child
+        return node

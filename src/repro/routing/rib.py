@@ -1,0 +1,179 @@
+"""RIBs and RIB deltas (§4.1.3).
+
+The engine's memory discipline follows the paper's hybrid approach: each
+RIB keeps its active routes plus a :class:`RibDelta` for the current and
+previous iteration; there are no per-neighbor message queues. Receivers
+pull deltas directly and run export + import policy + merge in one step,
+so peak memory stays near "the number of routes actually accepted by
+routers".
+
+:class:`Rib` is the generic best-route table used for the main RIB and
+the protocol RIBs of OSPF/static/connected routes; BGP has its own RIB
+(:mod:`repro.routing.bgp`) because its decision process needs per-peer
+candidate tracking and logical clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.prefix_trie import PrefixTrie
+from repro.routing.route import BgpRoute, ConnectedRoute, OspfRoute, StaticRouteEntry
+
+
+@dataclass
+class RibDelta:
+    """Routes that became best (`added`) and stopped being best
+    (`removed`) since the delta was last cleared."""
+
+    added: List[object] = field(default_factory=list)
+    removed: List[object] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def extend(self, other: "RibDelta") -> None:
+        """Fold another delta into this one, cancelling add/remove pairs
+        so a route added then removed leaves no trace."""
+        for route in other.added:
+            if route in self.removed:
+                self.removed.remove(route)
+            else:
+                self.added.append(route)
+        for route in other.removed:
+            if route in self.added:
+                self.added.remove(route)
+            else:
+                self.removed.append(route)
+
+    def clear(self) -> "RibDelta":
+        """Return a copy and empty this delta."""
+        snapshot = RibDelta(list(self.added), list(self.removed))
+        self.added.clear()
+        self.removed.clear()
+        return snapshot
+
+
+def route_sort_key(route) -> Tuple:
+    """Deterministic total order over routes — used to keep ECMP sets and
+    answer rows stable across runs (paper §4.1.2: "consistent results
+    across simulations")."""
+    next_hop = getattr(route, "next_hop_ip", None)
+    interface = getattr(route, "next_hop_interface", None) or getattr(
+        route, "interface", None
+    )
+    return (
+        str(route.prefix),
+        route.protocol.value,
+        next_hop.value if next_hop is not None else -1,
+        interface or "",
+        repr(route),
+    )
+
+
+def main_rib_preference(route) -> Tuple[int, int]:
+    """Preference key for cross-protocol best-route selection in the main
+    RIB: administrative distance first, then the protocol metric. Lower
+    is better; ties form an ECMP set."""
+    if isinstance(route, OspfRoute):
+        return (route.admin_distance, route.cost)
+    if isinstance(route, BgpRoute):
+        return (route.admin_distance, 0)
+    if isinstance(route, (ConnectedRoute, StaticRouteEntry)):
+        return (route.admin_distance, 0)
+    return (getattr(route, "admin_distance", 255), 0)
+
+
+class Rib:
+    """A best-route table with pluggable preference and delta tracking."""
+
+    def __init__(
+        self, preference: Callable[[object], Tuple] = main_rib_preference
+    ):
+        self._preference = preference
+        self._candidates: Dict[Prefix, List[object]] = {}
+        self._best: PrefixTrie = PrefixTrie()
+        self.delta = RibDelta()
+
+    # -- mutation ---------------------------------------------------------
+
+    def merge(self, route) -> bool:
+        """Add a candidate route. Returns True if the best set changed."""
+        candidates = self._candidates.setdefault(route.prefix, [])
+        if route in candidates:
+            return False
+        candidates.append(route)
+        return self._reselect(route.prefix)
+
+    def withdraw(self, route) -> bool:
+        """Remove a candidate route. Returns True if the best set changed."""
+        candidates = self._candidates.get(route.prefix)
+        if not candidates or route not in candidates:
+            return False
+        candidates.remove(route)
+        if not candidates:
+            del self._candidates[route.prefix]
+        return self._reselect(route.prefix)
+
+    def clear_prefix(self, prefix: Prefix) -> bool:
+        """Drop all candidates for a prefix."""
+        if prefix not in self._candidates:
+            return False
+        del self._candidates[prefix]
+        return self._reselect(prefix)
+
+    def _reselect(self, prefix: Prefix) -> bool:
+        old_best = self._best.get(prefix)
+        candidates = self._candidates.get(prefix, [])
+        if candidates:
+            best_key = min(self._preference(r) for r in candidates)
+            new_best = sorted(
+                (r for r in candidates if self._preference(r) == best_key),
+                key=route_sort_key,
+            )
+        else:
+            new_best = []
+        if new_best == old_best:
+            return False
+        self._best.replace(prefix, new_best)
+        for route in old_best:
+            if route not in new_best:
+                self.delta.removed.append(route)
+        for route in new_best:
+            if route not in old_best:
+                self.delta.added.append(route)
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def best_routes(self, prefix: Prefix) -> List[object]:
+        """The ECMP set of best routes for an exact prefix."""
+        return self._best.get(prefix)
+
+    def longest_match(self, ip: "Ip | int") -> Optional[Tuple[Prefix, List[object]]]:
+        """LPM over best routes."""
+        return self._best.longest_match(ip)
+
+    def routes(self) -> Iterator[object]:
+        """All best routes, in deterministic prefix order."""
+        for _prefix, routes in self._best.items():
+            yield from routes
+
+    def prefixes(self) -> List[Prefix]:
+        return [prefix for prefix, _ in self._best.items()]
+
+    def all_candidates(self) -> Iterator[object]:
+        """Every candidate route, including non-best ones."""
+        for routes in self._candidates.values():
+            yield from routes
+
+    def __len__(self) -> int:
+        """Number of best routes across all prefixes."""
+        return sum(len(routes) for _, routes in self._best.items())
+
+    def take_delta(self) -> RibDelta:
+        """Snapshot-and-clear the pending delta (the per-iteration pull)."""
+        return self.delta.clear()

@@ -1,0 +1,153 @@
+"""Campus / enterprise networks: multi-area OSPF with a core pair,
+distribution blocks, and access routers (the "campus"/"enterprise" rows
+of Table 1).
+
+Features exercised: OSPF areas (inter-area routing through the
+backbone), passive host interfaces, access ACLs, static default routing
+to a provider redistributed into OSPF as a type-2 external, management
+plane settings (NTP/DNS/SNMP), and optionally juniperish distribution
+switches for vendor diversity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hdr.ip import Ip
+from repro.synth.base import (
+    CiscoishBuilder,
+    InterfaceSpec,
+    JuniperishBuilder,
+    host_subnet,
+    loopback_ip,
+)
+
+
+def campus(num_blocks: int = 2, access_per_block: int = 2,
+           vendors: Tuple[str, ...] = ("ciscoish",)) -> Dict[str, str]:
+    """Generate a campus snapshot.
+
+    Topology: 2 cores (area 0) <-> per-block distribution pairs (area =
+    block+1) <-> access routers with host subnets. Core 0 carries a
+    static default to an (unmodeled) provider, redistributed into OSPF.
+    """
+    mixed = "juniperish" in vendors
+    builders: Dict[str, object] = {}
+    link_counter = [0]
+
+    def p2p() -> Tuple[str, str, int]:
+        index = link_counter[0]
+        link_counter[0] += 1
+        base = (10 << 24) | (9 << 20) | (index << 2)
+        return str(Ip(base + 1)), str(Ip(base + 2)), 30
+
+    cores = []
+    for c in range(2):
+        builder = CiscoishBuilder(f"ccore{c}")
+        rid = loopback_ip(300 + c)
+        builder.router_id(rid)
+        builder.interface(
+            InterfaceSpec("Loopback0", rid, 32, ospf_area=0, ospf_passive=True)
+        )
+        builder.ntp("192.0.2.123", "192.0.2.124")
+        builder.dns("192.0.2.53")
+        builder.raw("snmp-server community campus-ro")
+        cores.append(builder)
+        builders[builder.hostname] = builder
+    # Core interconnect.
+    ip_a, ip_b, plen = p2p()
+    cores[0].interface(InterfaceSpec("Ethernet0", ip_a, plen, ospf_area=0, ospf_cost=10))
+    cores[1].interface(InterfaceSpec("Ethernet0", ip_b, plen, ospf_area=0, ospf_cost=10))
+    # Provider uplink on core0: static default, redistributed.
+    cores[0].interface(InterfaceSpec("Ethernet1", "203.0.113.2", 30,
+                                     description="provider uplink"))
+    cores[0].static("0.0.0.0/0", "203.0.113.1")
+    cores[0].ospf("redistribute static")
+
+    core_port = [1, 1]
+    for block in range(num_blocks):
+        area = block + 1
+        dist_pair = []
+        for d in range(2):
+            name = f"dist{block}-{d}"
+            rid = loopback_ip(400 + block * 2 + d)
+            if mixed and d == 1:
+                builder = JuniperishBuilder(name)
+                builder.router_id(rid)
+                builder.interface(
+                    InterfaceSpec("lo0", rid, 32, ospf_area=0, ospf_passive=True)
+                )
+                builder.ntp("192.0.2.123")
+            else:
+                builder = CiscoishBuilder(name)
+                builder.router_id(rid)
+                builder.interface(
+                    InterfaceSpec("Loopback0", rid, 32, ospf_area=0,
+                                  ospf_passive=True)
+                )
+                builder.ntp("192.0.2.123", "192.0.2.124")
+            dist_pair.append(builder)
+            builders[name] = builder
+            # Uplinks to both cores (area 0).
+            for c in range(2):
+                ip_dist, ip_core, plen = p2p()
+                iface_name = (
+                    f"ge-0/0/{c}" if isinstance(builder, JuniperishBuilder)
+                    else f"Ethernet{c}"
+                )
+                builder.interface(
+                    InterfaceSpec(iface_name, ip_dist, plen, ospf_area=0,
+                                  ospf_cost=10)
+                )
+                core_iface = f"Ethernet{core_port[c] + 1}"
+                core_port[c] += 1
+                cores[c].interface(
+                    InterfaceSpec(core_iface, ip_core, plen, ospf_area=0,
+                                  ospf_cost=10)
+                )
+        for a in range(access_per_block):
+            name = f"access{block}-{a}"
+            builder = CiscoishBuilder(name)
+            rid = loopback_ip(500 + block * 16 + a)
+            builder.router_id(rid)
+            builder.interface(
+                InterfaceSpec("Loopback0", rid, 32, ospf_area=area,
+                              ospf_passive=True)
+            )
+            # Dual-home to the block's distribution pair (block area).
+            for d in range(2):
+                ip_access, ip_dist, plen = p2p()
+                builder.interface(
+                    InterfaceSpec(f"Ethernet{d}", ip_access, plen,
+                                  ospf_area=area, ospf_cost=10 + d * 10)
+                )
+                dist = dist_pair[d]
+                iface_name = (
+                    f"ge-0/1/{a}" if isinstance(dist, JuniperishBuilder)
+                    else f"Ethernet{2 + a}"
+                )
+                dist.interface(
+                    InterfaceSpec(iface_name, ip_dist, plen, ospf_area=area,
+                                  ospf_cost=10 + d * 10)
+                )
+            subnet = host_subnet(block % 16, a)
+            gateway = str(Ip(subnet.network.value + 1))
+            builder.interface(
+                InterfaceSpec(
+                    "Vlan100", gateway, 24, ospf_area=area, ospf_passive=True,
+                    description="user subnet", acl_in="USER_IN",
+                )
+            )
+            builder.acl(
+                "USER_IN",
+                [
+                    f"permit ip {subnet.network} 0.0.0.255 any",
+                    "deny ip any any",
+                ],
+            )
+            builder.ntp("192.0.2.123")
+            builders[name] = builder
+
+    return {
+        name: builder.render() for name, builder in builders.items()
+    }

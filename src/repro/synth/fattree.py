@@ -1,0 +1,180 @@
+"""k-ary fat-tree data-center networks (the "DC" rows of Table 1).
+
+Standard 3-tier Clos: (k/2)^2 cores, k pods of k/2 aggregation and k/2
+edge switches. Routing is eBGP between tiers (the common BGP-in-the-DC
+design): every switch gets its own AS or shares a per-tier/pod AS, host
+subnets originate at edge switches via ``network`` statements, and
+``maximum-paths`` enables the multipath that makes these networks a
+good test of ECMP-aware analysis.
+
+With ``vendors`` including juniperish, aggregation switches emit
+set-style configuration, exercising the multi-vendor Stage 1 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.synth.base import (
+    CiscoishBuilder,
+    InterfaceSpec,
+    JuniperishBuilder,
+    NeighborSpec,
+    host_subnet,
+    loopback_ip,
+)
+
+CORE_AS = 64900
+
+
+def _pod_as(pod: int) -> int:
+    return 65000 + pod
+
+
+def _edge_as(k: int, pod: int, index: int) -> int:
+    return 65100 + pod * k + index
+
+
+def fattree(k: int = 4, vendors: Tuple[str, ...] = ("ciscoish",),
+            with_acls: bool = False) -> Dict[str, str]:
+    """Generate a k-ary fat-tree snapshot (k even). Returns hostname ->
+    config text."""
+    if k % 2:
+        raise ValueError("fat-tree arity k must be even")
+    half = k // 2
+    num_cores = half * half
+    mixed = "juniperish" in vendors
+
+    # Address plan: links core<->agg in block 1, agg<->edge in block 2.
+    link_counter = [0, 0]
+
+    def p2p(block: int) -> Tuple[str, str, int]:
+        index = link_counter[block]
+        link_counter[block] += 1
+        base = (10 << 24) | ((block + 1) << 20) | (index << 2)
+        return str(Ip(base + 1)), str(Ip(base + 2)), 30
+
+    cores = [CiscoishBuilder(f"core{c}") for c in range(num_cores)]
+    for c, core in enumerate(cores):
+        core.router_id(loopback_ip(c + 1))
+        core.interface(
+            InterfaceSpec("Loopback0", loopback_ip(c + 1), 32)
+        )
+        core.bgp(CORE_AS, "maximum-paths 8")
+
+    agg_builders: List[object] = []
+    edge_builders: List[CiscoishBuilder] = []
+    configs: Dict[str, str] = {}
+
+    for pod in range(k):
+        for a in range(half):
+            name = f"agg{pod}-{a}"
+            rid = loopback_ip(1000 + pod * half + a)
+            if mixed:
+                builder = JuniperishBuilder(name)
+                builder.router_id(rid)
+                builder.interface(InterfaceSpec("lo0", rid, 32))
+                builder.bgp_local_as(_pod_as(pod))
+                builder.raw("set protocols bgp multipath maximum-paths 8")
+            else:
+                builder = CiscoishBuilder(name)
+                builder.router_id(rid)
+                builder.interface(InterfaceSpec("Loopback0", rid, 32))
+                builder.bgp(_pod_as(pod), "maximum-paths 8")
+            agg_builders.append(builder)
+        for e in range(half):
+            name = f"edge{pod}-{e}"
+            rid = loopback_ip(2000 + pod * half + e)
+            builder = CiscoishBuilder(name)
+            builder.router_id(rid)
+            builder.interface(InterfaceSpec("Loopback0", rid, 32))
+            subnet = host_subnet(pod % 16, e)
+            host_gateway = str(Ip(subnet.network.value + 1))
+            acl_name = "HOST_PROTECT" if with_acls and e == 0 else None
+            builder.interface(
+                InterfaceSpec(
+                    "Vlan10", host_gateway, 24,
+                    description=f"hosts pod {pod}",
+                    acl_out=acl_name,
+                )
+            )
+            if acl_name:
+                builder.acl(
+                    acl_name,
+                    [
+                        "permit tcp any any eq 80",
+                        "permit tcp any any eq 443",
+                        "permit tcp any any eq 22",
+                        "deny udp any any",
+                        "permit ip any any",
+                    ],
+                )
+            builder.bgp(
+                _edge_as(k, pod, e),
+                "maximum-paths 8",
+                f"network {subnet.network} mask {subnet.mask}",
+            )
+            edge_builders.append(builder)
+
+    # Wire agg <-> core: agg a of each pod connects to cores
+    # [a*half, (a+1)*half).
+    for pod in range(k):
+        for a in range(half):
+            agg = agg_builders[pod * half + a]
+            for j in range(half):
+                core_index = a * half + j
+                core = cores[core_index]
+                agg_ip, core_ip, plen = p2p(0)
+                iface_agg = f"uplink{j}" if mixed else f"Ethernet{j}"
+                iface_core = f"Ethernet{pod * half + a}"
+                if mixed:
+                    agg.interface(InterfaceSpec(f"ge-0/0/{j}", agg_ip, plen))
+                    agg.bgp_neighbor(
+                        NeighborSpec(peer_ip=core_ip, remote_as=CORE_AS),
+                        group="CORE",
+                    )
+                else:
+                    agg.interface(InterfaceSpec(iface_agg, agg_ip, plen))
+                    agg.bgp_neighbor(NeighborSpec(peer_ip=core_ip, remote_as=CORE_AS))
+                core.interface(InterfaceSpec(iface_core, core_ip, plen))
+                core.bgp_neighbor(
+                    NeighborSpec(peer_ip=agg_ip, remote_as=_pod_as(pod))
+                )
+
+    # Wire edge <-> agg within each pod (full bipartite).
+    for pod in range(k):
+        for e in range(half):
+            edge = edge_builders[pod * half + e]
+            for a in range(half):
+                agg = agg_builders[pod * half + a]
+                edge_ip, agg_ip, plen = p2p(1)
+                if mixed:
+                    agg.interface(
+                        InterfaceSpec(f"ge-0/1/{e}", agg_ip, plen)
+                    )
+                    agg.bgp_neighbor(
+                        NeighborSpec(
+                            peer_ip=edge_ip, remote_as=_edge_as(k, pod, e)
+                        ),
+                        group="EDGE",
+                    )
+                else:
+                    agg.interface(InterfaceSpec(f"Ethernet{half + e}", agg_ip, plen))
+                    agg.bgp_neighbor(
+                        NeighborSpec(peer_ip=edge_ip, remote_as=_edge_as(k, pod, e))
+                    )
+                edge.interface(InterfaceSpec(f"Ethernet{a}", edge_ip, plen))
+                edge.bgp_neighbor(
+                    NeighborSpec(peer_ip=agg_ip, remote_as=_pod_as(pod))
+                )
+
+    for builder in cores + agg_builders + edge_builders:
+        configs[builder.hostname] = builder.render()
+    return configs
+
+
+def fattree_host_subnets(k: int) -> List[Prefix]:
+    """The host subnets a fattree(k) advertises (for query scoping)."""
+    half = k // 2
+    return [host_subnet(pod % 16, e) for pod in range(k) for e in range(half)]

@@ -1,0 +1,175 @@
+"""Networks with stateful elements: an enterprise edge with a
+zone-based firewall + NAT, and paired data centers with backup
+connectivity (the "paired DCs" / firewall rows of Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.synth.base import (
+    CiscoishBuilder,
+    InterfaceSpec,
+    NeighborSpec,
+    host_subnet,
+    loopback_ip,
+)
+from repro.synth.fattree import fattree
+
+
+def enterprise_firewall(num_inside_routers: int = 3) -> Dict[str, str]:
+    """A small enterprise: OSPF inside, a zone-based firewall with
+    source NAT at the edge, default route outward.
+
+    Zones: ``trust`` (inside) and ``untrust`` (provider). The zone
+    policy allows web/ssh/dns outbound; NAT rewrites inside sources to a
+    public pool — together they exercise §4.2.3's zone bits and
+    transformation edges.
+    """
+    builders: Dict[str, CiscoishBuilder] = {}
+    link_counter = [0]
+
+    def p2p() -> Tuple[str, str, int]:
+        index = link_counter[0]
+        link_counter[0] += 1
+        base = (10 << 24) | (12 << 20) | (index << 2)
+        return str(Ip(base + 1)), str(Ip(base + 2)), 30
+
+    firewall = CiscoishBuilder("fw0")
+    firewall.router_id(loopback_ip(700))
+    firewall.zone("trust").zone("untrust")
+    firewall.acl(
+        "OUTBOUND_POLICY",
+        [
+            "permit tcp any any eq 80",
+            "permit tcp any any eq 443",
+            "permit tcp any any eq 22",
+            "permit udp any any eq domain",
+            "deny ip any any",
+        ],
+    )
+    firewall.acl("NAT_MATCH", ["permit ip 172.16.0.0 0.15.255.255 any"])
+    firewall.zone_pair("trust", "untrust", "OUTBOUND_POLICY")
+    firewall.nat_pool("PUBLIC", "198.51.100.1", "198.51.100.254", 24)
+    firewall.nat_source("NAT_MATCH", "PUBLIC")
+    # Untrust side: provider link.
+    firewall.interface(
+        InterfaceSpec(
+            "Ethernet0", "203.0.113.2", 30, zone="untrust",
+            description="provider", nat_outside=True,
+        )
+    )
+    firewall.static("0.0.0.0/0", "203.0.113.1")
+    builders["fw0"] = firewall
+
+    inside: list = []
+    for r in range(num_inside_routers):
+        name = f"inside{r}"
+        builder = CiscoishBuilder(name)
+        rid = loopback_ip(710 + r)
+        builder.router_id(rid)
+        builder.interface(
+            InterfaceSpec("Loopback0", rid, 32, ospf_area=0, ospf_passive=True)
+        )
+        subnet = host_subnet(12, r)
+        gateway = str(Ip(subnet.network.value + 1))
+        builder.interface(
+            InterfaceSpec("Vlan10", gateway, 24, ospf_area=0,
+                          ospf_passive=True, description="users")
+        )
+        builder.ntp("192.0.2.123")
+        inside.append(builder)
+        builders[name] = builder
+    # Chain: fw0 <-> inside0 <-> inside1 <-> ... (inside ring for ECMP).
+    fw_port = 1
+    for r, builder in enumerate(inside):
+        if r == 0:
+            ip_fw, ip_in, plen = p2p()
+            firewall.interface(
+                InterfaceSpec(
+                    f"Ethernet{fw_port}", ip_fw, plen, zone="trust",
+                    ospf_area=0, ospf_cost=10, nat_inside=True,
+                )
+            )
+            fw_port += 1
+            builder.interface(
+                InterfaceSpec("Ethernet0", ip_in, plen, ospf_area=0, ospf_cost=10)
+            )
+            builder.static("0.0.0.0/0", ip_fw)
+        if r + 1 < len(inside):
+            ip_a, ip_b, plen = p2p()
+            builder.interface(
+                InterfaceSpec("Ethernet1", ip_a, plen, ospf_area=0, ospf_cost=10)
+            )
+            inside[r + 1].interface(
+                InterfaceSpec("Ethernet0" if r + 1 else "Ethernet1", ip_b, plen,
+                              ospf_area=0, ospf_cost=10)
+            )
+    # The firewall runs OSPF on its trust side so inside prefixes reach it.
+    return {name: builder.render() for name, builder in builders.items()}
+
+
+def paired_dc(k: int = 4) -> Dict[str, str]:
+    """Two fat-tree DCs providing backup connectivity to each other.
+
+    DC-A keeps its generated names; DC-B is renamed with a ``b-``
+    prefix and re-addressed host subnets; the DCs interconnect via two
+    eBGP border links between core switches (primary + backup with
+    AS-path prepending on the backup).
+    """
+    dc_a = fattree(k, vendors=("ciscoish",))
+    dc_b_raw = fattree(k, vendors=("ciscoish",))
+    dc_b: Dict[str, str] = {}
+    for name, text in dc_b_raw.items():
+        renamed = text
+        # Unique hostnames, router ids, loopbacks, host subnets, ASNs.
+        for old in sorted(dc_b_raw, key=len, reverse=True):
+            renamed = renamed.replace(old, f"b-{old}")
+        renamed = renamed.replace("192.168.", "192.169.")
+        renamed = renamed.replace("172.16.", "172.24.")
+        renamed = renamed.replace("172.17.", "172.25.")
+        renamed = renamed.replace("172.18.", "172.26.")
+        renamed = renamed.replace("172.19.", "172.27.")
+        # p2p link blocks of the fat-tree generator: 10.16.* and 10.32.*
+        renamed = renamed.replace("10.16.", "11.16.")
+        renamed = renamed.replace("10.32.", "11.32.")
+        renamed = renamed.replace("bgp 64900", "bgp 64901")
+        renamed = renamed.replace("remote-as 64900", "remote-as 64901")
+        renamed = renamed.replace("bgp 650", "bgp 660")
+        renamed = renamed.replace("remote-as 650", "remote-as 660")
+        renamed = renamed.replace("bgp 651", "bgp 661")
+        renamed = renamed.replace("remote-as 651", "remote-as 661")
+        dc_b[f"b-{name}"] = renamed
+    configs = dict(dc_a)
+    configs.update(dc_b)
+    # Interconnect core0 of each DC (primary) and core1 (backup).
+    for index, (a_core, b_core) in enumerate((("core0", "b-core0"),
+                                              ("core1", "b-core1"))):
+        ip_a = f"10.200.{index}.1"
+        ip_b = f"10.200.{index}.2"
+        extra_a = [
+            f"interface Interco{index}",
+            f" ip address {ip_a} 255.255.255.252",
+            f"router bgp 64900",
+            f" neighbor {ip_b} remote-as 64901",
+        ]
+        extra_b = [
+            f"interface Interco{index}",
+            f" ip address {ip_b} 255.255.255.252",
+            f"router bgp 64901",
+            f" neighbor {ip_a} remote-as 64900",
+        ]
+        if index == 1:  # backup link: depreference with prepending
+            extra_a += [
+                f" neighbor {ip_b} route-map BACKUP_OUT out",
+                "route-map BACKUP_OUT permit 10",
+                " set as-path prepend 64900 64900",
+            ]
+            extra_b += [
+                f" neighbor {ip_a} route-map BACKUP_OUT out",
+                "route-map BACKUP_OUT permit 10",
+                " set as-path prepend 64901 64901",
+            ]
+        configs[a_core] = configs[a_core] + "\n".join(extra_a) + "\n"
+        configs[b_core] = configs[b_core] + "\n".join(extra_b) + "\n"
+    return configs

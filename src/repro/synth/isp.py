@@ -1,0 +1,155 @@
+"""A small ISP: an iBGP core mesh over an OSPF backbone, eBGP customers
+and peers with community-driven routing policy (the BGP-policy-heavy
+row of Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.synth.base import (
+    CiscoishBuilder,
+    InterfaceSpec,
+    NeighborSpec,
+    loopback_ip,
+)
+
+ISP_AS = 64600
+
+
+def isp(num_core: int = 4, num_customers: int = 6,
+        num_peers: int = 2) -> Dict[str, str]:
+    """Generate an ISP snapshot.
+
+    Core routers form an OSPF full mesh (ring + chords for >3 routers)
+    and an iBGP full mesh over loopbacks. Customers attach round-robin
+    to cores, originating their own prefixes; peers exchange routes with
+    community-tagged import policies: customer routes get local-pref
+    200, peer routes 100, and customer routes are the only ones exported
+    to peers (the classic Gao-Rexford policy written as route maps).
+    """
+    builders: Dict[str, CiscoishBuilder] = {}
+    link_counter = [0]
+
+    def p2p() -> Tuple[str, str, int]:
+        index = link_counter[0]
+        link_counter[0] += 1
+        base = (10 << 24) | (14 << 20) | (index << 2)
+        return str(Ip(base + 1)), str(Ip(base + 2)), 30
+
+    cores = []
+    for c in range(num_core):
+        builder = CiscoishBuilder(f"isp{c}")
+        rid = loopback_ip(800 + c)
+        builder.router_id(rid)
+        builder.interface(
+            InterfaceSpec("Loopback0", rid, 32, ospf_area=0, ospf_passive=True)
+        )
+        builder.bgp(ISP_AS)
+        builder.community_list("CUSTOMER_ROUTES", [f"{ISP_AS}:100"])
+        builder.route_map(
+            "CUST_IN", "permit", 10,
+            sets=[f"community {ISP_AS}:100 additive", "local-preference 200"],
+        )
+        builder.route_map(
+            "PEER_IN", "permit", 10,
+            sets=[f"community {ISP_AS}:200 additive", "local-preference 100"],
+        )
+        builder.route_map(
+            "PEER_OUT", "permit", 10, matches=["community CUSTOMER_ROUTES"]
+        )
+        builder.route_map("PEER_OUT", "deny", 20)
+        cores.append(builder)
+        builders[builder.hostname] = builder
+
+    port = {name: 0 for name in builders}
+
+    def next_port(builder: CiscoishBuilder) -> str:
+        index = port[builder.hostname]
+        port[builder.hostname] += 1
+        return f"Ethernet{index}"
+
+    # OSPF ring over the cores.
+    for c in range(num_core):
+        peer = (c + 1) % num_core
+        if num_core == 2 and c == 1:
+            break
+        ip_a, ip_b, plen = p2p()
+        cores[c].interface(
+            InterfaceSpec(next_port(cores[c]), ip_a, plen, ospf_area=0,
+                          ospf_cost=10)
+        )
+        cores[peer].interface(
+            InterfaceSpec(next_port(cores[peer]), ip_b, plen, ospf_area=0,
+                          ospf_cost=10)
+        )
+    # iBGP full mesh over loopbacks with next-hop-self.
+    for a in range(num_core):
+        for b in range(num_core):
+            if a == b:
+                continue
+            cores[a].bgp_neighbor(
+                NeighborSpec(
+                    peer_ip=loopback_ip(800 + b), remote_as=ISP_AS,
+                    next_hop_self=True, send_community=True,
+                )
+            )
+
+    # Customers.
+    for x in range(num_customers):
+        name = f"cust{x}"
+        customer = CiscoishBuilder(name)
+        customer_as = 64700 + x
+        rid = loopback_ip(850 + x)
+        customer.router_id(rid)
+        customer.interface(InterfaceSpec("Loopback0", rid, 32))
+        core = cores[x % num_core]
+        ip_cust, ip_core, plen = p2p()
+        customer.interface(InterfaceSpec("Ethernet0", ip_cust, plen))
+        core.interface(InterfaceSpec(next_port(core), ip_core, plen))
+        prefix = Prefix((100 << 24) | ((64 + x) << 16), 16)
+        customer.bgp(
+            customer_as,
+            f"network {prefix.network} mask {prefix.mask}",
+        )
+        customer.static(str(prefix), "Null0")
+        customer.bgp_neighbor(NeighborSpec(peer_ip=ip_core, remote_as=ISP_AS))
+        core.bgp_neighbor(
+            NeighborSpec(
+                peer_ip=ip_cust, remote_as=customer_as,
+                route_map_in="CUST_IN", send_community=True,
+            )
+        )
+        builders[name] = customer
+        port[name] = 1
+
+    # Settlement-free peers.
+    for x in range(num_peers):
+        name = f"peer{x}"
+        peer = CiscoishBuilder(name)
+        peer_as = 64800 + x
+        rid = loopback_ip(880 + x)
+        peer.router_id(rid)
+        peer.interface(InterfaceSpec("Loopback0", rid, 32))
+        core = cores[(x + 1) % num_core]
+        ip_peer, ip_core, plen = p2p()
+        peer.interface(InterfaceSpec("Ethernet0", ip_peer, plen))
+        core.interface(InterfaceSpec(next_port(core), ip_core, plen))
+        prefix = Prefix((100 << 24) | ((128 + x) << 16), 16)
+        peer.bgp(
+            peer_as,
+            f"network {prefix.network} mask {prefix.mask}",
+        )
+        peer.static(str(prefix), "Null0")
+        peer.bgp_neighbor(NeighborSpec(peer_ip=ip_core, remote_as=ISP_AS))
+        core.bgp_neighbor(
+            NeighborSpec(
+                peer_ip=ip_peer, remote_as=peer_as,
+                route_map_in="PEER_IN", route_map_out="PEER_OUT",
+                send_community=True,
+            )
+        )
+        builders[name] = peer
+        port[name] = 1
+
+    return {name: builder.render() for name, builder in builders.items()}

@@ -1,0 +1,205 @@
+"""Wide-area networks: an OSPF core ring with edge routers, iBGP over
+loopbacks, and external eBGP peers with routing policy (the "WAN" rows
+of Table 1).
+
+This is the protocol-diverse workload: OSPF for infrastructure
+reachability, an iBGP full mesh with next-hop-self at the borders,
+eBGP sessions to external networks, route maps with prefix lists,
+community tagging, and local-preference steering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hdr.ip import Ip, Prefix
+from repro.synth.base import (
+    CiscoishBuilder,
+    InterfaceSpec,
+    NeighborSpec,
+    host_subnet,
+    loopback_ip,
+)
+
+WAN_AS = 65500
+
+
+def wan(num_core: int = 4, num_edge: int = 8,
+        num_externals: int = 2) -> Dict[str, str]:
+    """Generate a WAN snapshot.
+
+    Core routers form an OSPF ring; each edge router dual-homes to two
+    adjacent cores; all WAN routers share an iBGP full mesh over
+    loopbacks; ``num_externals`` provider routers peer eBGP with the
+    first cores, filtered and tagged by route maps.
+    """
+    if num_core < 2:
+        raise ValueError("need at least two core routers")
+    builders: Dict[str, CiscoishBuilder] = {}
+    link_counter = [0]
+
+    def p2p() -> Tuple[str, str, int]:
+        index = link_counter[0]
+        link_counter[0] += 1
+        base = (10 << 24) | (5 << 20) | (index << 2)
+        return str(Ip(base + 1)), str(Ip(base + 2)), 30
+
+    def wan_router(name: str, index: int) -> CiscoishBuilder:
+        builder = CiscoishBuilder(name)
+        rid = loopback_ip(index)
+        builder.router_id(rid)
+        builder.interface(
+            InterfaceSpec("Loopback0", rid, 32, ospf_area=0, ospf_passive=True)
+        )
+        builder.ntp("192.0.2.123")
+        builder.dns("192.0.2.53")
+        builders[name] = builder
+        return builder
+
+    cores = [wan_router(f"wcore{c}", c + 1) for c in range(num_core)]
+    edges = [wan_router(f"wedge{e}", 100 + e) for e in range(num_edge)]
+
+    # Core ring (OSPF area 0).
+    port = [0] * (num_core + num_edge)
+
+    def next_port(kind: str, index: int) -> str:
+        offset = index if kind == "core" else num_core + index
+        port[offset] += 1
+        return f"Ethernet{port[offset] - 1}"
+
+    for c in range(num_core):
+        peer = (c + 1) % num_core
+        if num_core == 2 and c == 1:
+            break  # avoid a duplicate parallel link in a 2-core ring
+        ip_a, ip_b, plen = p2p()
+        cores[c].interface(
+            InterfaceSpec(next_port("core", c), ip_a, plen, ospf_area=0,
+                          ospf_cost=10)
+        )
+        cores[peer].interface(
+            InterfaceSpec(next_port("core", peer), ip_b, plen, ospf_area=0,
+                          ospf_cost=10)
+        )
+
+    # Edges dual-home to two adjacent cores.
+    for e in range(num_edge):
+        primary = e % num_core
+        secondary = (e + 1) % num_core
+        for which, core_index in enumerate((primary, secondary)):
+            ip_edge, ip_core, plen = p2p()
+            edges[e].interface(
+                InterfaceSpec(
+                    next_port("edge", e), ip_edge, plen, ospf_area=0,
+                    ospf_cost=20 if which else 10,
+                )
+            )
+            cores[core_index].interface(
+                InterfaceSpec(
+                    next_port("core", core_index), ip_core, plen, ospf_area=0,
+                    ospf_cost=20 if which else 10,
+                )
+            )
+        subnet = host_subnet((e % 4) + 8, e)
+        gateway = str(Ip(subnet.network.value + 1))
+        edges[e].interface(
+            InterfaceSpec(
+                next_port("edge", e), gateway, 24, ospf_area=0,
+                ospf_passive=True, description="attached site",
+                acl_in="SITE_IN" if e == 0 else None,
+            )
+        )
+        if e == 0:
+            edges[e].acl(
+                "SITE_IN",
+                [
+                    "deny ip 10.99.0.0 0.0.255.255 any",
+                    "permit tcp any any",
+                    "permit udp any any eq domain",
+                    "permit icmp any any",
+                    "deny ip any any",
+                ],
+            )
+        edges[e].bgp(
+            WAN_AS,
+            f"network {subnet.network} mask {subnet.mask}",
+        )
+    for c in range(num_core):
+        cores[c].bgp(WAN_AS)
+
+    # iBGP full mesh over loopbacks.
+    wan_names = [b.hostname for b in cores + edges]
+    rid_of = {}
+    for c, builder in enumerate(cores):
+        rid_of[builder.hostname] = loopback_ip(c + 1)
+    for e, builder in enumerate(edges):
+        rid_of[builder.hostname] = loopback_ip(100 + e)
+    for a_name in wan_names:
+        for b_name in wan_names:
+            if a_name >= b_name:
+                continue
+            builders[a_name].bgp_neighbor(
+                NeighborSpec(
+                    peer_ip=rid_of[b_name], remote_as=WAN_AS, next_hop_self=True,
+                    send_community=True,
+                )
+            )
+            builders[b_name].bgp_neighbor(
+                NeighborSpec(
+                    peer_ip=rid_of[a_name], remote_as=WAN_AS, next_hop_self=True,
+                    send_community=True,
+                )
+            )
+
+    # External providers peer with the first cores.
+    for x in range(num_externals):
+        name = f"provider{x}"
+        provider = CiscoishBuilder(name)
+        provider_as = 65600 + x
+        rid = loopback_ip(200 + x)
+        provider.router_id(rid)
+        provider.interface(InterfaceSpec("Loopback0", rid, 32))
+        ip_prov, ip_core, plen = p2p()
+        provider.interface(InterfaceSpec("Ethernet0", ip_prov, plen))
+        core = cores[x % num_core]
+        core.interface(InterfaceSpec(next_port("core", x % num_core), ip_core, plen))
+        external_prefix = Prefix((8 + x) << 24, 8)
+        provider.bgp(
+            provider_as,
+            f"network {external_prefix.network} mask {external_prefix.mask}",
+        )
+        provider.static(str(external_prefix), "Null0")
+        # A concrete service subnet inside the aggregate, so traffic to
+        # it is *delivered* rather than falling into the null route.
+        service_gateway = str(Ip(external_prefix.network.value + 1))
+        provider.interface(
+            InterfaceSpec("Service0", service_gateway, 24,
+                          description="provider service hosts")
+        )
+        provider.bgp_neighbor(NeighborSpec(peer_ip=ip_core, remote_as=WAN_AS))
+        core.prefix_list(
+            f"FROM_PROVIDER{x}", [f"permit {external_prefix} le 24"]
+        )
+        core.route_map(
+            f"RM_PROV{x}_IN", "permit", 10,
+            matches=[f"ip address prefix-list FROM_PROVIDER{x}"],
+            sets=[
+                f"local-preference {200 - x * 50}",
+                f"community 65500:{100 + x} additive",
+            ],
+        )
+        core.route_map(f"RM_PROV{x}_IN", "deny", 20)
+        core.route_map(
+            f"RM_PROV{x}_OUT", "permit", 10,
+            matches=["ip address prefix-list OWN_PREFIXES"],
+        )
+        core.route_map(f"RM_PROV{x}_OUT", "deny", 20)
+        core.prefix_list("OWN_PREFIXES", ["permit 172.16.0.0/12 le 24"])
+        core.bgp_neighbor(
+            NeighborSpec(
+                peer_ip=ip_prov, remote_as=provider_as,
+                route_map_in=f"RM_PROV{x}_IN", route_map_out=f"RM_PROV{x}_OUT",
+            )
+        )
+        builders[name] = provider
+
+    return {name: builder.render() for name, builder in builders.items()}

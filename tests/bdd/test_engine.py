@@ -1,0 +1,309 @@
+"""Tests for the ROBDD engine, including property-based validation of the
+BDD algebra against explicit truth tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.engine import FALSE, TRUE, BddEngine
+
+
+@pytest.fixture
+def engine():
+    return BddEngine(num_vars=8)
+
+
+class TestBasics:
+    def test_terminals(self, engine):
+        assert engine.not_(TRUE) == FALSE
+        assert engine.not_(FALSE) == TRUE
+        assert engine.and_(TRUE, FALSE) == FALSE
+        assert engine.or_(TRUE, FALSE) == TRUE
+
+    def test_var_canonical(self, engine):
+        assert engine.var(3) == engine.var(3)
+        assert engine.var(3) != engine.var(4)
+
+    def test_nvar_is_not_var(self, engine):
+        assert engine.nvar(2) == engine.not_(engine.var(2))
+
+    def test_var_out_of_range(self, engine):
+        with pytest.raises(ValueError):
+            engine.var(8)
+        with pytest.raises(ValueError):
+            engine.nvar(-1)
+
+    def test_zero_vars_rejected(self):
+        with pytest.raises(ValueError):
+            BddEngine(0)
+
+    def test_idempotence_and_canonicity(self, engine):
+        a = engine.var(0)
+        b = engine.var(1)
+        ab1 = engine.and_(a, b)
+        ab2 = engine.and_(b, a)
+        assert ab1 == ab2  # canonical: same function, same id
+
+    def test_complement_involution(self, engine):
+        f = engine.or_(engine.var(0), engine.nvar(3))
+        assert engine.not_(engine.not_(f)) == f
+
+    def test_excluded_middle(self, engine):
+        f = engine.xor(engine.var(1), engine.var(2))
+        assert engine.or_(f, engine.not_(f)) == TRUE
+        assert engine.and_(f, engine.not_(f)) == FALSE
+
+    def test_diff(self, engine):
+        a, b = engine.var(0), engine.var(1)
+        d = engine.diff(a, b)
+        assert engine.and_(d, b) == FALSE
+        assert engine.or_(d, engine.and_(a, b)) == a
+
+    def test_implies(self, engine):
+        a, b = engine.var(0), engine.var(1)
+        assert engine.implies(engine.and_(a, b), a)
+        assert not engine.implies(a, engine.and_(a, b))
+
+    def test_ite(self, engine):
+        f, g, h = engine.var(0), engine.var(1), engine.var(2)
+        ite = engine.ite(f, g, h)
+        expected = engine.or_(engine.and_(f, g), engine.and_(engine.not_(f), h))
+        assert ite == expected
+
+    def test_ite_shortcuts(self, engine):
+        g, h = engine.var(1), engine.var(2)
+        assert engine.ite(TRUE, g, h) == g
+        assert engine.ite(FALSE, g, h) == h
+        assert engine.ite(engine.var(0), TRUE, FALSE) == engine.var(0)
+        assert engine.ite(engine.var(0), FALSE, TRUE) == engine.nvar(0)
+        assert engine.ite(engine.var(0), g, g) == g
+
+    def test_all_and_or(self, engine):
+        vs = [engine.var(i) for i in range(4)]
+        assert engine.all_and([]) == TRUE
+        assert engine.all_or([]) == FALSE
+        conj = engine.all_and(vs)
+        for i in range(4):
+            assert engine.implies(conj, vs[i])
+        disj = engine.all_or(vs)
+        assert engine.implies(vs[2], disj)
+
+
+class TestEvalAndModels:
+    def test_eval(self, engine):
+        f = engine.and_(engine.var(0), engine.nvar(1))
+        assert engine.eval(f, {0: 1, 1: 0})
+        assert not engine.eval(f, {0: 1, 1: 1})
+        assert not engine.eval(f, {0: 0})
+
+    def test_any_sat_of_false(self, engine):
+        assert engine.any_sat(FALSE) is None
+
+    def test_any_sat_satisfies(self, engine):
+        f = engine.and_(engine.var(2), engine.nvar(5))
+        model = engine.any_sat(f)
+        assert engine.eval(f, model)
+
+    def test_from_assignment(self, engine):
+        f = engine.from_assignment({1: 1, 3: 0})
+        assert engine.eval(f, {1: 1, 3: 0})
+        assert not engine.eval(f, {1: 1, 3: 1})
+
+    def test_sat_count(self, engine):
+        assert engine.sat_count(TRUE) == 256
+        assert engine.sat_count(FALSE) == 0
+        assert engine.sat_count(engine.var(0)) == 128
+        f = engine.and_(engine.var(0), engine.var(7))
+        assert engine.sat_count(f) == 64
+
+    def test_sat_count_smaller_universe(self, engine):
+        f = engine.var(0)
+        assert engine.sat_count(f, over_vars=1) == 1
+
+    def test_sat_count_rejects_dependent_vars(self, engine):
+        with pytest.raises(ValueError):
+            engine.sat_count(engine.var(7), over_vars=2)
+
+    def test_sat_iter_enumerates_disjoint_cubes(self, engine):
+        f = engine.xor(engine.var(0), engine.var(1))
+        cubes = list(engine.sat_iter(f))
+        assert len(cubes) == 2
+        for cube in cubes:
+            assert engine.eval(f, cube)
+
+    def test_sat_iter_limit(self, engine):
+        assert len(list(engine.sat_iter(TRUE, limit=1))) == 1
+
+    def test_best_sat_respects_preference(self, engine):
+        f = TRUE
+        prefer = engine.and_(engine.var(0), engine.var(1))
+        model = engine.best_sat(f, [prefer])
+        assert model[0] == 1 and model[1] == 1
+
+    def test_best_sat_skips_unsatisfiable_preference(self, engine):
+        f = engine.nvar(0)
+        model = engine.best_sat(f, [engine.var(0), engine.var(1)])
+        assert model[0] == 0  # first preference conflicts, dropped
+        assert model[1] == 1  # second applies
+
+    def test_best_sat_of_empty(self, engine):
+        assert engine.best_sat(FALSE, [engine.var(0)]) is None
+
+
+class TestStructure:
+    def test_support(self, engine):
+        f = engine.and_(engine.var(1), engine.or_(engine.var(4), engine.nvar(6)))
+        assert engine.support(f) == (1, 4, 6)
+        assert engine.support(TRUE) == ()
+
+    def test_size(self, engine):
+        assert engine.size(TRUE) == 0
+        assert engine.size(engine.var(0)) == 1
+        f = engine.and_(engine.var(0), engine.var(1))
+        assert engine.size(f) == 2
+
+    def test_restrict(self, engine):
+        f = engine.and_(engine.var(0), engine.var(1))
+        assert engine.restrict(f, 0, 1) == engine.var(1)
+        assert engine.restrict(f, 0, 0) == FALSE
+
+    def test_clear_caches_preserves_functions(self, engine):
+        f = engine.and_(engine.var(0), engine.var(1))
+        engine.clear_caches()
+        assert engine.and_(engine.var(0), engine.var(1)) == f
+
+
+class TestQuantification:
+    def test_exists_removes_var(self, engine):
+        f = engine.and_(engine.var(0), engine.var(1))
+        cube = engine.cube([0])
+        assert engine.exists(f, cube) == engine.var(1)
+
+    def test_exists_of_unconstrained_var(self, engine):
+        f = engine.var(1)
+        cube = engine.cube([0, 5])
+        assert engine.exists(f, cube) == f
+
+    def test_exists_all_support(self, engine):
+        f = engine.xor(engine.var(2), engine.var(3))
+        cube = engine.cube([2, 3])
+        assert engine.exists(f, cube) == TRUE
+
+    def test_cube_interning(self, engine):
+        assert engine.cube([3, 1]) == engine.cube([1, 3, 3])
+
+    def test_rename(self, engine):
+        f = engine.and_(engine.var(0), engine.nvar(2))
+        mapping = engine.rename_map({0: 1, 2: 3})
+        g = engine.rename(f, mapping)
+        assert g == engine.and_(engine.var(1), engine.nvar(3))
+
+    def test_rename_must_preserve_order(self, engine):
+        with pytest.raises(ValueError):
+            engine.rename_map({0: 5, 2: 3})
+
+    def test_and_exists_equals_unfused(self, engine):
+        a = engine.or_(engine.var(0), engine.var(2))
+        b = engine.and_(engine.var(0), engine.var(3))
+        cube = engine.cube([0])
+        fused = engine.and_exists(a, b, cube)
+        unfused = engine.exists(engine.and_(a, b), cube)
+        assert fused == unfused
+
+    def test_transform_models_rewrite(self, engine):
+        # Variables: input bit 0, output bit 1. Relation: out = NOT in.
+        relation = engine.xor(engine.var(0), engine.var(1))
+        cube = engine.cube([0])
+        rename = engine.rename_map({1: 0})
+        # Input set: bit0 = 1. After "negate" transform: bit0 = 0.
+        result = engine.transform(engine.var(0), relation, cube, rename)
+        assert result == engine.nvar(0)
+
+
+def _truth_table(engine, node, nvars):
+    return tuple(
+        engine.eval(node, {i: (row >> i) & 1 for i in range(nvars)})
+        for row in range(1 << nvars)
+    )
+
+
+@st.composite
+def _random_expr(draw, depth=0):
+    """Random boolean expression over 5 variables as a nested tuple."""
+    if depth >= 4 or draw(st.booleans()):
+        return ("var", draw(st.integers(min_value=0, max_value=4)))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ("not", draw(_random_expr(depth + 1)))
+    return (op, draw(_random_expr(depth + 1)), draw(_random_expr(depth + 1)))
+
+
+def _build(engine, expr):
+    if expr[0] == "var":
+        return engine.var(expr[1])
+    if expr[0] == "not":
+        return engine.not_(_build(engine, expr[1]))
+    lhs, rhs = _build(engine, expr[1]), _build(engine, expr[2])
+    return {"and": engine.and_, "or": engine.or_, "xor": engine.xor}[expr[0]](lhs, rhs)
+
+
+def _eval_expr(expr, bits):
+    if expr[0] == "var":
+        return bits[expr[1]]
+    if expr[0] == "not":
+        return 1 - _eval_expr(expr[1], bits)
+    lhs, rhs = _eval_expr(expr[1], bits), _eval_expr(expr[2], bits)
+    return {"and": lhs & rhs, "or": lhs | rhs, "xor": lhs ^ rhs}[expr[0]]
+
+
+class TestAlgebraProperties:
+    @given(_random_expr())
+    @settings(max_examples=200)
+    def test_bdd_matches_truth_table(self, expr):
+        engine = BddEngine(5)
+        node = _build(engine, expr)
+        for row in range(32):
+            bits = [(row >> i) & 1 for i in range(5)]
+            assignment = {i: bits[i] for i in range(5)}
+            assert engine.eval(node, assignment) == bool(_eval_expr(expr, bits))
+
+    @given(_random_expr(), _random_expr())
+    @settings(max_examples=100)
+    def test_de_morgan(self, e1, e2):
+        engine = BddEngine(5)
+        a, b = _build(engine, e1), _build(engine, e2)
+        assert engine.not_(engine.and_(a, b)) == engine.or_(
+            engine.not_(a), engine.not_(b)
+        )
+
+    @given(_random_expr())
+    @settings(max_examples=100)
+    def test_sat_count_matches_enumeration(self, expr):
+        engine = BddEngine(5)
+        node = _build(engine, expr)
+        explicit = sum(
+            _eval_expr(expr, [(row >> i) & 1 for i in range(5)])
+            for row in range(32)
+        )
+        assert engine.sat_count(node) == explicit
+
+    @given(_random_expr(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=100)
+    def test_exists_is_or_of_cofactors(self, expr, level):
+        engine = BddEngine(5)
+        node = _build(engine, expr)
+        quantified = engine.exists(node, engine.cube([level]))
+        expected = engine.or_(
+            engine.restrict(node, level, 0), engine.restrict(node, level, 1)
+        )
+        assert quantified == expected
+
+    @given(_random_expr(), _random_expr())
+    @settings(max_examples=100)
+    def test_and_exists_matches_unfused(self, e1, e2):
+        engine = BddEngine(5)
+        a, b = _build(engine, e1), _build(engine, e2)
+        cube = engine.cube([1, 3])
+        assert engine.and_exists(a, b, cube) == engine.exists(
+            engine.and_(a, b), cube
+        )

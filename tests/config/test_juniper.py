@@ -1,0 +1,211 @@
+"""Tests for the juniperish (set-style) parser."""
+
+import pytest
+
+from repro.config.juniper import parse_juniper
+from repro.config.model import Action, MatchKind, SetKind
+from repro.hdr import fields as f
+from repro.hdr.ip import Ip, Prefix
+
+BASIC = """\
+set system host-name r2
+set system ntp server 192.0.2.1
+set system name-server 192.0.2.53
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.1.2/24
+set interfaces ge-0/0/0 unit 0 family inet filter input ACL_IN
+set interfaces ge-0/0/0 unit 0 family inet filter output ACL_OUT
+set interfaces ge-0/0/1 unit 0 family inet address 10.0.2.2/24
+set interfaces ge-0/0/1 disable
+set interfaces lo0 unit 0 family inet address 2.2.2.2/32
+set interfaces ge-0/0/0 description core uplink
+set protocols ospf area 0 interface ge-0/0/0 metric 15
+set protocols ospf area 0 interface lo0 passive
+set protocols ospf reference-bandwidth 100000000000
+set protocols bgp local-as 65002
+set protocols bgp group PEERS neighbor 10.0.1.1 peer-as 65001
+set protocols bgp group PEERS neighbor 10.0.1.1 import RM_IN
+set protocols bgp group PEERS neighbor 10.0.1.1 export RM_OUT
+set protocols bgp group PEERS neighbor 10.0.1.1 description transit
+set routing-options router-id 2.2.2.2
+set routing-options static route 0.0.0.0/0 next-hop 10.0.1.1
+set routing-options static route 10.99.0.0/16 next-hop discard preference 250
+set policy-options prefix-list PL 10.0.0.0/8
+set policy-options policy-statement RM_IN term 10 from prefix-list PL
+set policy-options policy-statement RM_IN term 10 then local-preference 200
+set policy-options policy-statement RM_IN term 10 then accept
+set policy-options policy-statement RM_IN term 20 then reject
+set policy-options policy-statement RM_OUT term 10 then metric 50
+set policy-options policy-statement RM_OUT term 10 then accept
+set policy-options community PEER_ROUTES members 65001:100
+set firewall filter ACL_IN term web from protocol tcp
+set firewall filter ACL_IN term web from destination-port 80
+set firewall filter ACL_IN term web then accept
+set firewall filter ACL_IN term block-net from source-address 10.9.0.0/16
+set firewall filter ACL_IN term block-net then discard
+set firewall filter ACL_OUT term all then accept
+"""
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_juniper(BASIC)
+
+
+class TestInterfaces:
+    def test_hostname(self, parsed):
+        device, _ = parsed
+        assert device.hostname == "r2"
+        assert device.vendor == "juniperish"
+
+    def test_address(self, parsed):
+        device, _ = parsed
+        iface = device.interfaces["ge-0/0/0"]
+        assert iface.address == Ip("10.0.1.2")
+        assert iface.prefix_length == 24
+
+    def test_filters(self, parsed):
+        device, _ = parsed
+        iface = device.interfaces["ge-0/0/0"]
+        assert iface.incoming_acl == "ACL_IN"
+        assert iface.outgoing_acl == "ACL_OUT"
+
+    def test_disable(self, parsed):
+        device, _ = parsed
+        assert not device.interfaces["ge-0/0/1"].enabled
+
+    def test_description(self, parsed):
+        device, _ = parsed
+        assert device.interfaces["ge-0/0/0"].description == "core uplink"
+
+    def test_loopback(self, parsed):
+        device, _ = parsed
+        assert device.interfaces["lo0"].is_loopback
+
+
+class TestRouting:
+    def test_ospf(self, parsed):
+        device, _ = parsed
+        iface = device.interfaces["ge-0/0/0"]
+        assert iface.ospf_enabled
+        assert iface.ospf_cost == 15
+        assert device.interfaces["lo0"].ospf_passive
+        assert device.ospf.reference_bandwidth == 100000000000
+
+    def test_bgp(self, parsed):
+        device, _ = parsed
+        assert device.bgp.local_as == 65002
+        neighbor = device.bgp.neighbors[Ip("10.0.1.1")]
+        assert neighbor.remote_as == 65001
+        assert neighbor.import_policy == "RM_IN"
+        assert neighbor.export_policy == "RM_OUT"
+        assert neighbor.description == "transit"
+
+    def test_router_id(self, parsed):
+        device, _ = parsed
+        assert device.bgp.router_id == Ip("2.2.2.2")
+        assert device.ospf.router_id == Ip("2.2.2.2")
+
+    def test_static_routes(self, parsed):
+        device, _ = parsed
+        default, discard = device.static_routes
+        assert default.prefix == Prefix("0.0.0.0/0")
+        assert default.next_hop_ip == Ip("10.0.1.1")
+        assert default.admin_distance == 5  # juniper default preference
+        assert discard.is_null_routed
+        assert discard.admin_distance == 250
+
+
+class TestPolicy:
+    def test_policy_statement_to_route_map(self, parsed):
+        device, _ = parsed
+        route_map = device.route_maps["RM_IN"]
+        first, second = route_map.sorted_clauses()
+        assert first.action is Action.PERMIT
+        assert first.matches[0].kind is MatchKind.PREFIX_LIST
+        assert first.sets[0].kind is SetKind.LOCAL_PREF
+        assert second.action is Action.DENY
+
+    def test_prefix_list(self, parsed):
+        device, _ = parsed
+        assert device.prefix_lists["PL"].permits(Prefix("10.0.0.0/8"))
+
+    def test_community(self, parsed):
+        device, _ = parsed
+        assert device.community_lists["PEER_ROUTES"].permits(["65001:100"])
+
+
+class TestFilters:
+    def test_filter_to_acl(self, parsed):
+        device, _ = parsed
+        acl = device.acls["ACL_IN"]
+        web, block = acl.lines
+        assert web.action is Action.PERMIT
+        assert web.protocol == f.PROTO_TCP
+        assert web.dst_ports == ((80, 80),)
+        assert block.action is Action.DENY
+        assert block.src == Prefix("10.9.0.0/16")
+
+    def test_term_order_preserved(self, parsed):
+        device, _ = parsed
+        acl = device.acls["ACL_IN"]
+        assert [l.name for l in acl.lines] == ["term web", "term block-net"]
+
+    def test_port_range_token(self):
+        device, _ = parse_juniper(
+            "set system host-name r\n"
+            "set firewall filter A term t from destination-port 5000-6000\n"
+            "set firewall filter A term t then accept\n"
+        )
+        assert device.acls["A"].lines[0].dst_ports == ((5000, 6000),)
+
+
+class TestZones:
+    ZONES = """\
+set system host-name fw2
+set interfaces ge-0/0/0 unit 0 family inet address 192.168.1.1/24
+set interfaces ge-0/0/1 unit 0 family inet address 203.0.113.1/24
+set security zones security-zone trust interfaces ge-0/0/0
+set security zones security-zone untrust interfaces ge-0/0/1
+set security policies from-zone trust to-zone untrust policy allow-web match protocol tcp
+set security policies from-zone trust to-zone untrust policy allow-web match destination-port 443
+set security policies from-zone trust to-zone untrust policy allow-web then accept
+"""
+
+    def test_zone_membership(self):
+        device, _ = parse_juniper(self.ZONES)
+        assert device.zone_of_interface("ge-0/0/0") == "trust"
+        assert device.zone_of_interface("ge-0/0/1") == "untrust"
+
+    def test_zone_policy_becomes_acl(self):
+        device, _ = parse_juniper(self.ZONES)
+        policy = device.zone_policies[("trust", "untrust")]
+        acl = device.acls[policy.acl]
+        assert acl.lines[0].action is Action.PERMIT
+        assert acl.lines[0].dst_ports == ((443, 443),)
+
+
+class TestWarnings:
+    def test_non_set_line_warns(self):
+        _, warnings = parse_juniper("delete interfaces ge-0/0/0\n")
+        assert any("expected a 'set'" in w.comment for w in warnings)
+
+    def test_comments_ignored(self):
+        _, warnings = parse_juniper("# a comment\nset system host-name r\n")
+        assert warnings == []
+
+    def test_bgp_without_local_as(self):
+        device, warnings = parse_juniper(
+            "set system host-name r\n"
+            "set protocols bgp group G neighbor 10.0.0.1 peer-as 65001\n"
+        )
+        assert device.bgp is None
+        assert any("without local-as" in w.comment for w in warnings)
+
+    def test_neighbor_without_peer_as_dropped(self):
+        device, warnings = parse_juniper(
+            "set system host-name r\n"
+            "set protocols bgp local-as 65002\n"
+            "set protocols bgp group G neighbor 10.0.0.1 import RM\n"
+        )
+        assert device.bgp.neighbors == {}
+        assert any("no peer-as" in w.comment for w in warnings)

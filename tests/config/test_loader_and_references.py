@@ -1,0 +1,111 @@
+"""Tests for snapshot loading, syntax detection, and reference tracking."""
+
+import os
+
+import pytest
+
+from repro.config.loader import (
+    detect_syntax,
+    load_snapshot_from_dir,
+    load_snapshot_from_texts,
+    parse_config_text,
+)
+from repro.config.references import (
+    StructureType,
+    undefined_references,
+    unused_structures,
+)
+
+CISCO = """\
+hostname r1
+interface Ethernet0
+ ip address 10.0.1.1 255.255.255.0
+ ip access-group MISSING_ACL in
+router bgp 65001
+ neighbor 10.0.1.2 remote-as 65002
+ neighbor 10.0.1.2 route-map MISSING_RM in
+ip access-list extended UNUSED_ACL
+ permit ip any any
+"""
+
+JUNIPER = """\
+set system host-name r2
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.1.2/24
+"""
+
+
+class TestDetectSyntax:
+    def test_cisco(self):
+        assert detect_syntax(CISCO) == "ciscoish"
+
+    def test_juniper(self):
+        assert detect_syntax(JUNIPER) == "juniperish"
+
+    def test_empty_defaults_to_cisco(self):
+        assert detect_syntax("") == "ciscoish"
+
+    def test_parse_dispatch(self):
+        device, _ = parse_config_text(JUNIPER)
+        assert device.vendor == "juniperish"
+        device, _ = parse_config_text(CISCO)
+        assert device.vendor == "ciscoish"
+
+
+class TestSnapshotLoading:
+    def test_from_texts(self):
+        snapshot = load_snapshot_from_texts({"r1.cfg": CISCO, "r2.cfg": JUNIPER})
+        assert snapshot.hostnames() == ["r1", "r2"]
+        assert snapshot.device("r2").vendor == "juniperish"
+
+    def test_duplicate_hostname_flagged(self):
+        snapshot = load_snapshot_from_texts(
+            {"a.cfg": "hostname dup\n", "b.cfg": "hostname dup\n"}
+        )
+        assert len(snapshot.devices) == 1
+        assert any("duplicate hostname" in w.comment for w in snapshot.warnings)
+
+    def test_from_dir(self, tmp_path):
+        (tmp_path / "r1.cfg").write_text(CISCO)
+        (tmp_path / "r2.cfg").write_text(JUNIPER)
+        (tmp_path / "notes.txt").write_text("not a config")
+        snapshot = load_snapshot_from_dir(str(tmp_path))
+        assert snapshot.hostnames() == ["r1", "r2"]
+
+    def test_from_empty_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_snapshot_from_dir(str(tmp_path))
+
+
+class TestReferences:
+    def test_undefined_references_found(self):
+        device, _ = parse_config_text(CISCO)
+        undefined = undefined_references(device)
+        names = {(ref.structure_type, ref.name) for ref in undefined}
+        assert (StructureType.ACL, "MISSING_ACL") in names
+        assert (StructureType.ROUTE_MAP, "MISSING_RM") in names
+
+    def test_defined_references_not_flagged(self):
+        text = CISCO.replace("MISSING_ACL", "UNUSED_ACL")
+        device, _ = parse_config_text(text)
+        undefined = undefined_references(device)
+        assert all(ref.name != "UNUSED_ACL" for ref in undefined)
+
+    def test_unused_structures_found(self):
+        device, _ = parse_config_text(CISCO)
+        unused = unused_structures(device)
+        assert any(
+            u.name == "UNUSED_ACL" and u.structure_type is StructureType.ACL
+            for u in unused
+        )
+
+    def test_used_structure_not_unused(self):
+        text = CISCO.replace("MISSING_ACL", "UNUSED_ACL")
+        device, _ = parse_config_text(text)
+        assert not any(u.name == "UNUSED_ACL" for u in unused_structures(device))
+
+    def test_reference_context_is_descriptive(self):
+        device, _ = parse_config_text(CISCO)
+        ref = next(
+            r for r in undefined_references(device) if r.name == "MISSING_RM"
+        )
+        assert "import policy" in ref.context

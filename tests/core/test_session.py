@@ -1,0 +1,118 @@
+"""Tests for the public Session API."""
+
+import pytest
+
+from repro import HeaderSpace, Ip, Packet, Session
+from repro.core.session import NotConvergedError
+from repro.hdr import fields as f
+from repro.reachability.graph import Disposition
+from repro.routing.engine import ConvergenceSettings
+from repro.synth.special import figure1b, net1
+from repro.synth.wan import wan
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session.from_texts(net1(3))
+
+
+class TestLifecycle:
+    def test_from_texts(self, session):
+        assert len(session.snapshot.devices) == 6
+
+    def test_from_dir(self, tmp_path):
+        for name, text in net1(2).items():
+            (tmp_path / f"{name}.cfg").write_text(text)
+        session = Session.from_dir(str(tmp_path))
+        assert len(session.snapshot.devices) == 4
+
+    def test_lazy_pipeline(self, session):
+        assert session.dataplane.converged
+        assert session.fibs
+        assert session.analyzer.graph.num_nodes() > 0
+
+    def test_assert_converged_passes(self, session):
+        session.assert_converged()
+
+    def test_assert_converged_raises_on_oscillation(self):
+        bad = Session.from_texts(
+            figure1b(),
+            settings=ConvergenceSettings(schedule="lockstep", max_iterations=40),
+        )
+        with pytest.raises(NotConvergedError) as excinfo:
+            bad.assert_converged()
+        assert "10.0.0.0/8" in str(excinfo.value)
+
+
+class TestQuestionSurface:
+    def test_routes(self, session):
+        rows = session.routes()
+        assert rows
+        one_node = session.routes("net1-core0")
+        assert all(row.node == "net1-core0" for row in one_node)
+
+    def test_parse_warnings_empty_on_clean(self, session):
+        assert session.parse_warnings() == []
+
+    def test_configuration_questions(self, session):
+        assert session.undefined_references().rows == []
+        assert session.duplicate_ips().rows == []
+        session.unused_structures()
+        session.management_plane_consistency()
+
+    def test_bgp_session_question_on_wan(self):
+        wan_session = Session.from_texts(wan(2, 2, 1))
+        sessions, issues = wan_session.bgp_session_compatibility()
+        assert sessions
+        assert issues == []
+
+    def test_filter_questions(self, session):
+        result = session.test_filter(
+            "net1-core0", "SPUR_FILTER", Packet(dst_port=23)
+        )
+        assert not result.action.value == "permit"
+        rows = session.search_filters(HeaderSpace.build(protocols=[f.PROTO_TCP]))
+        assert rows
+        session.unreachable_filter_lines()
+
+
+class TestForwardingSurface:
+    def test_reachability_scoped_default(self, session):
+        answer = session.reachability()
+        assert answer.success_set() != 0
+
+    def test_reachability_explicit_sources(self, session):
+        answer = session.reachability(
+            HeaderSpace.build(dst="172.19.1.0/24"),
+            sources=[("net1-spur0", "Vlan10")],
+        )
+        assert answer.success_set() != 0
+
+    def test_reachability_unscoped(self, session):
+        answer = session.reachability(scoped=False)
+        assert Disposition.DELIVERED in answer.by_disposition
+
+    def test_multipath_consistency(self, session):
+        violations = session.multipath_consistency()
+        assert violations  # NET1's deliberate asymmetry
+        assert violations[0].example is not None
+
+    def test_traceroute(self, session):
+        packet = Packet(
+            src_ip=Ip("172.19.0.10"), dst_ip=Ip("172.19.1.10"), dst_port=80
+        )
+        traces = session.traceroute(packet, "net1-spur0", "Vlan10")
+        assert traces
+        assert traces[0].disposition in (
+            Disposition.DELIVERED, Disposition.ACCEPTED,
+        )
+
+    def test_service_questions(self, session):
+        reachable = session.service_reachable(
+            "172.19.1.10", port=443, client_locations=[("net1-spur0", "Vlan10")]
+        )
+        assert reachable.reachable
+
+    def test_validate_engines(self, session):
+        report = session.validate_engines()
+        assert report.passed, [m.describe() for m in report.mismatches[:3]]

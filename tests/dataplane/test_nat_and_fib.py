@@ -1,0 +1,161 @@
+"""Tests for NAT pipelines (concrete + symbolic agreement) and FIB
+construction/resolution."""
+
+import pytest
+
+from repro.bdd.engine import FALSE
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Acl, AclLine, Action, Device, NatKind, NatRule
+from repro.dataplane.fib import FibActionType, build_fib, compute_fibs
+from repro.dataplane.nat import NatPipeline, _concrete_pool_ip
+from repro.hdr import fields as f
+from repro.hdr.headerspace import PacketEncoder
+from repro.hdr.ip import Ip, Prefix
+from repro.hdr.packet import Packet
+from repro.routing.engine import compute_dataplane
+
+
+def _device_with_nat():
+    device = Device(hostname="fw")
+    device.acls["MATCH_INSIDE"] = Acl(
+        name="MATCH_INSIDE",
+        lines=[AclLine(action=Action.PERMIT, src=Prefix("192.168.0.0/16"))],
+    )
+    return device
+
+
+DYNAMIC = NatRule(
+    kind=NatKind.SOURCE, match_acl="MATCH_INSIDE", pool=Prefix("100.64.0.0/24")
+)
+STATIC = NatRule(
+    kind=NatKind.STATIC,
+    match_acl=None,
+    pool=Prefix("203.0.113.0/28"),
+    static_inside=Prefix("192.168.5.0/28"),
+)
+DEST = NatRule(
+    kind=NatKind.DESTINATION, match_acl=None, pool=Prefix("10.0.0.5/32")
+)
+
+
+class TestConcreteNat:
+    def test_dynamic_source_rewrite(self):
+        pipeline = NatPipeline(_device_with_nat(), [DYNAMIC], kind=None)
+        packet = Packet(src_ip=Ip("192.168.1.7"), dst_ip=Ip("8.8.8.8"))
+        rewritten = pipeline.apply_concrete(packet)
+        assert Prefix("100.64.0.0/24").contains_ip(rewritten.src_ip)
+        assert rewritten.dst_ip == packet.dst_ip
+
+    def test_non_matching_passes_through(self):
+        pipeline = NatPipeline(_device_with_nat(), [DYNAMIC], kind=None)
+        packet = Packet(src_ip=Ip("172.16.1.1"))
+        assert pipeline.apply_concrete(packet) == packet
+
+    def test_static_preserves_offset(self):
+        pipeline = NatPipeline(_device_with_nat(), [STATIC], kind=None)
+        packet = Packet(src_ip=Ip("192.168.5.7"))
+        rewritten = pipeline.apply_concrete(packet)
+        assert rewritten.src_ip == Ip("203.0.113.7")
+
+    def test_destination_rewrite(self):
+        pipeline = NatPipeline(_device_with_nat(), [DEST], kind=None)
+        packet = Packet(dst_ip=Ip("1.2.3.4"))
+        assert pipeline.apply_concrete(packet).dst_ip == Ip("10.0.0.5")
+
+    def test_first_match_order(self):
+        narrower = NatRule(
+            kind=NatKind.SOURCE, match_acl=None, pool=Prefix("198.51.100.1/32")
+        )
+        pipeline = NatPipeline(_device_with_nat(), [DYNAMIC, narrower], kind=None)
+        inside = Packet(src_ip=Ip("192.168.1.1"))
+        outside = Packet(src_ip=Ip("172.16.1.1"))
+        assert Prefix("100.64.0.0/24").contains_ip(
+            pipeline.apply_concrete(inside).src_ip
+        )
+        assert pipeline.apply_concrete(outside).src_ip == Ip("198.51.100.1")
+
+    def test_undefined_match_acl_never_matches(self):
+        rule = NatRule(kind=NatKind.SOURCE, match_acl="NOPE", pool=Prefix("1.1.1.1/32"))
+        pipeline = NatPipeline(_device_with_nat(), [rule], kind=None)
+        packet = Packet(src_ip=Ip("192.168.1.1"))
+        assert pipeline.apply_concrete(packet) == packet
+
+    def test_pool_ip_static_offset_helper(self):
+        assert _concrete_pool_ip(STATIC, Ip("192.168.5.3")) == Ip("203.0.113.3")
+
+
+class TestSymbolicNat:
+    def test_concrete_result_in_symbolic_set(self):
+        """The concrete rewrite must always land inside the symbolic
+        output set (superset semantics for pools)."""
+        enc = PacketEncoder()
+        device = _device_with_nat()
+        pipeline = NatPipeline(device, [DYNAMIC, STATIC], kind=None)
+        for src in ("192.168.1.7", "192.168.5.3", "172.16.0.9"):
+            packet = Packet(src_ip=Ip(src), dst_ip=Ip("8.8.8.8"))
+            out_set = pipeline.apply_symbolic(enc, enc.packet_bdd(packet))
+            concrete = pipeline.apply_concrete(packet)
+            assert enc.engine.and_(out_set, enc.packet_bdd(concrete)) != FALSE
+
+    def test_symbolic_pool_is_whole_pool(self):
+        enc = PacketEncoder()
+        pipeline = NatPipeline(_device_with_nat(), [DYNAMIC], kind=None)
+        inside = enc.ip_in_prefix(f.SRC_IP, "192.168.0.0/16")
+        out = pipeline.apply_symbolic(enc, inside)
+        assert out == enc.ip_in_prefix(f.SRC_IP, "100.64.0.0/24")
+
+    def test_passthrough_preserved_symbolically(self):
+        enc = PacketEncoder()
+        pipeline = NatPipeline(_device_with_nat(), [DYNAMIC], kind=None)
+        outside = enc.ip_in_prefix(f.SRC_IP, "172.16.0.0/12")
+        assert pipeline.apply_symbolic(enc, outside) == outside
+
+    def test_empty_pipeline_is_identity(self):
+        enc = PacketEncoder()
+        pipeline = NatPipeline(_device_with_nat(), [], kind=None)
+        space = enc.ip_in_prefix(f.DST_IP, "10.0.0.0/8")
+        assert pipeline.apply_symbolic(enc, space) == space
+
+
+FIB_CONFIGS = {
+    "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+interface Ethernet1
+ ip address 10.0.1.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.0.0.2
+ip route 0.0.0.0 0.0.0.0 10.0.1.2
+ip route 172.31.0.0 255.255.0.0 Null0
+""",
+}
+
+
+class TestFib:
+    @pytest.fixture(scope="class")
+    def fib(self):
+        dataplane = compute_dataplane(load_snapshot_from_texts(FIB_CONFIGS))
+        return compute_fibs(dataplane)["r1"]
+
+    def test_lpm_choice(self, fib):
+        entries = fib.lookup(Ip("192.168.1.1"))
+        assert entries[0].out_interface == "Ethernet0"
+        assert entries[0].arp_ip == Ip("10.0.0.2")
+        entries = fib.lookup(Ip("8.8.8.8"))
+        assert entries[0].out_interface == "Ethernet1"
+
+    def test_connected_entry_delivers_direct(self, fib):
+        entries = fib.lookup(Ip("10.0.0.9"))
+        assert entries[0].action is FibActionType.FORWARD
+        assert entries[0].arp_ip is None  # deliver toward dst itself
+
+    def test_null_route(self, fib):
+        entries = fib.lookup(Ip("172.31.5.5"))
+        assert entries[0].action is FibActionType.DROP_NULL
+
+    def test_entry_count(self, fib):
+        assert len(fib) == 5  # 2 connected + 3 statics
+
+    def test_describe(self, fib):
+        entries = fib.lookup(Ip("192.168.1.1"))
+        assert "192.168.0.0/16" in entries[0].describe()

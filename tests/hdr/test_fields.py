@@ -1,0 +1,79 @@
+"""Tests for the BDD variable layout."""
+
+import pytest
+
+from repro.hdr import fields as f
+from repro.hdr.fields import DEFAULT_LAYOUT, HeaderLayout
+
+
+class TestLayout:
+    def test_paper_field_order(self):
+        # §4.2.2: dst IP first, then src IP, ports, ICMP, protocol, ...
+        layout = HeaderLayout()
+        order = [layout.var(name, 0) for name in f.HEADER_FIELDS]
+        assert order == sorted(order)
+        assert layout.var(f.DST_IP, 0) == 0
+
+    def test_msb_first_within_field(self):
+        layout = HeaderLayout()
+        vars_ = layout.vars_of(f.IP_PROTOCOL)
+        assert list(vars_) == sorted(vars_)
+        assert len(vars_) == 8
+
+    def test_paired_fields_interleaved(self):
+        # "we interleave the variables for input-output packet pairs"
+        layout = HeaderLayout()
+        for field in f.PAIRED_FIELDS:
+            for bit in range(layout.width(field)):
+                assert layout.out_var(field, bit) == layout.var(field, bit) + 1
+
+    def test_unpaired_field_has_no_out_vars(self):
+        layout = HeaderLayout()
+        with pytest.raises(ValueError):
+            layout.out_var(f.IP_PROTOCOL, 0)
+
+    def test_var_count_independent_of_network(self):
+        # §4.2.2: the number of variables is primarily the header bits;
+        # network-dependent extras are just a handful of zone/waypoint bits.
+        base = HeaderLayout(num_zone_bits=0, num_waypoint_bits=0)
+        assert base.num_vars == base.header_vars
+        # Header = paired fields twice + singles.
+        paired_bits = sum(
+            w for name, w in ((n, base.width(n)) for n in f.PAIRED_FIELDS)
+        )
+        expected = base.header_vars
+        assert expected == 2 * paired_bits + (
+            sum(base.width(n) for n in f.HEADER_FIELDS) - paired_bits
+        )
+        extended = HeaderLayout(num_zone_bits=4, num_waypoint_bits=8)
+        assert extended.num_vars == base.num_vars + 2 * 4 + 8
+
+    def test_extension_fields_after_header(self):
+        layout = HeaderLayout()
+        assert layout.var(f.ZONE_IN, 0) >= layout.header_vars
+        assert layout.var(f.WAYPOINT, 0) > layout.var(f.ZONE_OUT, 0)
+
+    def test_rename_out_to_in_is_order_preserving(self):
+        layout = HeaderLayout()
+        mapping = layout.rename_out_to_in([f.DST_IP, f.SRC_IP])
+        items = sorted(mapping.items())
+        targets = [t for _, t in items]
+        assert targets == sorted(targets)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LAYOUT.var("no_such_field", 0)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LAYOUT.var(f.DSCP, 6)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderLayout(num_zone_bits=-1)
+
+    def test_fields_listing(self):
+        layout = HeaderLayout()
+        listed = layout.fields()
+        assert set(f.HEADER_FIELDS) <= set(listed)
+        assert f.ZONE_IN in listed and f.WAYPOINT in listed

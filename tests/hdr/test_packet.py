@@ -1,0 +1,77 @@
+"""Tests for concrete packets."""
+
+import pytest
+
+from repro.hdr import fields as f
+from repro.hdr.ip import Ip
+from repro.hdr.packet import Packet, packet_from_field_values
+
+
+class TestPacket:
+    def test_defaults(self):
+        pkt = Packet()
+        assert pkt.ip_protocol == f.PROTO_TCP
+        assert pkt.dst_ip == Ip(0)
+
+    def test_field_value(self):
+        pkt = Packet(dst_ip=Ip("1.2.3.4"), dst_port=80)
+        assert pkt.field_value(f.DST_IP) == Ip("1.2.3.4").value
+        assert pkt.field_value(f.DST_PORT) == 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet(dst_port=1 << 16)
+        with pytest.raises(ValueError):
+            Packet(dscp=64)
+
+    def test_with_fields(self):
+        pkt = Packet(dst_port=80)
+        changed = pkt.with_fields(dst_port=443)
+        assert changed.dst_port == 443
+        assert pkt.dst_port == 80  # immutable original
+
+    def test_reversed_swaps_endpoints(self):
+        pkt = Packet(
+            dst_ip=Ip("1.1.1.1"), src_ip=Ip("2.2.2.2"), dst_port=80, src_port=1234
+        )
+        rev = pkt.reversed()
+        assert rev.dst_ip == Ip("2.2.2.2")
+        assert rev.src_ip == Ip("1.1.1.1")
+        assert rev.dst_port == 1234
+        assert rev.src_port == 80
+        assert rev.reversed() == pkt
+
+    def test_tcp_flag_accessor(self):
+        syn_ack = Packet(tcp_flags=0b00010010)
+        assert syn_ack.tcp_flag(f.TCP_SYN)
+        assert syn_ack.tcp_flag(f.TCP_ACK)
+        assert not syn_ack.tcp_flag(f.TCP_FIN)
+
+    def test_describe_tcp(self):
+        pkt = Packet(
+            dst_ip=Ip("10.0.0.1"), src_ip=Ip("10.0.0.2"), dst_port=80, src_port=555
+        )
+        assert pkt.describe() == "tcp 10.0.0.2:555 -> 10.0.0.1:80"
+
+    def test_describe_icmp(self):
+        pkt = Packet(ip_protocol=f.PROTO_ICMP, icmp_type=8)
+        assert "icmp" in pkt.describe() and "type 8" in pkt.describe()
+
+    def test_describe_other_protocol(self):
+        pkt = Packet(ip_protocol=f.PROTO_OSPF)
+        assert pkt.describe().startswith("ospf")
+
+    def test_hashable_and_equal(self):
+        assert Packet(dst_port=80) == Packet(dst_port=80)
+        assert len({Packet(dst_port=80), Packet(dst_port=80)}) == 1
+
+
+class TestPacketFromFieldValues:
+    def test_builds_with_defaults(self):
+        pkt = packet_from_field_values({f.DST_IP: Ip("9.9.9.9").value})
+        assert pkt.dst_ip == Ip("9.9.9.9")
+        assert pkt.ip_protocol == f.PROTO_TCP  # default preserved
+
+    def test_ignores_internal_fields(self):
+        pkt = packet_from_field_values({f.WAYPOINT: 3, f.ZONE_IN: 1, f.DST_PORT: 22})
+        assert pkt.dst_port == 22

@@ -1,0 +1,183 @@
+"""Tests for the difference-of-cubes representation and the NoD-style
+verifier, including cross-validation against the BDD engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Acl, AclLine, Action
+from repro.dataplane.fib import compute_fibs
+from repro.hdr import fields as f
+from repro.hdr.ip import Ip, Prefix
+from repro.hdr.packet import Packet
+from repro.original.cubes import (
+    FULL_CUBE,
+    Cube,
+    CubeSet,
+    DiffCube,
+    acl_permit_cubes,
+    field_cube,
+    pack_packet,
+    prefix_cube,
+)
+from repro.original.nod import CubeVerifier
+from repro.routing.engine import compute_dataplane
+from repro.synth.special import net1
+
+
+class TestCube:
+    def test_full_cube_matches_everything(self):
+        assert FULL_CUBE.matches(pack_packet(Packet(dst_ip=Ip("1.2.3.4"))))
+
+    def test_field_cube(self):
+        cube = field_cube(f.IP_PROTOCOL, f.PROTO_TCP)
+        assert cube.matches(pack_packet(Packet(ip_protocol=f.PROTO_TCP)))
+        assert not cube.matches(pack_packet(Packet(ip_protocol=f.PROTO_UDP)))
+
+    def test_prefix_cube(self):
+        cube = prefix_cube(f.DST_IP, Prefix("10.0.0.0/8"))
+        assert cube.matches(pack_packet(Packet(dst_ip=Ip("10.1.2.3"))))
+        assert not cube.matches(pack_packet(Packet(dst_ip=Ip("11.0.0.1"))))
+
+    def test_intersect_conflicting_is_none(self):
+        a = field_cube(f.IP_PROTOCOL, 6)
+        b = field_cube(f.IP_PROTOCOL, 17)
+        assert a.intersect(b) is None
+
+    def test_intersect_combines(self):
+        a = prefix_cube(f.DST_IP, Prefix("10.0.0.0/8"))
+        b = field_cube(f.DST_PORT, 80)
+        both = a.intersect(b)
+        assert both.matches(pack_packet(Packet(dst_ip=Ip("10.1.1.1"), dst_port=80)))
+        assert not both.matches(pack_packet(Packet(dst_ip=Ip("10.1.1.1"), dst_port=81)))
+
+    def test_contains_cube(self):
+        outer = prefix_cube(f.DST_IP, Prefix("10.0.0.0/8"))
+        inner = prefix_cube(f.DST_IP, Prefix("10.5.0.0/16"))
+        assert outer.contains_cube(inner)
+        assert not inner.contains_cube(outer)
+
+
+class TestCubeSet:
+    def test_empty_and_full(self):
+        assert CubeSet.empty().is_empty()
+        assert not CubeSet.full().is_empty()
+
+    def test_subtract_to_empty(self):
+        full = CubeSet.full()
+        assert full.subtract_cube(FULL_CUBE).is_empty()
+
+    def test_diff_cube_emptiness_via_split(self):
+        base = prefix_cube(f.DST_IP, Prefix("10.0.0.0/8"))
+        low, high = Prefix("10.0.0.0/9"), Prefix("10.128.0.0/9")
+        term = DiffCube(
+            base, (prefix_cube(f.DST_IP, low), prefix_cube(f.DST_IP, high))
+        )
+        assert term.is_empty()
+        partial = DiffCube(base, (prefix_cube(f.DST_IP, low),))
+        assert not partial.is_empty()
+
+    def test_sample_avoids_subtractions(self):
+        base = prefix_cube(f.DST_IP, Prefix("10.0.0.0/8"))
+        minus = prefix_cube(f.DST_IP, Prefix("10.0.0.0/9"))
+        cube_set = CubeSet([DiffCube(base, (minus,))])
+        packet = cube_set.sample_packet()
+        assert Prefix("10.128.0.0/9").contains_ip(packet.dst_ip)
+
+    def test_sample_of_empty_is_none(self):
+        assert CubeSet.empty().sample_packet() is None
+
+    def test_intersect_and_contains(self):
+        tens = CubeSet.from_cube(prefix_cube(f.DST_IP, Prefix("10.0.0.0/8")))
+        web = CubeSet.from_cube(field_cube(f.DST_PORT, 80))
+        both = tens.intersect(web)
+        assert both.contains_packet(Packet(dst_ip=Ip("10.1.1.1"), dst_port=80))
+        assert not both.contains_packet(Packet(dst_ip=Ip("10.1.1.1"), dst_port=22))
+
+    @given(
+        st.integers(0, 0xFFFFFFFF), st.integers(0, 16),
+        st.integers(0, 0xFFFFFFFF), st.integers(0, 16),
+        st.integers(0, 0xFFFFFFFF),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_subtract_agrees_with_membership(self, net_a, len_a, net_b, len_b, probe):
+        a = CubeSet.from_cube(prefix_cube(f.DST_IP, Prefix(net_a, len_a)))
+        b = CubeSet.from_cube(prefix_cube(f.DST_IP, Prefix(net_b, len_b)))
+        diff = a.subtract(b)
+        packet = Packet(dst_ip=Ip(probe))
+        expected = a.contains_packet(packet) and not b.contains_packet(packet)
+        assert diff.contains_packet(packet) == expected
+
+
+class TestAclCubes:
+    def test_acl_cube_agrees_with_concrete(self):
+        from repro.dataplane.acl import evaluate_acl
+
+        acl = Acl(
+            name="t",
+            lines=[
+                AclLine(action=Action.DENY, src=Prefix("10.9.0.0/16")),
+                AclLine(
+                    action=Action.PERMIT, protocol=f.PROTO_TCP,
+                    dst_ports=((80, 80),),
+                ),
+            ],
+        )
+        cubes = acl_permit_cubes(acl)
+        for packet in (
+            Packet(src_ip=Ip("10.9.1.1"), dst_port=80),
+            Packet(src_ip=Ip("10.8.1.1"), dst_port=80),
+            Packet(src_ip=Ip("10.8.1.1"), dst_port=22),
+            Packet(src_ip=Ip("10.8.1.1"), dst_port=80, ip_protocol=f.PROTO_UDP),
+        ):
+            assert cubes.contains_packet(packet) == evaluate_acl(acl, packet).permitted
+
+
+class TestCubeVerifier:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        snapshot = load_snapshot_from_texts(net1(num_spurs=3))
+        dataplane = compute_dataplane(snapshot)
+        fibs = compute_fibs(dataplane)
+        return dataplane, fibs
+
+    def test_reachability_splits_success_failure(self, prepared):
+        dataplane, fibs = prepared
+        verifier = CubeVerifier(dataplane, fibs)
+        hostname = dataplane.snapshot.hostnames()[0]
+        iface = next(iter(dataplane.snapshot.device(hostname).interfaces))
+        success, failure = verifier.reachability(hostname, iface, CubeSet.full())
+        assert not success.is_empty()
+
+    def test_multipath_matches_bdd_engine(self, prepared):
+        from repro.reachability.queries import NetworkAnalyzer
+
+        dataplane, fibs = prepared
+        cube_violations = CubeVerifier(dataplane, fibs).multipath_consistency()
+        bdd_violations = NetworkAnalyzer(dataplane, fibs=fibs).multipath_consistency()
+        cube_sources = {v.source for v in cube_violations}
+        bdd_sources = {(v.source[1], v.source[2]) for v in bdd_violations}
+        assert cube_sources == bdd_sources
+
+    def test_violation_examples_are_real(self, prepared):
+        """Sampled counterexamples must reproduce under traceroute: both
+        a successful and a failing path exist."""
+        from repro.reachability.graph import Disposition
+        from repro.traceroute.engine import TracerouteEngine
+
+        dataplane, fibs = prepared
+        verifier = CubeVerifier(dataplane, fibs)
+        violations = verifier.multipath_consistency()
+        assert violations
+        tracer = TracerouteEngine(dataplane, fibs)
+        violation = violations[0]
+        packet = violation.example
+        assert packet is not None
+        traces = tracer.trace(packet, violation.source[0], violation.source[1])
+        dispositions = {t.disposition for t in traces}
+        success = {
+            Disposition.DELIVERED, Disposition.ACCEPTED, Disposition.EXITS_NETWORK
+        }
+        assert dispositions & success
+        assert dispositions - success

@@ -1,0 +1,179 @@
+"""Tests for the Datalog engine (the LogicBlox stand-in)."""
+
+import pytest
+
+from repro.original.datalog import (
+    DatalogEngine,
+    DatalogError,
+    Rule,
+    Var,
+    add,
+    atom,
+    le,
+    lt,
+    ne,
+)
+
+X, Y, Z, C, C2 = Var("X"), Var("Y"), Var("Z"), Var("C"), Var("C2")
+
+
+class TestBasics:
+    def test_facts(self):
+        engine = DatalogEngine()
+        engine.add_fact("edge", "a", "b")
+        assert engine.facts("edge") == {("a", "b")}
+        assert engine.facts("missing") == set()
+
+    def test_duplicate_fact_counted_once(self):
+        engine = DatalogEngine()
+        engine.add_fact("n", 1)
+        engine.add_fact("n", 1)
+        assert engine.total_facts() == 1
+
+    def test_transitive_closure(self):
+        engine = DatalogEngine()
+        for a, b in [("a", "b"), ("b", "c"), ("c", "d")]:
+            engine.add_fact("edge", a, b)
+        engine.add_rule(Rule(head=atom("path", X, Y), body=[atom("edge", X, Y)]))
+        engine.add_rule(
+            Rule(
+                head=atom("path", X, Z),
+                body=[atom("edge", X, Y), atom("path", Y, Z)],
+            )
+        )
+        engine.run()
+        assert ("a", "d") in engine.facts("path")
+        assert len(engine.facts("path")) == 6
+
+    def test_cyclic_closure_terminates(self):
+        engine = DatalogEngine()
+        for a, b in [("a", "b"), ("b", "a")]:
+            engine.add_fact("edge", a, b)
+        engine.add_rule(Rule(head=atom("path", X, Y), body=[atom("edge", X, Y)]))
+        engine.add_rule(
+            Rule(
+                head=atom("path", X, Z),
+                body=[atom("edge", X, Y), atom("path", Y, Z)],
+            )
+        )
+        engine.run()
+        assert ("a", "a") in engine.facts("path")
+
+
+class TestBuiltins:
+    def test_arithmetic_with_bound(self):
+        engine = DatalogEngine()
+        engine.add_fact("cost", "a", 1)
+        engine.add_fact("step", 1)
+        engine.add_rule(
+            Rule(
+                head=atom("cost", "a", C2),
+                body=[atom("cost", "a", C), atom("step", X)],
+                builtins=[add(C, X, C2), le(C2, 5)],
+            )
+        )
+        engine.run()
+        assert engine.facts("cost") == {("a", c) for c in range(1, 6)}
+
+    def test_comparison_filters(self):
+        engine = DatalogEngine()
+        engine.add_fact("n", 1)
+        engine.add_fact("n", 5)
+        engine.add_rule(
+            Rule(head=atom("small", X), body=[atom("n", X)], builtins=[lt(X, 3)])
+        )
+        engine.add_rule(
+            Rule(head=atom("notone", X), body=[atom("n", X)], builtins=[ne(X, 1)])
+        )
+        engine.run()
+        assert engine.facts("small") == {(1,)}
+        assert engine.facts("notone") == {(5,)}
+
+    def test_unbound_comparison_raises(self):
+        engine = DatalogEngine()
+        engine.add_fact("n", 1)
+        engine.add_rule(
+            Rule(head=atom("bad", X), body=[atom("n", X)], builtins=[lt(X, Y)])
+        )
+        with pytest.raises(DatalogError):
+            engine.run()
+
+
+class TestNegation:
+    def test_stratified_min_selection(self):
+        """The best-route idiom: Best = Cost minus those with a better
+        alternative."""
+        engine = DatalogEngine()
+        for dest, cost in [("d", 10), ("d", 5), ("d", 7), ("e", 3)]:
+            engine.add_fact("cost", dest, cost)
+        engine.add_rule(
+            Rule(
+                head=atom("better", X, C),
+                body=[atom("cost", X, C), atom("cost", X, C2)],
+                builtins=[lt(C2, C)],
+            )
+        )
+        engine.add_rule(
+            Rule(
+                head=atom("best", X, C),
+                body=[atom("cost", X, C)],
+                negated=[atom("better", X, C)],
+            )
+        )
+        engine.run()
+        assert engine.facts("best") == {("d", 5), ("e", 3)}
+
+    def test_negation_cycle_rejected(self):
+        engine = DatalogEngine()
+        engine.add_fact("seed", 1)
+        engine.add_rule(
+            Rule(head=atom("p", X), body=[atom("seed", X)], negated=[atom("q", X)])
+        )
+        engine.add_rule(
+            Rule(head=atom("q", X), body=[atom("seed", X)], negated=[atom("p", X)])
+        )
+        with pytest.raises(DatalogError):
+            engine.run()
+
+    def test_unbound_negated_var_raises(self):
+        engine = DatalogEngine()
+        engine.add_fact("seed", 1)
+        engine.add_rule(
+            Rule(head=atom("p", X), body=[atom("seed", X)], negated=[atom("q", Y)])
+        )
+        with pytest.raises(DatalogError):
+            engine.run()
+
+    def test_unbound_head_var_raises(self):
+        engine = DatalogEngine()
+        engine.add_fact("seed", 1)
+        engine.add_rule(Rule(head=atom("p", X, Y), body=[atom("seed", X)]))
+        with pytest.raises(DatalogError):
+            engine.run()
+
+
+class TestLessonOneProperties:
+    def test_intermediate_facts_are_retained(self):
+        """The engine keeps sub-optimal cost facts — the Lesson 1 memory
+        pathology."""
+        engine = DatalogEngine()
+        engine.add_fact("cost", "d", 10)
+        engine.add_fact("cost", "d", 5)
+        engine.add_rule(
+            Rule(
+                head=atom("better", X, C),
+                body=[atom("cost", X, C), atom("cost", X, C2)],
+                builtins=[lt(C2, C)],
+            )
+        )
+        engine.add_rule(
+            Rule(
+                head=atom("best", X, C),
+                body=[atom("cost", X, C)],
+                negated=[atom("better", X, C)],
+            )
+        )
+        engine.run()
+        # Both cost facts remain even though only one is best.
+        assert len(engine.facts("cost")) == 2
+        assert engine.total_facts() >= 4

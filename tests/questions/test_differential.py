@@ -1,0 +1,101 @@
+"""Tests for the snapshot-comparison (differential) questions."""
+
+import pytest
+
+from repro import Session
+from repro.hdr import fields as f
+from repro.hdr.headerspace import PacketEncoder
+from repro.questions.differential import compare_reachability, compare_routes
+from repro.reachability.queries import NetworkAnalyzer
+
+BEFORE = {
+    "r1": """
+hostname r1
+interface e0
+ ip address 10.0.0.1 255.255.255.0
+interface lan
+ ip address 172.16.1.1 255.255.255.0
+ip route 172.16.2.0 255.255.255.0 10.0.0.2
+""",
+    "r2": """
+hostname r2
+interface e0
+ ip address 10.0.0.2 255.255.255.0
+interface lan
+ ip address 172.16.2.1 255.255.255.0
+ip route 172.16.1.0 255.255.255.0 10.0.0.1
+""",
+}
+
+
+def _after_configs():
+    configs = dict(BEFORE)
+    # The change: r1 gains a route, r2 loses its return route.
+    configs["r1"] = configs["r1"] + "ip route 192.168.0.0 255.255.0.0 10.0.0.2\n"
+    configs["r2"] = configs["r2"].replace(
+        "ip route 172.16.1.0 255.255.255.0 10.0.0.1\n", ""
+    )
+    return configs
+
+
+class TestRouteDiff:
+    def test_identical_snapshots_empty_diff(self):
+        before = Session.from_texts(BEFORE)
+        again = Session.from_texts(BEFORE)
+        answer = before.route_diff(again)
+        assert answer.rows == []
+        assert answer.affected_nodes == []
+
+    def test_changes_localized(self):
+        before = Session.from_texts(BEFORE)
+        after = Session.from_texts(_after_configs())
+        answer = before.route_diff(after)
+        assert answer.affected_nodes == ["r1", "r2"]
+        added = {(row.node, row.description) for row in answer.added()}
+        assert any("192.168.0.0/16" in d for n, d in added if n == "r1")
+        removed = {(row.node, row.description) for row in answer.removed()}
+        assert any("172.16.1.0/24" in d for n, d in removed if n == "r2")
+
+    def test_compare_routes_handles_disjoint_nodes(self):
+        before = Session.from_texts(BEFORE)
+        extra = dict(BEFORE)
+        extra["r3"] = "hostname r3\ninterface e0\n ip address 10.9.0.1 255.255.255.0\n"
+        after = Session.from_texts(extra)
+        answer = compare_routes(before.dataplane, after.dataplane)
+        assert "r3" in answer.affected_nodes
+
+
+class TestReachabilityDiff:
+    def test_lost_flows_detected(self):
+        encoder = PacketEncoder()
+        before = Session.from_texts(BEFORE)
+        after = Session.from_texts(_after_configs())
+        analyzer_before = NetworkAnalyzer(before.dataplane, encoder=encoder)
+        analyzer_after = NetworkAnalyzer(after.dataplane, encoder=encoder)
+        space = encoder.ip_in_prefix(f.DST_IP, "172.16.1.0/24")
+        answer = compare_reachability(
+            analyzer_before, analyzer_after,
+            sources=[("r2", "lan")], headerspace_bdd=space,
+        )
+        # r2 lost its route back to r1's LAN.
+        assert answer.lost
+        assert not answer.unchanged
+        example = next(iter(answer.lost_examples.values()))
+        assert example is not None
+
+    def test_unchanged_when_same(self):
+        encoder = PacketEncoder()
+        before = Session.from_texts(BEFORE)
+        again = Session.from_texts(BEFORE)
+        a = NetworkAnalyzer(before.dataplane, encoder=encoder)
+        b = NetworkAnalyzer(again.dataplane, encoder=encoder)
+        answer = compare_reachability(a, b, sources=[("r1", "lan")])
+        assert answer.unchanged
+
+    def test_requires_shared_encoder(self):
+        before = Session.from_texts(BEFORE)
+        after = Session.from_texts(BEFORE)
+        with pytest.raises(ValueError):
+            compare_reachability(
+                before.analyzer, after.analyzer, sources=[("r1", "lan")]
+            )

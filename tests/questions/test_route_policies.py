@@ -1,0 +1,95 @@
+"""Tests for the route-policy questions."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Action
+from repro.hdr.ip import Ip, Prefix
+from repro.questions.route_policies import (
+    RoutePolicyTestResult,
+    search_route_policies,
+)
+from repro.questions.route_policies import test_route_policy as run_policy_test
+from repro.routing.policy import PolicyRoute
+
+CONFIGS = {
+    "r1": """
+hostname r1
+interface e0
+ ip address 10.0.0.1 255.255.255.0
+ip prefix-list TENS seq 5 permit 10.0.0.0/8 le 24
+route-map STEER permit 10
+ match ip address prefix-list TENS
+ set local-preference 250
+ set community 65000:1 additive
+route-map STEER deny 20
+route-map PREPEND permit 10
+ set as-path prepend 65000
+""",
+}
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return load_snapshot_from_texts(CONFIGS)
+
+
+class TestTestRoutePolicy:
+    def test_permit_with_changes(self, snapshot):
+        result = run_policy_test(
+            snapshot, "r1", "STEER", PolicyRoute(prefix=Prefix("10.5.0.0/16"))
+        )
+        assert result.permitted
+        changes = result.attribute_changes()
+        assert changes["local_pref"] == (100, 250)
+        assert "communities" in changes
+
+    def test_deny(self, snapshot):
+        result = run_policy_test(
+            snapshot, "r1", "STEER", PolicyRoute(prefix=Prefix("192.168.0.0/16"))
+        )
+        assert not result.permitted
+        assert result.output_route is None
+        assert result.attribute_changes() == {}
+
+    def test_trace_present(self, snapshot):
+        result = run_policy_test(
+            snapshot, "r1", "STEER", PolicyRoute(prefix=Prefix("10.5.0.0/16"))
+        )
+        assert any("clause 10: permit" in line for line in result.trace)
+
+    def test_prepend_changes_as_path(self, snapshot):
+        result = run_policy_test(
+            snapshot, "r1", "PREPEND",
+            PolicyRoute(prefix=Prefix("10.0.0.0/8"), as_path=(3356,)),
+        )
+        assert result.attribute_changes()["as_path"] == ((3356,), (65000, 3356))
+
+    def test_unknown_policy_raises(self, snapshot):
+        with pytest.raises(KeyError):
+            run_policy_test(snapshot, "r1", "NOPE", PolicyRoute(prefix=Prefix("10.0.0.0/8")))
+
+
+class TestSearchRoutePolicies:
+    def test_permit_search(self, snapshot):
+        rows = search_route_policies(
+            snapshot,
+            prefixes=[Prefix("10.1.0.0/16"), Prefix("192.168.0.0/16")],
+            action=Action.PERMIT,
+        )
+        steer_rows = [r for r in rows if r.policy == "STEER"]
+        assert [r.prefix for r in steer_rows] == [Prefix("10.1.0.0/16")]
+        assert steer_rows[0].changes["local_pref"] == (100, 250)
+
+    def test_deny_search(self, snapshot):
+        rows = search_route_policies(
+            snapshot, prefixes=[Prefix("192.168.0.0/16")], action=Action.DENY,
+        )
+        assert any(r.policy == "STEER" for r in rows)
+        assert all(r.policy != "PREPEND" for r in rows)
+
+    def test_node_filter(self, snapshot):
+        rows = search_route_policies(
+            snapshot, prefixes=[Prefix("10.0.0.0/8")], nodes=[]
+        )
+        assert rows == []

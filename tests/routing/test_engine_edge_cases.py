@@ -1,0 +1,187 @@
+"""Edge-case coverage for the data-plane engine: shutdown interfaces,
+eBGP multihop, prefix-list bands, and route preference corners."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Action, PrefixList, PrefixListLine
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.engine import ConvergenceSettings, compute_dataplane
+
+
+class TestInterfaceState:
+    def test_shutdown_interface_produces_no_routes_or_edges(self):
+        configs = {
+            "r1": """
+hostname r1
+interface up0
+ ip address 10.0.0.1 255.255.255.0
+interface down0
+ ip address 10.1.0.1 255.255.255.0
+ shutdown
+""",
+            "r2": """
+hostname r2
+interface e0
+ ip address 10.1.0.2 255.255.255.0
+""",
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert dataplane.main_rib("r1").longest_match(Ip("10.1.0.5")) is None
+        assert dataplane.topology.neighbors("r1") == []
+
+    def test_interface_without_address_ignored(self):
+        configs = {
+            "r1": """
+hostname r1
+interface bare
+ description no address here
+interface e0
+ ip address 10.0.0.1 255.255.255.0
+"""
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert len(dataplane.main_rib("r1")) == 1
+
+
+class TestEbgpMultihop:
+    CONFIGS = {
+        "r1": """
+hostname r1
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+interface e0
+ ip address 10.0.0.1 255.255.255.252
+router bgp 65001
+ bgp router-id 1.1.1.1
+ neighbor 2.2.2.2 remote-as 65002
+ neighbor 2.2.2.2 ebgp-multihop
+ neighbor 2.2.2.2 update-source Loopback0
+ network 1.1.1.1 mask 255.255.255.255
+ip route 2.2.2.2 255.255.255.255 10.0.0.2
+""",
+        "r2": """
+hostname r2
+interface Loopback0
+ ip address 2.2.2.2 255.255.255.255
+interface e0
+ ip address 10.0.0.2 255.255.255.252
+router bgp 65002
+ bgp router-id 2.2.2.2
+ neighbor 1.1.1.1 remote-as 65001
+ neighbor 1.1.1.1 ebgp-multihop
+ neighbor 1.1.1.1 update-source Loopback0
+ip route 1.1.1.1 255.255.255.255 10.0.0.1
+""",
+    }
+
+    def test_loopback_ebgp_establishes_with_multihop(self):
+        dataplane = compute_dataplane(load_snapshot_from_texts(self.CONFIGS))
+        assert all(s.established for s in dataplane.sessions), [
+            (s.local_node, s.failure_reason) for s in dataplane.sessions
+        ]
+        match = dataplane.main_rib("r2").longest_match(Ip("1.1.1.1"))
+        assert match is not None
+
+    def test_without_multihop_session_fails(self):
+        configs = {
+            name: text.replace(" neighbor 2.2.2.2 ebgp-multihop\n", "")
+                      .replace(" neighbor 1.1.1.1 ebgp-multihop\n", "")
+            for name, text in self.CONFIGS.items()
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        failed = [s for s in dataplane.sessions if not s.established]
+        assert failed
+        assert all("not directly connected" in s.failure_reason for s in failed)
+
+
+class TestPrefixListBands:
+    def test_exact_match_without_ge_le(self):
+        plist = PrefixList(
+            name="p",
+            lines=[PrefixListLine(Action.PERMIT, Prefix("10.0.0.0/8"))],
+        )
+        assert plist.permits(Prefix("10.0.0.0/8"))
+        assert not plist.permits(Prefix("10.1.0.0/16"))
+
+    def test_le_band(self):
+        plist = PrefixList(
+            name="p",
+            lines=[PrefixListLine(Action.PERMIT, Prefix("10.0.0.0/8"), le=16)],
+        )
+        assert plist.permits(Prefix("10.0.0.0/8"))
+        assert plist.permits(Prefix("10.1.0.0/16"))
+        assert not plist.permits(Prefix("10.1.1.0/24"))
+
+    def test_ge_band_defaults_le_32(self):
+        plist = PrefixList(
+            name="p",
+            lines=[PrefixListLine(Action.PERMIT, Prefix("10.0.0.0/8"), ge=24)],
+        )
+        assert plist.permits(Prefix("10.1.1.0/24"))
+        assert plist.permits(Prefix("10.1.1.1/32"))
+        assert not plist.permits(Prefix("10.1.0.0/16"))
+
+    def test_deny_line_short_circuits(self):
+        plist = PrefixList(
+            name="p",
+            lines=[
+                PrefixListLine(Action.DENY, Prefix("10.9.0.0/16")),
+                PrefixListLine(Action.PERMIT, Prefix("10.0.0.0/8"), le=32),
+            ],
+        )
+        assert not plist.permits(Prefix("10.9.0.0/16"))
+        assert plist.permits(Prefix("10.8.0.0/16"))
+
+
+class TestGeneratorRouteCorrectness:
+    def test_wan_edge_prefers_primary_core(self):
+        """Edges dual-home with costs 10 (primary) and 20 (secondary);
+        best paths must use the primary uplink."""
+        from repro.synth.wan import wan
+
+        dataplane = compute_dataplane(load_snapshot_from_texts(wan(4, 4, 1)))
+        # wedge0's primary is wcore0: its loopback route should cost 11.
+        match = dataplane.main_rib("wedge0").longest_match(Ip("192.168.0.1"))
+        assert match is not None
+        assert match[1][0].cost == 11
+
+    def test_campus_inter_area_routing(self):
+        """Access routers in leaf areas reach other blocks through the
+        area-0 distribution/core hierarchy."""
+        from repro.synth.campus import campus
+
+        dataplane = compute_dataplane(
+            load_snapshot_from_texts(campus(2, 1))
+        )
+        # access0-0's user subnet is 172.16.0.0/24; access1-0's is
+        # 172.17.0.0/24. The inter-block route must exist and be
+        # inter-area or intra-area via the hierarchy.
+        match = dataplane.main_rib("access0-0").longest_match(Ip("172.17.0.5"))
+        assert match is not None
+        assert match[1][0].protocol.value in ("ospf", "ospfIA")
+
+    def test_campus_external_default_route(self):
+        """The redistributed static default (type-2 external) reaches
+        the access layer."""
+        from repro.synth.campus import campus
+
+        dataplane = compute_dataplane(load_snapshot_from_texts(campus(2, 1)))
+        match = dataplane.main_rib("access1-0").longest_match(Ip("8.8.8.8"))
+        assert match is not None
+        prefix, routes = match
+        assert prefix == Prefix("0.0.0.0/0")
+        assert routes[0].protocol.value == "ospfE2"
+
+
+class TestOscillationReporting:
+    def test_max_iterations_reports_nonconvergence(self):
+        """Even if no state repeats within the budget, hitting the
+        iteration cap must not report convergence."""
+        from repro.synth.special import figure1b
+
+        dataplane = compute_dataplane(
+            load_snapshot_from_texts(figure1b()),
+            ConvergenceSettings(schedule="lockstep", max_iterations=2),
+        )
+        assert not dataplane.converged

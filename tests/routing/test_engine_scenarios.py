@@ -1,0 +1,406 @@
+"""End-to-end control-plane scenarios through the data-plane engine,
+including the paper's Figure 1 convergence patterns."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.dataplane.fib import FibActionType, compute_fibs
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.engine import ConvergenceSettings, compute_dataplane
+
+OSPF_CHAIN = {
+    "r1": """
+hostname r1
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+router ospf 1
+ router-id 1.1.1.1
+""",
+    "r2": """
+hostname r2
+interface Loopback0
+ ip address 2.2.2.2 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+interface Ethernet1
+ ip address 10.0.23.2 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+router ospf 1
+ router-id 2.2.2.2
+""",
+    "r3": """
+hostname r3
+interface Loopback0
+ ip address 3.3.3.3 255.255.255.255
+ ip ospf area 0
+interface Ethernet1
+ ip address 10.0.23.3 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+router ospf 1
+ router-id 3.3.3.3
+""",
+}
+
+
+class TestOspfChain:
+    @pytest.fixture(scope="class")
+    def dataplane(self):
+        return compute_dataplane(load_snapshot_from_texts(OSPF_CHAIN))
+
+    def test_converges(self, dataplane):
+        assert dataplane.converged
+
+    def test_remote_loopback_route(self, dataplane):
+        match = dataplane.main_rib("r1").longest_match(Ip("3.3.3.3"))
+        assert match is not None
+        prefix, routes = match
+        assert prefix == Prefix("3.3.3.3/32")
+        assert routes[0].cost == 21  # 10 + 10 + loopback stub cost 1
+        assert routes[0].next_hop_ip == Ip("10.0.12.2")
+
+    def test_transit_prefix_route(self, dataplane):
+        match = dataplane.main_rib("r1").longest_match(Ip("10.0.23.5"))
+        assert match[1][0].cost == 20
+
+    def test_fib_resolution(self, dataplane):
+        fibs = compute_fibs(dataplane)
+        entries = fibs["r1"].lookup(Ip("3.3.3.3"))
+        assert len(entries) == 1
+        assert entries[0].action is FibActionType.FORWARD
+        assert entries[0].out_interface == "Ethernet0"
+        assert entries[0].arp_ip == Ip("10.0.12.2")
+
+    def test_no_route_is_empty_lookup(self, dataplane):
+        fibs = compute_fibs(dataplane)
+        assert fibs["r1"].lookup(Ip("192.0.2.1")) == []
+
+
+EBGP_PAIR = {
+    "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+router bgp 65001
+ bgp router-id 1.1.1.1
+ neighbor 10.0.12.2 remote-as 65002
+ network 1.1.1.1 mask 255.255.255.255
+""",
+    "r2": """
+hostname r2
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+router bgp 65002
+ bgp router-id 2.2.2.2
+ neighbor 10.0.12.1 remote-as 65001
+""",
+}
+
+
+class TestEbgpPair:
+    @pytest.fixture(scope="class")
+    def dataplane(self):
+        return compute_dataplane(load_snapshot_from_texts(EBGP_PAIR))
+
+    def test_sessions_established(self, dataplane):
+        assert all(s.established for s in dataplane.sessions)
+
+    def test_route_propagates_with_as_path(self, dataplane):
+        match = dataplane.main_rib("r2").longest_match(Ip("1.1.1.1"))
+        assert match is not None
+        route = match[1][0]
+        assert route.as_path == (65001,)
+        assert route.next_hop_ip == Ip("10.0.12.1")
+
+    def test_session_compat_no_issues(self, dataplane):
+        assert dataplane.session_issues == []
+
+
+class TestSessionFailures:
+    def test_as_mismatch_is_issue(self):
+        configs = dict(EBGP_PAIR)
+        configs["r2"] = configs["r2"].replace("remote-as 65001", "remote-as 65009")
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert any("does not match" in i.issue or "expects AS" in i.issue
+                   for i in dataplane.session_issues)
+        assert not any(s.established for s in dataplane.sessions)
+
+    def test_missing_reciprocal_config(self):
+        configs = dict(EBGP_PAIR)
+        configs["r2"] = """
+hostname r2
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+router bgp 65002
+ bgp router-id 2.2.2.2
+"""
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert any("no reciprocal" in i.issue for i in dataplane.session_issues)
+
+    def test_unknown_peer_ip(self):
+        configs = dict(EBGP_PAIR)
+        configs["r1"] = configs["r1"].replace("10.0.12.2 remote-as", "10.0.99.2 remote-as")
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert any("not present in snapshot" in i.issue
+                   for i in dataplane.session_issues)
+
+    def test_acl_blocking_bgp_prevents_session(self):
+        """§4.1.1: session establishment depends on TCP viability, which
+        ACLs can break."""
+        configs = dict(EBGP_PAIR)
+        configs["r2"] = """
+hostname r2
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip access-group NO_BGP in
+router bgp 65002
+ bgp router-id 2.2.2.2
+ neighbor 10.0.12.1 remote-as 65001
+ip access-list extended NO_BGP
+ deny tcp any any eq bgp
+ permit ip any any
+"""
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        failed = [s for s in dataplane.sessions if not s.established]
+        assert failed
+        assert any("blocks TCP/179" in s.failure_reason for s in failed)
+        # No routes should have propagated.
+        assert dataplane.main_rib("r2").longest_match(Ip("1.1.1.1")) is None
+
+
+def _figure1b_configs():
+    """The border-router re-advertisement loop of Figure 1b."""
+    ext1 = """
+hostname ext1
+interface Ethernet0
+ ip address 10.1.0.2 255.255.255.0
+router bgp 100
+ bgp router-id 9.9.9.1
+ neighbor 10.1.0.1 remote-as 65000
+ network 10.0.0.0 mask 255.0.0.0
+ip route 10.0.0.0 255.0.0.0 Null0
+"""
+    ext2 = (
+        ext1.replace("ext1", "ext2").replace("10.1.0", "10.2.0")
+        .replace("bgp 100", "bgp 200").replace("9.9.9.1", "9.9.9.2")
+    )
+    r1 = """
+hostname r1
+interface Ethernet0
+ ip address 10.1.0.1 255.255.255.0
+interface Ethernet1
+ ip address 10.12.0.1 255.255.255.0
+router bgp 65000
+ bgp router-id 1.1.1.1
+ neighbor 10.1.0.2 remote-as 100
+ neighbor 10.12.0.2 remote-as 65000
+ neighbor 10.12.0.2 next-hop-self
+ neighbor 10.12.0.2 route-map IBGP_IN in
+route-map IBGP_IN permit 10
+ set local-preference 200
+"""
+    r2 = (
+        r1.replace("r1", "r2").replace("10.1.0", "10.2.0")
+        .replace("10.12.0.1 255", "10.12.0.2 255")
+        .replace("neighbor 10.12.0.2", "neighbor 10.12.0.1")
+        .replace("remote-as 100", "remote-as 200")
+        .replace("1.1.1.1", "2.2.2.2")
+    )
+    return {"ext1": ext1, "ext2": ext2, "r1": r1, "r2": r2}
+
+
+class TestFigure1Convergence:
+    def test_lockstep_oscillates(self):
+        snapshot = load_snapshot_from_texts(_figure1b_configs())
+        dataplane = compute_dataplane(
+            snapshot, ConvergenceSettings(schedule="lockstep", max_iterations=50)
+        )
+        assert not dataplane.converged
+        assert Prefix("10.0.0.0/8") in dataplane.oscillating_prefixes
+
+    def test_colored_schedule_converges(self):
+        snapshot = load_snapshot_from_texts(_figure1b_configs())
+        dataplane = compute_dataplane(
+            snapshot, ConvergenceSettings(schedule="colored", max_iterations=50)
+        )
+        assert dataplane.converged
+
+    def test_colored_result_deterministic(self):
+        results = []
+        for _ in range(3):
+            snapshot = load_snapshot_from_texts(_figure1b_configs())
+            dataplane = compute_dataplane(
+                snapshot, ConvergenceSettings(schedule="colored")
+            )
+            routes = tuple(
+                route.describe()
+                for node in sorted(dataplane.nodes)
+                for route in dataplane.main_rib(node).routes()
+            )
+            results.append(routes)
+        assert results[0] == results[1] == results[2]
+
+
+IBGP_WITH_IGP = {
+    "r1": """
+hostname r1
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+interface Ethernet1
+ ip address 203.0.113.1 255.255.255.0
+router ospf 1
+ router-id 1.1.1.1
+router bgp 65000
+ bgp router-id 1.1.1.1
+ neighbor 2.2.2.2 remote-as 65000
+ neighbor 2.2.2.2 update-source Loopback0
+ neighbor 2.2.2.2 next-hop-self
+ neighbor 203.0.113.2 remote-as 65100
+""",
+    "r2": """
+hostname r2
+interface Loopback0
+ ip address 2.2.2.2 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip ospf area 0
+ ip ospf cost 10
+router ospf 1
+ router-id 2.2.2.2
+router bgp 65000
+ bgp router-id 2.2.2.2
+ neighbor 1.1.1.1 remote-as 65000
+ neighbor 1.1.1.1 update-source Loopback0
+""",
+    "ext": """
+hostname ext
+interface Ethernet0
+ ip address 203.0.113.2 255.255.255.0
+router bgp 65100
+ bgp router-id 9.9.9.9
+ neighbor 203.0.113.1 remote-as 65000
+ network 198.51.100.0 mask 255.255.255.0
+ip route 198.51.100.0 255.255.255.0 Null0
+""",
+}
+
+
+class TestIbgpOverIgp:
+    """iBGP between loopbacks, reachable via OSPF — exercises session
+    viability against partial data-plane state (§4.1.1)."""
+
+    @pytest.fixture(scope="class")
+    def dataplane(self):
+        return compute_dataplane(load_snapshot_from_texts(IBGP_WITH_IGP))
+
+    def test_ibgp_session_established_via_igp(self, dataplane):
+        ibgp = [s for s in dataplane.sessions if s.is_ibgp]
+        assert ibgp and all(s.established for s in ibgp)
+
+    def test_external_route_reaches_r2(self, dataplane):
+        match = dataplane.main_rib("r2").longest_match(Ip("198.51.100.1"))
+        assert match is not None
+        route = match[1][0]
+        assert route.as_path == (65100,)
+        # next-hop-self: r1's loopback, not the external peer.
+        assert route.next_hop_ip == Ip("1.1.1.1")
+
+    def test_fib_recursive_resolution(self, dataplane):
+        fibs = compute_fibs(dataplane)
+        entries = fibs["r2"].lookup(Ip("198.51.100.1"))
+        assert entries
+        assert entries[0].out_interface == "Ethernet0"
+        assert entries[0].arp_ip == Ip("10.0.12.1")
+
+
+class TestStaticRoutes:
+    def test_recursive_static_resolution(self):
+        configs = {
+            "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.0.0.2
+ip route 172.16.0.0 255.240.0.0 192.168.1.1
+"""
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        fibs = compute_fibs(dataplane)
+        entries = fibs["r1"].lookup(Ip("172.16.5.5"))
+        assert entries
+        assert entries[0].out_interface == "Ethernet0"
+        # The ARP target is the innermost recursively-resolved gateway
+        # (the one on the connected segment), not the route's next hop.
+        assert entries[0].arp_ip == Ip("10.0.0.2")
+
+    def test_unresolvable_static_not_installed(self):
+        configs = {
+            "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 172.31.0.1
+"""
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        assert dataplane.main_rib("r1").longest_match(Ip("192.168.1.1")) is None
+
+    def test_null_route_becomes_drop(self):
+        configs = {
+            "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 Null0
+"""
+        }
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        fibs = compute_fibs(dataplane)
+        entries = fibs["r1"].lookup(Ip("192.168.1.1"))
+        assert entries[0].action is FibActionType.DROP_NULL
+
+
+class TestRedistribution:
+    def test_static_into_ospf(self):
+        configs = dict(OSPF_CHAIN)
+        configs["r1"] = configs["r1"] + (
+            "ip route 172.20.0.0 255.255.0.0 Null0\n"
+            "router ospf 1\n redistribute static\n"
+        )
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        match = dataplane.main_rib("r3").longest_match(Ip("172.20.1.1"))
+        assert match is not None
+        route = match[1][0]
+        assert route.protocol.value == "ospfE2"
+        assert route.cost == 20  # default external metric
+
+    def test_redistribution_route_map_filter(self):
+        configs = dict(OSPF_CHAIN)
+        configs["r1"] = configs["r1"] + (
+            "ip route 172.20.0.0 255.255.0.0 Null0\n"
+            "ip route 172.21.0.0 255.255.0.0 Null0\n"
+            "ip prefix-list ONLY20 seq 5 permit 172.20.0.0/16\n"
+            "router ospf 1\n redistribute static route-map FILTER\n"
+            "route-map FILTER permit 10\n match ip address prefix-list ONLY20\n"
+        )
+        dataplane = compute_dataplane(load_snapshot_from_texts(configs))
+        rib3 = dataplane.main_rib("r3")
+        assert rib3.longest_match(Ip("172.20.1.1")) is not None
+        assert rib3.longest_match(Ip("172.21.1.1")) is None

@@ -1,0 +1,137 @@
+"""Tests for the LPM prefix trie, including a property-based comparison
+against linear-scan longest-prefix matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.prefix_trie import PrefixTrie
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.longest_match(Ip("1.2.3.4")) is None
+        assert trie.get(Prefix("10.0.0.0/8")) == []
+
+    def test_add_and_get(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        trie.add(Prefix("10.0.0.0/8"), "b")
+        assert trie.get(Prefix("10.0.0.0/8")) == ["a", "b"]
+        assert len(trie) == 1
+
+    def test_longest_match_picks_most_specific(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("0.0.0.0/0"), "default")
+        trie.add(Prefix("10.0.0.0/8"), "eight")
+        trie.add(Prefix("10.1.0.0/16"), "sixteen")
+        prefix, values = trie.longest_match(Ip("10.1.2.3"))
+        assert prefix == Prefix("10.1.0.0/16")
+        assert values == ["sixteen"]
+        prefix, values = trie.longest_match(Ip("10.9.9.9"))
+        assert prefix == Prefix("10.0.0.0/8")
+        prefix, values = trie.longest_match(Ip("192.168.0.1"))
+        assert prefix == Prefix("0.0.0.0/0")
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.1/32"), "host")
+        trie.add(Prefix("10.0.0.0/24"), "net")
+        assert trie.longest_match(Ip("10.0.0.1"))[1] == ["host"]
+        assert trie.longest_match(Ip("10.0.0.2"))[1] == ["net"]
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        trie.add(Prefix("10.0.0.0/8"), "b")
+        assert trie.remove(Prefix("10.0.0.0/8"), "a")
+        assert trie.get(Prefix("10.0.0.0/8")) == ["b"]
+        assert not trie.remove(Prefix("10.0.0.0/8"), "zzz")
+        assert trie.remove(Prefix("10.0.0.0/8"), "b")
+        assert len(trie) == 0
+
+    def test_remove_prefix(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        assert trie.remove_prefix(Prefix("10.0.0.0/8"))
+        assert not trie.remove_prefix(Prefix("10.0.0.0/8"))
+
+    def test_replace(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        trie.replace(Prefix("10.0.0.0/8"), ["x", "y"])
+        assert trie.get(Prefix("10.0.0.0/8")) == ["x", "y"]
+        trie.replace(Prefix("10.0.0.0/8"), [])
+        assert len(trie) == 0
+
+    def test_items_sorted(self):
+        trie = PrefixTrie()
+        prefixes = [Prefix("10.0.0.0/8"), Prefix("9.0.0.0/8"), Prefix("10.0.0.0/16")]
+        for p in prefixes:
+            trie.add(p, str(p))
+        listed = [p for p, _ in trie.items()]
+        assert listed == sorted(prefixes)
+
+    def test_covering_prefixes(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("0.0.0.0/0"), "d")
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        trie.add(Prefix("10.1.0.0/16"), "b")
+        covering = trie.covering_prefixes(Prefix("10.1.2.0/24"))
+        assert covering == [
+            Prefix("0.0.0.0/0"),
+            Prefix("10.0.0.0/8"),
+            Prefix("10.1.0.0/16"),
+        ]
+
+    def test_covered_prefixes(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("10.0.0.0/8"), "a")
+        trie.add(Prefix("10.1.0.0/16"), "b")
+        trie.add(Prefix("10.1.2.0/24"), "c")
+        trie.add(Prefix("11.0.0.0/8"), "other")
+        covered = trie.covered_prefixes(Prefix("10.0.0.0/8"))
+        assert covered == [Prefix("10.1.0.0/16"), Prefix("10.1.2.0/24")]
+
+    def test_zero_length_prefix(self):
+        trie = PrefixTrie()
+        trie.add(Prefix("0.0.0.0/0"), "default")
+        assert trie.longest_match(Ip("255.255.255.255"))[0] == Prefix("0.0.0.0/0")
+        assert [p for p, _ in trie.items()] == [Prefix("0.0.0.0/0")]
+
+
+@st.composite
+def _prefix(draw):
+    value = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    length = draw(st.integers(min_value=0, max_value=32))
+    return Prefix(value, length)
+
+
+class TestAgainstLinearScan:
+    @given(st.lists(_prefix(), min_size=1, max_size=30),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_longest_match_matches_linear(self, prefixes, probe):
+        trie = PrefixTrie()
+        for p in prefixes:
+            trie.add(p, str(p))
+        expected = None
+        for p in prefixes:
+            if p.contains_ip(Ip(probe)):
+                if expected is None or p.length > expected.length:
+                    expected = p
+        result = trie.longest_match(probe)
+        if expected is None:
+            assert result is None
+        else:
+            assert result[0] == expected
+
+    @given(st.lists(_prefix(), min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_items_roundtrip(self, prefixes):
+        trie = PrefixTrie()
+        for p in prefixes:
+            trie.add(p, "v")
+        assert {p for p, _ in trie.items()} == set(prefixes)

@@ -1,0 +1,213 @@
+"""Tests for route values, interning, RIBs, and RIB deltas."""
+
+import pytest
+
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.rib import Rib, RibDelta, main_rib_preference
+from repro.routing.route import (
+    AD_EBGP,
+    AD_OSPF,
+    BgpAttributes,
+    BgpRoute,
+    ConnectedRoute,
+    InternPool,
+    OspfRoute,
+    OspfRouteType,
+    StaticRouteEntry,
+    estimate_route_memory,
+    intern_as_path,
+    intern_communities,
+    interning_stats,
+    reset_interning,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    reset_interning()
+    yield
+    reset_interning()
+
+
+class TestInterning:
+    def test_pool_returns_canonical(self):
+        pool = InternPool("test")
+        a = (1, 2, 3)
+        b = (1, 2, 3)
+        assert pool.intern(a) is pool.intern(b)
+        assert pool.unique == 1
+        assert pool.requests == 2
+
+    def test_attributes_interned(self):
+        a = BgpAttributes.make(as_path=(65001,), local_pref=200)
+        b = BgpAttributes.make(as_path=(65001,), local_pref=200)
+        assert a is b
+        c = BgpAttributes.make(as_path=(65001,), local_pref=100)
+        assert a is not c
+
+    def test_with_changes_reinterned(self):
+        a = BgpAttributes.make(local_pref=100)
+        b = a.with_changes(local_pref=200)
+        c = BgpAttributes.make(local_pref=200)
+        assert b is c
+
+    def test_as_path_and_communities(self):
+        assert intern_as_path((1, 2)) is intern_as_path((1, 2))
+        # Community sets canonicalize: sorted, deduplicated.
+        assert intern_communities(("b:1", "a:1", "a:1")) == ("a:1", "b:1")
+
+    def test_stats(self):
+        BgpAttributes.make(local_pref=1)
+        BgpAttributes.make(local_pref=1)
+        stats = interning_stats()
+        assert stats["bgp-attributes"]["requests"] >= 2
+        assert stats["bgp-attributes"]["unique"] >= 1
+
+    def test_memory_estimate_shape(self):
+        # Interned layout should be dramatically smaller when bundles
+        # are shared 10-20x (the paper's ~50% claim at the route level).
+        interned = estimate_route_memory(10000, 500, interned=True)
+        flat = estimate_route_memory(10000, 500, interned=False)
+        assert interned < flat
+        assert flat / interned > 1.5
+
+
+class TestRouteValues:
+    def test_connected(self):
+        route = ConnectedRoute(prefix=Prefix("10.0.1.0/24"), interface="e0")
+        assert route.admin_distance == 0
+        assert "connected" in route.describe()
+
+    def test_static_null(self):
+        route = StaticRouteEntry(
+            prefix=Prefix("10.0.0.0/8"), next_hop_ip=None, next_hop_interface="Null0"
+        )
+        assert route.is_null_routed
+
+    def test_ospf_protocols(self):
+        intra = OspfRoute(Prefix("1.0.0.0/8"), 10, 0, Ip("1.1.1.1"), "e0")
+        e2 = OspfRoute(
+            Prefix("1.0.0.0/8"), 20, 0, Ip("1.1.1.1"), "e0",
+            route_type=OspfRouteType.EXTERNAL_2,
+        )
+        assert intra.protocol.value == "ospf"
+        assert e2.protocol.value == "ospfE2"
+
+    def test_bgp_route_properties(self):
+        route = BgpRoute(
+            prefix=Prefix("8.0.0.0/8"),
+            next_hop_ip=Ip("10.0.0.1"),
+            attributes=BgpAttributes.make(as_path=(65001, 3356), local_pref=150),
+        )
+        assert route.as_path == (65001, 3356)
+        assert route.local_pref == 150
+        assert route.admin_distance == AD_EBGP
+        assert "8.0.0.0/8" in route.describe()
+
+
+class TestRibDelta:
+    def test_extend_cancels(self):
+        a = RibDelta(added=["r1"], removed=[])
+        b = RibDelta(added=[], removed=["r1"])
+        a.extend(b)
+        assert a.empty
+
+    def test_extend_accumulates(self):
+        a = RibDelta(added=["r1"], removed=["r2"])
+        a.extend(RibDelta(added=["r3"], removed=[]))
+        assert a.added == ["r1", "r3"]
+
+    def test_clear_returns_snapshot(self):
+        delta = RibDelta(added=["r1"], removed=["r2"])
+        snapshot = delta.clear()
+        assert snapshot.added == ["r1"]
+        assert delta.empty
+
+
+class TestRib:
+    def _connected(self, prefix, iface="e0"):
+        return ConnectedRoute(prefix=Prefix(prefix), interface=iface)
+
+    def _ospf(self, prefix, cost, iface="e0", nh="10.0.0.2"):
+        return OspfRoute(Prefix(prefix), cost, 0, Ip(nh), iface)
+
+    def test_admin_distance_preference(self):
+        rib = Rib()
+        ospf = self._ospf("10.0.0.0/24", 10)
+        rib.merge(ospf)
+        assert rib.best_routes(Prefix("10.0.0.0/24")) == [ospf]
+        connected = self._connected("10.0.0.0/24")
+        rib.merge(connected)
+        assert rib.best_routes(Prefix("10.0.0.0/24")) == [connected]
+
+    def test_metric_preference_within_protocol(self):
+        rib = Rib()
+        worse = self._ospf("10.0.0.0/24", 20)
+        better = self._ospf("10.0.0.0/24", 10, iface="e1")
+        rib.merge(worse)
+        rib.merge(better)
+        assert rib.best_routes(Prefix("10.0.0.0/24")) == [better]
+
+    def test_ecmp_set(self):
+        rib = Rib()
+        a = self._ospf("10.0.0.0/24", 10, iface="e0", nh="10.0.1.2")
+        b = self._ospf("10.0.0.0/24", 10, iface="e1", nh="10.0.2.2")
+        rib.merge(a)
+        rib.merge(b)
+        assert set(rib.best_routes(Prefix("10.0.0.0/24"))) == {a, b}
+
+    def test_delta_tracks_best_changes(self):
+        rib = Rib()
+        ospf = self._ospf("10.0.0.0/24", 10)
+        rib.merge(ospf)
+        delta = rib.take_delta()
+        assert delta.added == [ospf]
+        connected = self._connected("10.0.0.0/24")
+        rib.merge(connected)
+        delta = rib.take_delta()
+        assert delta.added == [connected]
+        assert delta.removed == [ospf]
+
+    def test_duplicate_merge_is_noop(self):
+        rib = Rib()
+        route = self._connected("10.0.0.0/24")
+        assert rib.merge(route)
+        rib.take_delta()
+        assert not rib.merge(route)
+        assert rib.take_delta().empty
+
+    def test_withdraw_restores_runner_up(self):
+        rib = Rib()
+        ospf = self._ospf("10.0.0.0/24", 10)
+        connected = self._connected("10.0.0.0/24")
+        rib.merge(ospf)
+        rib.merge(connected)
+        rib.take_delta()
+        rib.withdraw(connected)
+        assert rib.best_routes(Prefix("10.0.0.0/24")) == [ospf]
+        delta = rib.take_delta()
+        assert delta.added == [ospf]
+        assert delta.removed == [connected]
+
+    def test_withdraw_missing_is_noop(self):
+        rib = Rib()
+        assert not rib.withdraw(self._connected("10.0.0.0/24"))
+
+    def test_longest_match_over_best(self):
+        rib = Rib()
+        rib.merge(self._connected("10.0.0.0/8", "e0"))
+        rib.merge(self._connected("10.1.0.0/16", "e1"))
+        prefix, routes = rib.longest_match(Ip("10.1.2.3"))
+        assert prefix == Prefix("10.1.0.0/16")
+        assert routes[0].interface == "e1"
+
+    def test_len_counts_best_routes(self):
+        rib = Rib()
+        rib.merge(self._connected("10.0.0.0/24", "e0"))
+        rib.merge(self._connected("10.0.1.0/24", "e1"))
+        assert len(rib) == 2
+
+    def test_main_rib_preference_keys(self):
+        connected = self._connected("10.0.0.0/24")
+        ospf = self._ospf("10.0.0.0/24", 5)
+        assert main_rib_preference(connected) < main_rib_preference(ospf)

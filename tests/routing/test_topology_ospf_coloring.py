@@ -1,0 +1,186 @@
+"""Unit tests for L3 topology inference, OSPF computation pieces, and
+graph coloring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.hdr.ip import Ip, Prefix
+from repro.routing.coloring import color_classes, greedy_coloring, verify_coloring
+from repro.routing.ospf import compute_ospf, interface_cost, ospf_neighbors
+from repro.routing.topology import (
+    InterfaceId,
+    build_layer3_topology,
+    duplicate_ips,
+)
+
+TOPO = {
+    "a": """
+hostname a
+interface e0
+ ip address 10.0.0.1 255.255.255.0
+interface e1
+ ip address 10.0.1.1 255.255.255.252
+interface lonely
+ ip address 172.16.0.1 255.255.255.0
+""",
+    "b": """
+hostname b
+interface e0
+ ip address 10.0.0.2 255.255.255.0
+interface e1
+ ip address 10.0.1.2 255.255.255.252
+""",
+    "c": """
+hostname c
+interface e0
+ ip address 10.0.0.3 255.255.255.0
+""",
+}
+
+
+class TestTopology:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return build_layer3_topology(load_snapshot_from_texts(TOPO))
+
+    def test_lan_full_mesh(self, topology):
+        # Three devices on 10.0.0.0/24 -> 6 directed edges; plus the
+        # p2p a<->b -> 2 more.
+        assert len(topology.edges()) == 8
+
+    def test_neighbors(self, topology):
+        assert topology.neighbors("a") == ["b", "c"]
+
+    def test_edges_from(self, topology):
+        edges = topology.edges_from(InterfaceId("a", "e1"))
+        assert len(edges) == 1
+        assert edges[0].head == InterfaceId("b", "e1")
+        assert edges[0].head_ip == Ip("10.0.1.2")
+
+    def test_has_remote_end(self, topology):
+        assert topology.has_remote_end(InterfaceId("a", "e0"))
+        assert not topology.has_remote_end(InterfaceId("a", "lonely"))
+
+    def test_edge_reversal(self, topology):
+        edge = topology.edges_from(InterfaceId("a", "e1"))[0]
+        assert edge.reversed().tail == edge.head
+
+    def test_no_duplicates(self):
+        assert duplicate_ips(load_snapshot_from_texts(TOPO)) == []
+
+    def test_duplicate_detection(self):
+        configs = dict(TOPO)
+        configs["d"] = """
+hostname d
+interface e0
+ ip address 10.0.0.2 255.255.255.0
+"""
+        duplicates = duplicate_ips(load_snapshot_from_texts(configs))
+        assert len(duplicates) == 1
+        ip, owners = duplicates[0]
+        assert ip == Ip("10.0.0.2")
+        assert {o.node for o in owners} == {"b", "d"}
+
+
+OSPF_NET = {
+    "a": """
+hostname a
+interface e0
+ ip address 10.0.0.1 255.255.255.252
+ ip ospf area 0
+ ip ospf cost 5
+interface slow
+ ip address 10.0.1.1 255.255.255.252
+ ip ospf area 0
+ bandwidth 10000
+router ospf 1
+""",
+    "b": """
+hostname b
+interface e0
+ ip address 10.0.0.2 255.255.255.252
+ ip ospf area 0
+ ip ospf cost 5
+interface lan
+ ip address 172.16.9.1 255.255.255.0
+ ip ospf area 0
+ ip ospf passive
+router ospf 1
+""",
+}
+
+
+class TestOspfPieces:
+    def test_interface_cost_explicit(self):
+        snapshot = load_snapshot_from_texts(OSPF_NET)
+        assert interface_cost(snapshot.device("a"), "e0") == 5
+
+    def test_interface_cost_from_bandwidth(self):
+        snapshot = load_snapshot_from_texts(OSPF_NET)
+        # 100 Mbps reference / 10 Mbps = 10.
+        assert interface_cost(snapshot.device("a"), "slow") == 10
+
+    def test_neighbors_require_both_sides(self):
+        snapshot = load_snapshot_from_texts(OSPF_NET)
+        topology = build_layer3_topology(snapshot)
+        neighbors = ospf_neighbors(snapshot, topology)
+        pairs = {(n.edge.tail.node, n.edge.head.node) for n in neighbors}
+        assert pairs == {("a", "b"), ("b", "a")}
+
+    def test_passive_interface_not_adjacent_but_advertised(self):
+        snapshot = load_snapshot_from_texts(OSPF_NET)
+        topology = build_layer3_topology(snapshot)
+        computation = compute_ospf(snapshot, topology)
+        routes_a = computation.routes["a"]
+        lan = [r for r in routes_a if r.prefix == Prefix("172.16.9.0/24")]
+        assert lan  # advertised via passive interface
+        assert lan[0].cost == 5 + 1  # link cost + stub cost
+
+    def test_area_mismatch_blocks_adjacency(self):
+        configs = dict(OSPF_NET)
+        configs["b"] = configs["b"].replace(
+            " ip address 10.0.0.2 255.255.255.252\n ip ospf area 0",
+            " ip address 10.0.0.2 255.255.255.252\n ip ospf area 7",
+        )
+        snapshot = load_snapshot_from_texts(configs)
+        topology = build_layer3_topology(snapshot)
+        assert ospf_neighbors(snapshot, topology) == []
+
+
+class TestColoring:
+    def test_simple_bipartite(self):
+        colors = greedy_coloring(["a", "b"], [("a", "b")])
+        assert colors["a"] != colors["b"]
+
+    def test_classes_grouped_and_sorted(self):
+        colors = greedy_coloring(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        classes = color_classes(colors)
+        assert ["a", "c"] in classes
+
+    def test_self_loop_ignored(self):
+        colors = greedy_coloring(["a"], [("a", "a")])
+        assert colors == {"a": 0}
+
+    def test_isolated_nodes_share_color(self):
+        colors = greedy_coloring(["x", "y", "z"], [])
+        assert set(colors.values()) == {0}
+
+    def test_deterministic(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+        first = greedy_coloring(["a", "b", "c", "d"], edges)
+        second = greedy_coloring(["d", "c", "b", "a"], list(reversed(edges)))
+        assert first == second
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+        )
+    )
+    @settings(max_examples=100)
+    def test_coloring_is_proper_property(self, int_edges):
+        edges = [(f"n{a}", f"n{b}") for a, b in int_edges]
+        nodes = {n for edge in edges for n in edge}
+        colors = greedy_coloring(nodes, edges)
+        assert verify_coloring(colors, edges)

@@ -1,0 +1,186 @@
+"""Tests for the concrete traceroute engine, including multipath, loops,
+NAT, and zone behaviour."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.dataplane.fib import compute_fibs
+from repro.hdr.ip import Ip
+from repro.hdr.packet import Packet
+from repro.reachability.graph import Disposition
+from repro.routing.engine import compute_dataplane
+from repro.synth.firewall_dc import enterprise_firewall
+from repro.traceroute.engine import TracerouteEngine
+
+CHAIN = {
+    "r1": """
+hostname r1
+interface i0
+ ip address 10.0.1.1 255.255.255.0
+interface i1
+ ip address 10.0.12.1 255.255.255.0
+ ip access-group NO_TELNET out
+ip route 10.0.2.0 255.255.255.0 10.0.12.2
+ip route 172.31.0.0 255.255.0.0 Null0
+ip access-list extended NO_TELNET
+ deny tcp any any eq 23
+ permit ip any any
+""",
+    "r2": """
+hostname r2
+interface i0
+ ip address 10.0.2.1 255.255.255.0
+interface i1
+ ip address 10.0.12.2 255.255.255.0
+ ip access-group NO_BAD_SRC in
+ip route 10.0.1.0 255.255.255.0 10.0.12.1
+ip access-list extended NO_BAD_SRC
+ deny ip 10.99.0.0 0.0.255.255 any
+ permit ip any any
+""",
+}
+
+LOOP = {
+    "a": """
+hostname a
+interface i0
+ ip address 10.0.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.0.0.2
+""",
+    "b": """
+hostname b
+interface i0
+ ip address 10.0.0.2 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.0.0.1
+""",
+}
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    dataplane = compute_dataplane(load_snapshot_from_texts(CHAIN))
+    return TracerouteEngine(dataplane, compute_fibs(dataplane))
+
+
+class TestBasics:
+    def test_delivered(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("10.0.2.9"), dst_port=80)
+        traces = tracer.trace(packet, "r1", "i0")
+        assert len(traces) == 1
+        assert traces[0].disposition is Disposition.DELIVERED
+        assert traces[0].path_nodes() == ["r1", "r2"]
+
+    def test_accepted_at_router(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("10.0.12.2"))
+        traces = tracer.trace(packet, "r1", "i0")
+        assert traces[0].disposition is Disposition.ACCEPTED
+        assert traces[0].hops[-1].node == "r2"
+
+    def test_no_route(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("203.0.113.1"))
+        traces = tracer.trace(packet, "r1", "i0")
+        assert traces[0].disposition is Disposition.NO_ROUTE
+
+    def test_null_routed(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("172.31.1.1"))
+        traces = tracer.trace(packet, "r1", "i0")
+        assert traces[0].disposition is Disposition.NULL_ROUTED
+
+    def test_denied_out(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("10.0.2.9"), dst_port=23)
+        traces = tracer.trace(packet, "r1", "i0")
+        assert traces[0].disposition is Disposition.DENIED_OUT
+        assert traces[0].path_nodes() == ["r1"]
+
+    def test_denied_in_at_receiver(self, tracer):
+        packet = Packet(src_ip=Ip("10.99.1.1"), dst_ip=Ip("10.0.2.9"), dst_port=80)
+        traces = tracer.trace(packet, "r1", "i0")
+        assert traces[0].disposition is Disposition.DENIED_IN
+        assert traces[0].hops[-1].node == "r2"
+
+    def test_trace_records_acl_details(self, tracer):
+        packet = Packet(src_ip=Ip("10.0.1.5"), dst_ip=Ip("10.0.2.9"), dst_port=23)
+        trace = tracer.trace(packet, "r1", "i0")[0]
+        acl_steps = [
+            step.detail
+            for hop in trace.hops
+            for step in hop.steps
+            if step.kind == "acl"
+        ]
+        assert any("NO_TELNET" in detail for detail in acl_steps)
+
+
+class TestLoop:
+    def test_loop_detected(self):
+        dataplane = compute_dataplane(load_snapshot_from_texts(LOOP))
+        tracer = TracerouteEngine(dataplane, compute_fibs(dataplane))
+        packet = Packet(src_ip=Ip("10.0.0.9"), dst_ip=Ip("192.168.1.1"))
+        traces = tracer.trace(packet, "a", "i0")
+        assert traces[0].disposition is Disposition.LOOP
+
+
+class TestMultipath:
+    CONFIGS = {
+        "src": """
+hostname src
+interface i0
+ ip address 10.0.0.1 255.255.255.0
+interface i1
+ ip address 10.1.0.1 255.255.255.0
+interface i2
+ ip address 10.2.0.1 255.255.255.0
+ip route 192.168.0.0 255.255.0.0 10.1.0.2
+ip route 192.168.0.0 255.255.0.0 10.2.0.2
+""",
+        "left": """
+hostname left
+interface i0
+ ip address 10.1.0.2 255.255.255.0
+interface i1
+ ip address 192.168.1.1 255.255.255.0
+""",
+        "right": """
+hostname right
+interface i0
+ ip address 10.2.0.2 255.255.255.0
+interface i1
+ ip address 192.168.1.2 255.255.255.0
+""",
+    }
+
+    def test_ecmp_produces_multiple_traces(self):
+        dataplane = compute_dataplane(load_snapshot_from_texts(self.CONFIGS))
+        tracer = TracerouteEngine(dataplane, compute_fibs(dataplane))
+        packet = Packet(src_ip=Ip("10.0.0.9"), dst_ip=Ip("192.168.1.77"))
+        traces = tracer.trace(packet, "src", "i0")
+        assert len(traces) == 2
+        last_nodes = {trace.hops[-1].node for trace in traces}
+        assert last_nodes == {"left", "right"}
+        assert all(t.disposition is Disposition.DELIVERED for t in traces)
+
+
+class TestNatAndZones:
+    def test_nat_and_zone_steps_recorded(self):
+        snapshot = load_snapshot_from_texts(enterprise_firewall(2))
+        dataplane = compute_dataplane(snapshot)
+        tracer = TracerouteEngine(dataplane, compute_fibs(dataplane))
+        packet = Packet(
+            src_ip=Ip("172.28.0.10"), dst_ip=Ip("198.18.0.1"), dst_port=443,
+        )
+        traces = tracer.trace(packet, "inside0", "Vlan10")
+        assert traces[0].disposition is Disposition.EXITS_NETWORK
+        assert traces[0].final_packet.src_ip != packet.src_ip  # NAT'd
+        kinds = {
+            step.kind for hop in traces[0].hops for step in hop.steps
+        }
+        assert "nat" in kinds and "zone" in kinds
+
+    def test_zone_policy_denies(self):
+        snapshot = load_snapshot_from_texts(enterprise_firewall(2))
+        dataplane = compute_dataplane(snapshot)
+        tracer = TracerouteEngine(dataplane, compute_fibs(dataplane))
+        packet = Packet(
+            src_ip=Ip("172.28.0.10"), dst_ip=Ip("198.18.0.1"), dst_port=23,
+        )
+        traces = tracer.trace(packet, "inside0", "Vlan10")
+        assert traces[0].disposition is Disposition.DENIED_OUT
