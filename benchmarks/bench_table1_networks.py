@@ -11,13 +11,13 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.benchlib import cached_pipeline, print_table
+    from benchmarks.benchlib import cached_pipeline, pmap_rows, print_table
 except ImportError:  # running as `python benchmarks/bench_*.py`
     import os
     import sys
 
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks.benchlib import cached_pipeline, print_table
+    from benchmarks.benchlib import cached_pipeline, pmap_rows, print_table
 from repro.synth.networks import NETWORKS
 
 _FAST_NETWORKS = ["NET1", "NET2", "NET5", "NET7", "NET8"]
@@ -37,22 +37,23 @@ def test_network_builds_and_converges(benchmark, name):
     assert pipeline.dataplane.converged
 
 
+def _table1_row(name: str):
+    spec = next(s for s in NETWORKS if s.name == name)
+    pipeline = cached_pipeline(name)
+    return [
+        spec.name,
+        spec.network_type,
+        str(pipeline.num_devices),
+        str(pipeline.config_lines),
+        str(pipeline.total_routes),
+        "+".join(spec.vendors),
+        "+".join(spec.protocols),
+    ]
+
+
 def table1_rows():
-    rows = []
-    for spec in NETWORKS:
-        pipeline = cached_pipeline(spec.name)
-        rows.append(
-            [
-                spec.name,
-                spec.network_type,
-                str(pipeline.num_devices),
-                str(pipeline.config_lines),
-                str(pipeline.total_routes),
-                "+".join(spec.vendors),
-                "+".join(spec.protocols),
-            ]
-        )
-    return rows
+    # One worker process per network; rows come back in registry order.
+    return pmap_rows(_table1_row, [spec.name for spec in NETWORKS])
 
 
 def main():

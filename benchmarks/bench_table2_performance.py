@@ -6,26 +6,44 @@ parsing, data-plane generation ("DP gen"), destination reachability
 multipath consistency (the all-forwarding-rules verification query).
 The paper's headline — analysis completes in minutes even on the
 largest networks, dominated by DP generation — should hold in shape.
+
+Beyond the printed table, running this module as a script measures each
+network in its own worker process (``REPRO_JOBS``-wide fan-out via
+``repro.parallel.pmap``), adds cold- vs. warm-cache timings through the
+content-addressed snapshot cache, and writes the machine-readable
+``BENCH_table2.json`` artifact (wall-clock per phase, peak RSS per
+worker, route-object memory saved by ``__slots__``). ``--smoke`` limits
+the sweep to one small network for CI.
 """
 
 from __future__ import annotations
 
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
 import pytest
 
 try:
-    from benchmarks.benchlib import cached_pipeline, print_table, timed
+    from benchmarks import benchlib
 except ImportError:  # running as `python benchmarks/bench_*.py`
     import os
-    import sys
 
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
-    from benchmarks.benchlib import cached_pipeline, print_table, timed
+    from benchmarks import benchlib
+from benchmarks.benchlib import cached_pipeline, print_table, timed
 from repro.config.loader import load_snapshot_from_texts
+from repro.core.session import Session
 from repro.routing.engine import ConvergenceSettings, compute_dataplane
 from repro.synth.networks import NETWORKS
 
 #: Subset benchmarked under pytest-benchmark (full table via main()).
 _BENCH_NETWORKS = ["NET1", "NET2", "NET5", "NET6", "NET7"]
+
+#: The single network used by ``--smoke`` (CI: one small cold+warm run).
+_SMOKE_NETWORK = "NET1"
 
 
 @pytest.mark.parametrize("name", _BENCH_NETWORKS)
@@ -75,40 +93,116 @@ def _first_delivery_location(analyzer):
     return (hostname, None)
 
 
-def table2_rows():
+def measure_network(name: str) -> Dict[str, object]:
+    """All Table 2 measurements for one network, in one process.
+
+    Phase timings come from a direct (uncached) pipeline run; the
+    cold/warm pair then exercises the content-addressed cache over the
+    stages it covers (parse + data-plane generation) against a fresh
+    cache directory, so "cold" is genuinely cold and "warm" is a pure
+    disk load of the same snapshot.
+    """
+    spec = next(s for s in NETWORKS if s.name == name)
+    pipeline = benchlib.run_pipeline(spec)
+    analyzer = pipeline.analyzer
+    dest_seconds, _ = timed(
+        lambda: analyzer.destination_reachability(*_first_delivery_location(analyzer))
+    )
+    multipath_seconds, violations = timed(analyzer.multipath_consistency)
+
+    cache_dir = tempfile.mkdtemp(prefix=f"repro-bench-{name}-")
+    try:
+        started = time.perf_counter()
+        cold_session = Session.from_texts(pipeline.configs, cache=cache_dir)
+        cold_session.dataplane
+        cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        warm_session = Session.from_texts(pipeline.configs, cache=cache_dir)
+        warm_session.dataplane
+        warm_seconds = time.perf_counter() - started
+        warm_hits = (warm_session.cache_stats or {}).get("hits", 0)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    return {
+        "network": name,
+        "devices": pipeline.num_devices,
+        "config_lines": pipeline.config_lines,
+        "routes": pipeline.total_routes,
+        "violations": len(violations),
+        "seconds": {
+            "parse": round(pipeline.parse_seconds, 4),
+            "dataplane": round(pipeline.dataplane_seconds, 4),
+            "graph": round(pipeline.graph_seconds, 4),
+            "dest_reach": round(dest_seconds, 4),
+            "multipath": round(multipath_seconds, 4),
+            "cache_cold": round(cold_seconds, 4),
+            "cache_warm": round(warm_seconds, 4),
+        },
+        "cache_warm_hits": warm_hits,
+        "peak_rss_kb": benchlib.peak_rss_kb(),
+        "route_memory": benchlib.route_memory_stats(pipeline.dataplane),
+    }
+
+
+def collect_measurements(
+    names: List[str], jobs: Optional[int] = None
+) -> List[Dict[str, object]]:
+    """Measure the named networks, one worker process per network."""
+    return benchlib.pmap_rows(measure_network, names, jobs=jobs)
+
+
+def table2_rows(measurements: List[Dict[str, object]]) -> List[List[str]]:
     rows = []
-    for spec in NETWORKS:
-        pipeline = cached_pipeline(spec.name)
-        analyzer = pipeline.analyzer
-        dest_seconds, _ = timed(
-            lambda: analyzer.destination_reachability(
-                *_first_delivery_location(analyzer)
-            )
-        )
-        multipath_seconds, violations = timed(analyzer.multipath_consistency)
+    for m in measurements:
+        seconds = m["seconds"]
         rows.append(
             [
-                spec.name,
-                str(pipeline.num_devices),
-                f"{pipeline.parse_seconds:.2f}s",
-                f"{pipeline.dataplane_seconds:.2f}s",
-                f"{pipeline.graph_seconds:.2f}s",
-                f"{dest_seconds:.3f}s",
-                f"{multipath_seconds:.2f}s",
-                str(len(violations)),
+                m["network"],
+                str(m["devices"]),
+                f"{seconds['parse']:.2f}s",
+                f"{seconds['dataplane']:.2f}s",
+                f"{seconds['graph']:.2f}s",
+                f"{seconds['dest_reach']:.3f}s",
+                f"{seconds['multipath']:.2f}s",
+                str(m["violations"]),
+                f"{seconds['cache_cold']:.2f}s",
+                f"{seconds['cache_warm']:.2f}s",
+                f"{m['peak_rss_kb'] / 1024:.0f}MB",
             ]
         )
     return rows
 
 
-def main():
+def main(argv: Optional[List[str]] = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    names = [_SMOKE_NETWORK] if smoke else [spec.name for spec in NETWORKS]
+    measurements = collect_measurements(names)
     print_table(
         "Table 2: performance of the current pipeline",
         [
-            "network", "nodes", "parse", "DP gen", "graph",
-            "dest reach", "multipath", "violations",
+            "network", "nodes", "parse", "DP gen", "graph", "dest reach",
+            "multipath", "violations", "cold", "warm", "peak RSS",
         ],
-        table2_rows(),
+        table2_rows(measurements),
+    )
+    path = benchlib.write_bench_json(
+        "table2",
+        {
+            "smoke": smoke,
+            "networks": measurements,
+        },
+    )
+    print(f"wrote {path}")
+    slowest = max(measurements, key=lambda m: m["seconds"]["cache_cold"])
+    ratio = slowest["seconds"]["cache_cold"] / max(
+        slowest["seconds"]["cache_warm"], 1e-9
+    )
+    print(
+        f"cache speedup ({slowest['network']}): cold "
+        f"{slowest['seconds']['cache_cold']:.2f}s -> warm "
+        f"{slowest['seconds']['cache_warm']:.2f}s ({ratio:.1f}x)"
     )
 
 

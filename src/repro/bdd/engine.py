@@ -276,23 +276,64 @@ class BddEngine:
             return a, a
         return self._lo[a], self._hi[a]
 
+    def and_all(self, operands: Iterable[int]) -> int:
+        """N-ary conjunction via balanced-tree reduction (TRUE for the
+        empty collection).
+
+        A left-fold of :meth:`and_` builds one ever-growing accumulator
+        that every further operand is merged into; pairing operands in a
+        balanced tree keeps intermediate diagrams small and the
+        operation caches hot, which is markedly faster for wide folds
+        (ACL line unions, per-prefix FIB spaces, own-IP sets). The
+        result is identical by canonicity: AND is associative,
+        commutative, and idempotent, so operands are also deduplicated
+        and id-sorted for deterministic cache keys.
+        """
+        layer = sorted({op for op in operands if op != TRUE})
+        if not layer:
+            return TRUE
+        if layer[0] == FALSE:
+            return FALSE
+        while len(layer) > 1:
+            reduced: List[int] = []
+            for i in range(0, len(layer) - 1, 2):
+                result = self.and_(layer[i], layer[i + 1])
+                if result == FALSE:
+                    return FALSE
+                reduced.append(result)
+            if len(layer) % 2:
+                reduced.append(layer[-1])
+            layer = reduced
+        return layer[0]
+
+    def or_all(self, operands: Iterable[int]) -> int:
+        """N-ary disjunction via balanced-tree reduction (FALSE for the
+        empty collection). See :meth:`and_all` for why the tree shape
+        beats a left-fold."""
+        layer = sorted({op for op in operands if op != FALSE})
+        if not layer:
+            return FALSE
+        if layer[0] == TRUE:
+            return TRUE
+        while len(layer) > 1:
+            reduced: List[int] = []
+            for i in range(0, len(layer) - 1, 2):
+                result = self.or_(layer[i], layer[i + 1])
+                if result == TRUE:
+                    return TRUE
+                reduced.append(result)
+            if len(layer) % 2:
+                reduced.append(layer[-1])
+            layer = reduced
+        return layer[0]
+
     def all_and(self, operands: Iterable[int]) -> int:
-        """Conjunction of all operands (TRUE for the empty collection)."""
-        result = TRUE
-        for operand in operands:
-            result = self.and_(result, operand)
-            if result == FALSE:
-                return FALSE
-        return result
+        """Back-compat alias for :meth:`and_all`."""
+        return self.and_all(operands)
 
     def all_or(self, operands: Iterable[int]) -> int:
-        """Disjunction of all operands (FALSE for the empty collection)."""
-        result = FALSE
-        for operand in operands:
-            result = self.or_(result, operand)
-            if result == TRUE:
-                return TRUE
-        return result
+        """Back-compat alias for :meth:`or_all`."""
+        return self.or_all(operands)
 
     # ------------------------------------------------------------------
     # Quantification, renaming, relational product

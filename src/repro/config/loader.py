@@ -10,11 +10,16 @@ already have").
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config.cisco import parse_cisco
 from repro.config.juniper import parse_juniper
 from repro.config.model import ParseWarning, Snapshot
+from repro.parallel import pmap
+
+#: Snapshots smaller than this parse inline; the pool only pays off
+#: once per-file parse work dwarfs fork+pickle overhead.
+_MIN_PARALLEL_FILES = 8
 
 
 def detect_syntax(text: str) -> str:
@@ -50,15 +55,33 @@ def parse_config_text(text: str, filename: str = "<config>"):
     return parse_cisco(text, filename)
 
 
-def load_snapshot_from_texts(configs: Dict[str, str]) -> Snapshot:
+def _parse_one(item: Tuple[str, str]):
+    """Per-file parse worker (module-level so pmap can fan it out)."""
+    filename, text = item
+    return parse_config_text(text, filename)
+
+
+def load_snapshot_from_texts(
+    configs: Dict[str, str], jobs: Optional[int] = None
+) -> Snapshot:
     """Build a snapshot from ``{filename_or_hostname: config_text}``.
+
+    Per-file parsing fans out over a process pool (``REPRO_JOBS`` /
+    ``jobs``); files are parsed independently and reassembled in sorted
+    filename order, so the result is identical to a serial run.
 
     Duplicate hostnames are flagged (the later file wins), mirroring the
     tool's behaviour on misassembled snapshot directories.
     """
     snapshot = Snapshot()
-    for filename in sorted(configs):
-        device, warnings = parse_config_text(configs[filename], filename)
+    filenames = sorted(configs)
+    parsed = pmap(
+        _parse_one,
+        [(filename, configs[filename]) for filename in filenames],
+        jobs=jobs,
+        min_items=_MIN_PARALLEL_FILES,
+    )
+    for filename, (device, warnings) in zip(filenames, parsed):
         snapshot.warnings.extend(warnings)
         if device.hostname in snapshot.devices:
             snapshot.warnings.append(
@@ -73,9 +96,10 @@ def load_snapshot_from_texts(configs: Dict[str, str]) -> Snapshot:
     return snapshot
 
 
-def load_snapshot_from_dir(path: str, suffix: Optional[str] = ".cfg") -> Snapshot:
-    """Load every ``*.cfg`` (by default) file under ``path`` as a device
-    configuration."""
+def read_config_dir(path: str, suffix: Optional[str] = ".cfg") -> Dict[str, str]:
+    """Read every ``*.cfg`` (by default) file under ``path`` as
+    ``{filename: text}`` without parsing (the caching layer hashes raw
+    texts before deciding whether parsing is needed at all)."""
     configs: Dict[str, str] = {}
     for entry in sorted(os.listdir(path)):
         if suffix is not None and not entry.endswith(suffix):
@@ -87,4 +111,12 @@ def load_snapshot_from_dir(path: str, suffix: Optional[str] = ".cfg") -> Snapsho
             configs[entry] = handle.read()
     if not configs:
         raise FileNotFoundError(f"no configuration files found under {path!r}")
-    return load_snapshot_from_texts(configs)
+    return configs
+
+
+def load_snapshot_from_dir(
+    path: str, suffix: Optional[str] = ".cfg", jobs: Optional[int] = None
+) -> Snapshot:
+    """Load every ``*.cfg`` (by default) file under ``path`` as a device
+    configuration."""
+    return load_snapshot_from_texts(read_config_dir(path, suffix), jobs=jobs)

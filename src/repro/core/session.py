@@ -16,11 +16,13 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
 from repro.config.model import ParseWarning, Snapshot
+from repro.core.cache import SnapshotCache, resolve_cache, snapshot_key
 from repro.dataplane.fib import Fib, compute_fibs
 from repro.hdr.headerspace import HeaderSpace, PacketEncoder
 from repro.hdr.packet import Packet
@@ -89,18 +91,54 @@ class Session:
         self._fibs: Optional[Dict[str, Fib]] = None
         self._analyzer: Optional[NetworkAnalyzer] = None
         self._tracer: Optional[TracerouteEngine] = None
+        #: Content-addressed cache backing this session (see from_texts).
+        self._cache: Optional[SnapshotCache] = None
+        self._cache_key: Optional[str] = None
 
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_texts(cls, configs: Dict[str, str], **kwargs) -> "Session":
-        """Build a session from ``{name: config_text}``."""
-        return cls(load_snapshot_from_texts(configs), **kwargs)
+    def from_texts(cls, configs: Dict[str, str], cache=None, **kwargs) -> "Session":
+        """Build a session from ``{name: config_text}``.
+
+        ``cache`` enables the content-addressed snapshot cache: ``True``
+        uses ``REPRO_CACHE_DIR`` (default ``.repro_cache/``), a string
+        names a directory, a :class:`SnapshotCache` is used directly.
+        On a hit, parsing (and later, data-plane simulation) is replaced
+        by a disk load; any config-byte or code change misses.
+        """
+        resolved = resolve_cache(cache)
+        if resolved is None:
+            return cls(load_snapshot_from_texts(configs), **kwargs)
+        key = snapshot_key(configs)
+        snapshot = resolved.load("snapshot", key)
+        if snapshot is None:
+            snapshot = load_snapshot_from_texts(configs)
+            resolved.store("snapshot", key, snapshot)
+        session = cls(snapshot, **kwargs)
+        session._cache = resolved
+        session._cache_key = key
+        return session
 
     @classmethod
-    def from_dir(cls, path: str, **kwargs) -> "Session":
+    def from_dir(cls, path: str, cache=None, **kwargs) -> "Session":
         """Build a session from a snapshot directory of ``*.cfg`` files."""
+        if cache is not None:
+            from repro.config.loader import read_config_dir
+
+            return cls.from_texts(read_config_dir(path), cache=cache, **kwargs)
         return cls(load_snapshot_from_dir(path), **kwargs)
+
+    @property
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss counters of the backing cache (None when uncached)."""
+        return self._cache.stats() if self._cache else None
+
+    def _dataplane_cache_salt(self) -> str:
+        """Simulation parameters that shape the data plane: they join
+        the content address so differently-configured runs never share
+        an entry."""
+        return f"dataplane|{self.settings!r}|{self.semantics!r}"
 
     # -- pipeline stages ----------------------------------------------------
 
@@ -110,12 +148,31 @@ class Session:
 
     @property
     def dataplane(self) -> DataPlane:
-        """Stage 2: the computed data plane (lazily derived)."""
+        """Stage 2: the computed data plane (lazily derived; served from
+        the content-addressed cache when one backs this session)."""
         if self._dataplane is None:
-            self._dataplane = compute_dataplane(
-                self.snapshot, self.settings, self.semantics
-            )
+            cached = None
+            if self._cache is not None:
+                cached = self._cache.load("dataplane", self._dataplane_key())
+            if cached is not None:
+                self._dataplane = cached
+            else:
+                self._dataplane = compute_dataplane(
+                    self.snapshot, self.settings, self.semantics
+                )
+                if self._cache is not None:
+                    self._cache.store(
+                        "dataplane", self._dataplane_key(), self._dataplane
+                    )
         return self._dataplane
+
+    def _dataplane_key(self) -> str:
+        """Content address of the data plane: the snapshot key extended
+        with the simulation parameters."""
+        assert self._cache_key is not None
+        digest = hashlib.sha256(self._cache_key.encode())
+        digest.update(self._dataplane_cache_salt().encode())
+        return digest.hexdigest()
 
     @property
     def fibs(self) -> Dict[str, Fib]:

@@ -85,49 +85,45 @@ def evaluate_acl(acl: Acl, packet: Packet) -> AclResult:
 def line_space(line: AclLine, encoder: PacketEncoder) -> int:
     """The set of packets a single line matches, as a BDD."""
     engine = encoder.engine
-    result = TRUE
+    conjuncts: List[int] = []
     if line.protocol is not None:
-        result = engine.and_(result, encoder.protocol(line.protocol))
+        conjuncts.append(encoder.protocol(line.protocol))
     if line.src is not None:
-        result = engine.and_(result, encoder.ip_in_prefix(f.SRC_IP, line.src))
+        conjuncts.append(encoder.ip_in_prefix(f.SRC_IP, line.src))
     if line.dst is not None:
-        result = engine.and_(result, encoder.ip_in_prefix(f.DST_IP, line.dst))
+        conjuncts.append(encoder.ip_in_prefix(f.DST_IP, line.dst))
     if line.src_ports:
-        result = engine.and_(
-            result, encoder.port_ranges(f.SRC_PORT, line.src_ports)
-        )
+        conjuncts.append(encoder.port_ranges(f.SRC_PORT, line.src_ports))
     if line.dst_ports:
-        result = engine.and_(
-            result, encoder.port_ranges(f.DST_PORT, line.dst_ports)
-        )
+        conjuncts.append(encoder.port_ranges(f.DST_PORT, line.dst_ports))
     if line.established:
         flags = engine.or_(
             encoder.tcp_flag(f.TCP_ACK), encoder.tcp_flag(f.TCP_RST)
         )
-        result = engine.and_(result, engine.and_(encoder.tcp(), flags))
+        conjuncts.append(engine.and_(encoder.tcp(), flags))
     if line.icmp_type is not None:
-        result = engine.and_(
-            result, encoder.field_eq(f.ICMP_TYPE, line.icmp_type)
-        )
-    return result
+        conjuncts.append(encoder.field_eq(f.ICMP_TYPE, line.icmp_type))
+    return engine.and_all(conjuncts)
 
 
 def acl_permit_space(acl: Acl, encoder: PacketEncoder) -> int:
     """The set of packets the ACL permits, honouring line order.
 
     Classic sequential encoding: a line contributes the part of its
-    match space not claimed by any earlier line.
+    match space not claimed by any earlier line. The running
+    already-matched union is inherently sequential, but the permitted
+    contributions are order-independent once carved, so they are
+    combined with the balanced n-ary union kernel.
     """
     engine = encoder.engine
-    permitted = FALSE
+    permit_parts: List[int] = []
     already_matched = FALSE
     for line in acl.lines:
         space = line_space(line, encoder)
-        fresh = engine.diff(space, already_matched)
         if line.action is Action.PERMIT:
-            permitted = engine.or_(permitted, fresh)
+            permit_parts.append(engine.diff(space, already_matched))
         already_matched = engine.or_(already_matched, space)
-    return permitted
+    return engine.or_all(permit_parts)
 
 
 def acl_line_spaces(

@@ -31,13 +31,14 @@ class FibActionType(enum.Enum):
     DROP_NO_ROUTE = "drop-no-route"  # unresolvable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FibEntry:
     """One resolved forwarding entry.
 
     ``arp_ip`` is the address the packet is forwarded toward on the wire
     — ``None`` for connected prefixes (deliver to the destination
-    itself).
+    itself). Slotted: large networks materialize one per (prefix, ECMP
+    path) pair, so the per-instance ``__dict__`` is worth dropping.
     """
 
     prefix: Prefix
@@ -55,6 +56,8 @@ class FibEntry:
 
 class Fib:
     """The forwarding table of one node, with LPM lookup."""
+
+    __slots__ = ("hostname", "_trie")
 
     def __init__(self, hostname: str):
         self.hostname = hostname

@@ -99,8 +99,9 @@ class PacketEncoder:
         return self.engine.from_assignment(assignment)
 
     def ip_in_prefixes(self, field: str, prefixes: Iterable["Prefix | str"]) -> int:
-        """Union of :meth:`ip_in_prefix` over several prefixes."""
-        return self.engine.all_or(
+        """Union of :meth:`ip_in_prefix` over several prefixes
+        (balanced n-ary kernel: prefix lists can be hundreds wide)."""
+        return self.engine.or_all(
             self.ip_in_prefix(field, prefix) for prefix in prefixes
         )
 
@@ -124,7 +125,7 @@ class PacketEncoder:
 
     def port_ranges(self, field: str, ranges: Sequence[PortRange]) -> int:
         """Union of inclusive port ranges for a port field."""
-        return self.engine.all_or(
+        return self.engine.or_all(
             self.field_in_range(field, low, high) for low, high in ranges
         )
 
@@ -149,14 +150,14 @@ class PacketEncoder:
     def identity(self, field: str) -> int:
         """BDD for *output field == input field* (unchanged by transform)."""
         engine = self.engine
-        result = TRUE
-        for bit in reversed(range(self.layout.width(field))):
+        per_bit: List[int] = []
+        for bit in range(self.layout.width(field)):
             in_level = self.layout.var(field, bit)
             out_level = self.layout.out_var(field, bit)
             both = engine.and_(engine.var(in_level), engine.var(out_level))
             neither = engine.and_(engine.nvar(in_level), engine.nvar(out_level))
-            result = engine.and_(result, engine.or_(both, neither))
-        return result
+            per_bit.append(engine.or_(both, neither))
+        return engine.and_all(per_bit)
 
     def input_cube(self, fields: Iterable[str]) -> int:
         """Interned cube of the *input* variables of ``fields``."""
@@ -265,43 +266,44 @@ class HeaderSpace:
         )
 
     def to_bdd(self, encoder: PacketEncoder) -> int:
-        """Encode this header space as a BDD."""
+        """Encode this header space as a BDD.
+
+        Each attribute contributes one conjunct (negative prefix sets as
+        complements — AND is commutative, so carving them out early or
+        late yields the same canonical diagram); the conjuncts are
+        combined with the balanced n-ary intersection kernel.
+        """
         engine = encoder.engine
-        result = TRUE
+        conjuncts: List[int] = []
         if self.dst_prefixes:
-            result = engine.and_(
-                result, encoder.ip_in_prefixes(f.DST_IP, self.dst_prefixes)
-            )
+            conjuncts.append(encoder.ip_in_prefixes(f.DST_IP, self.dst_prefixes))
         if self.src_prefixes:
-            result = engine.and_(
-                result, encoder.ip_in_prefixes(f.SRC_IP, self.src_prefixes)
-            )
+            conjuncts.append(encoder.ip_in_prefixes(f.SRC_IP, self.src_prefixes))
         if self.not_dst_prefixes:
-            result = engine.diff(
-                result, encoder.ip_in_prefixes(f.DST_IP, self.not_dst_prefixes)
+            conjuncts.append(
+                engine.not_(
+                    encoder.ip_in_prefixes(f.DST_IP, self.not_dst_prefixes)
+                )
             )
         if self.not_src_prefixes:
-            result = engine.diff(
-                result, encoder.ip_in_prefixes(f.SRC_IP, self.not_src_prefixes)
+            conjuncts.append(
+                engine.not_(
+                    encoder.ip_in_prefixes(f.SRC_IP, self.not_src_prefixes)
+                )
             )
         if self.dst_ports:
-            result = engine.and_(
-                result, encoder.port_ranges(f.DST_PORT, self.dst_ports)
-            )
+            conjuncts.append(encoder.port_ranges(f.DST_PORT, self.dst_ports))
         if self.src_ports:
-            result = engine.and_(
-                result, encoder.port_ranges(f.SRC_PORT, self.src_ports)
-            )
+            conjuncts.append(encoder.port_ranges(f.SRC_PORT, self.src_ports))
         if self.ip_protocols:
-            result = engine.and_(
-                result,
-                engine.all_or(encoder.protocol(p) for p in self.ip_protocols),
+            conjuncts.append(
+                engine.or_all(encoder.protocol(p) for p in self.ip_protocols)
             )
         for bit in self.tcp_flags_set:
-            result = engine.and_(result, encoder.tcp_flag(bit, True))
+            conjuncts.append(encoder.tcp_flag(bit, True))
         for bit in self.tcp_flags_unset:
-            result = engine.and_(result, encoder.tcp_flag(bit, False))
-        return result
+            conjuncts.append(encoder.tcp_flag(bit, False))
+        return engine.and_all(conjuncts)
 
     def contains(self, packet: Packet) -> bool:
         """Concrete membership check (no BDDs), used by the traceroute

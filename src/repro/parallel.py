@@ -1,0 +1,120 @@
+"""Fork-safe process-pool ``pmap`` for the analysis pipeline.
+
+The paper's workloads are embarrassingly parallel at several grains —
+per-file vendor parsing (Stage 1), per-network benchmark and
+differential runs (§6, §4.3.2) — but the pure-Python port paid them
+serially. :func:`pmap` fans such loops out over a process pool while
+keeping the results byte-identical to a serial run:
+
+* **Deterministic ordering.** Results come back in input order
+  regardless of which worker finished first (``Pool.map`` semantics).
+* **Fork safety without pickling the function.** On platforms with the
+  ``fork`` start method the mapped callable is published through a
+  module global *before* forking, so closures and locally-defined
+  functions work; only items and results cross the pipe. Where ``fork``
+  is unavailable the map degrades to serial rather than failing.
+* **Serial fallback for small inputs.** Spawning processes costs more
+  than parsing a handful of configs; inputs below ``min_items`` (or a
+  single-job setting) run inline.
+* **One env knob.** ``REPRO_JOBS`` sets the default worker count
+  (``REPRO_JOBS=1`` forces serial everywhere, e.g. for determinism
+  A/B tests); callers can override per call with ``jobs=``.
+
+Workers inherit the parent's module state at fork time, so engines,
+intern pools, and registries behave as read-only snapshots inside a
+worker; anything a worker returns must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many items the pool overhead dominates; run inline.
+DEFAULT_MIN_ITEMS = 4
+
+#: The callable being mapped, published to forked children (see module
+#: docstring). Only meaningful between fork and pool teardown.
+_WORKER_FN: Optional[Callable] = None
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+    return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (Linux/macOS)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _invoke(item):
+    """Module-level trampoline: picklable stand-in for the real fn."""
+    return _WORKER_FN(item)
+
+
+def _invoke_chunk(chunk: Sequence) -> List:
+    """Map a whole chunk in one task to amortize IPC per item."""
+    return [_WORKER_FN(item) for item in chunk]
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> List[Sequence[T]]:
+    """Split ``items`` into order-preserving chunks of ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def pmap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    min_items: int = DEFAULT_MIN_ITEMS,
+) -> List[R]:
+    """Map ``fn`` over ``items`` on a process pool, in input order.
+
+    ``jobs``: worker count (default :func:`default_jobs`).
+    ``chunk_size``: items per task (default: spread items over roughly
+    four tasks per worker, so stragglers rebalance).
+    ``min_items``: inputs smaller than this run serially.
+
+    Exceptions raised by ``fn`` propagate to the caller, as in a plain
+    loop. Results must be picklable when the pool path is taken.
+    """
+    global _WORKER_FN
+    work = list(items)
+    n_jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    n_jobs = min(n_jobs, len(work)) if work else 1
+    if (
+        n_jobs <= 1
+        or len(work) < max(2, min_items)
+        or not fork_available()
+        # Pool workers are daemonic and may not fork grandchildren;
+        # nested pmap calls (e.g. parsing inside a per-network worker)
+        # degrade to serial inside the worker.
+        or multiprocessing.current_process().daemon
+    ):
+        return [fn(item) for item in work]
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(work) // (n_jobs * 4)))
+    chunks = chunked(work, chunk_size)
+    context = multiprocessing.get_context("fork")
+    previous = _WORKER_FN
+    _WORKER_FN = fn
+    try:
+        with context.Pool(processes=min(n_jobs, len(chunks))) as pool:
+            mapped = pool.map(_invoke_chunk, chunks)
+    finally:
+        _WORKER_FN = previous
+    return [result for chunk in mapped for result in chunk]

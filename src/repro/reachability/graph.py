@@ -73,7 +73,14 @@ def disp_node(node: str, disposition: Disposition) -> GraphNode:
 
 
 class EdgeFunction:
-    """Base edge semantics: how a packet set crosses an edge."""
+    """Base edge semantics: how a packet set crosses an edge.
+
+    Edge functions are the graph's hot per-edge objects — large
+    networks allocate one per FIB entry and ACL hop — so every subclass
+    declares ``__slots__`` to drop the per-instance ``__dict__``.
+    """
+
+    __slots__ = ()
 
     def forward(self, packet_set: int) -> int:
         raise NotImplementedError
@@ -86,6 +93,8 @@ class EdgeFunction:
 
 
 class Identity(EdgeFunction):
+    __slots__ = ("_engine",)
+
     def __init__(self, engine: BddEngine):
         self._engine = engine
 
@@ -101,6 +110,8 @@ class Identity(EdgeFunction):
 
 class Constraint(EdgeFunction):
     """Intersect with a fixed packet set (FIB entry, ACL space, ...)."""
+
+    __slots__ = ("_engine", "label", "note")
 
     def __init__(self, engine: BddEngine, label: int, note: str = ""):
         self._engine = engine
@@ -121,6 +132,8 @@ class Transform(EdgeFunction):
     """A packet transformation (NAT rule set) with pass-through for
     non-matching packets, built from a NatPipeline."""
 
+    __slots__ = ("_encoder", "_pipeline", "note")
+
     def __init__(self, encoder: PacketEncoder, pipeline: NatPipeline, note: str = ""):
         self._encoder = encoder
         self._pipeline = pipeline
@@ -133,7 +146,7 @@ class Transform(EdgeFunction):
         # Preimage: packets that the pipeline maps into packet_set.
         engine = self._encoder.engine
         remaining_pre = TRUE
-        result = FALSE
+        preimage_parts: List[int] = []
         for step in self._pipeline.symbolic_steps(self._encoder):
             # Packets matching this step: preimage through the relation.
             field = step.field
@@ -148,11 +161,11 @@ class Transform(EdgeFunction):
             shifted = engine.rename(packet_set, out_map)
             out_cube = engine.cube(self._encoder.layout.out_vars_of(field))
             pre = engine.and_exists(shifted, step.relation, out_cube)
-            result = engine.or_(result, engine.and_(pre, step.match))
+            preimage_parts.append(engine.and_(pre, step.match))
             remaining_pre = engine.diff(remaining_pre, step.match)
         # Non-matching packets pass through unchanged.
-        result = engine.or_(result, engine.and_(packet_set, remaining_pre))
-        return result
+        preimage_parts.append(engine.and_(packet_set, remaining_pre))
+        return engine.or_all(preimage_parts)
 
     def describe(self) -> str:
         return f"transform({self.note})" if self.note else "transform"
@@ -160,6 +173,8 @@ class Transform(EdgeFunction):
 
 class AssignField(EdgeFunction):
     """Set a field to a constant (zone tagging, waypoint marking)."""
+
+    __slots__ = ("_encoder", "field_name", "value")
 
     def __init__(self, encoder: PacketEncoder, field_name: str, value: int):
         self._encoder = encoder
@@ -187,6 +202,8 @@ class AssignField(EdgeFunction):
 class EraseField(EdgeFunction):
     """Existentially erase a field (leaving a firewall's zone scope)."""
 
+    __slots__ = ("_encoder", "field_name")
+
     def __init__(self, encoder: PacketEncoder, field_name: str):
         self._encoder = encoder
         self.field_name = field_name
@@ -206,6 +223,8 @@ class EraseField(EdgeFunction):
 
 class Compose(EdgeFunction):
     """Sequential composition of edge functions (graph compression)."""
+
+    __slots__ = ("parts",)
 
     def __init__(self, parts: List[EdgeFunction]):
         self.parts = parts
@@ -228,7 +247,7 @@ class Compose(EdgeFunction):
         return " ; ".join(part.describe() for part in self.parts)
 
 
-@dataclass
+@dataclass(slots=True)
 class Edge:
     tail: GraphNode
     head: GraphNode
@@ -313,7 +332,7 @@ def build_forwarding_graph(
     own_ips: Dict[str, int] = {}
     for hostname in snapshot.hostnames():
         device = snapshot.device(hostname)
-        own_ips[hostname] = engine.all_or(
+        own_ips[hostname] = engine.or_all(
             encoder.ip_eq(f.DST_IP, address)
             for _name, address, _len in device.interface_ips()
         )
@@ -403,20 +422,27 @@ def _build_device_pipeline(
         Constraint(engine, own_ip_set, "destined to device"),
     )
     not_accepted = engine.not_(own_ip_set)
-    routed_space = FALSE
     # Effective per-entry spaces: prefix match minus longer prefixes.
     shadow = PrefixTrie()
     for prefix, _entries in fib.entries():
         shadow.add(prefix, True)
-    # Per out-interface: which packet space is forwarded toward which
+    # Per out-interface: which packet spaces are forwarded toward which
     # next hop (arp_ip None = deliver toward the destination itself).
-    arp_spaces: Dict[str, Dict[Optional[Ip], int]] = {}
+    # Per-entry parts are collected and unioned once with the balanced
+    # n-ary kernel rather than folded left (FIBs are the widest unions
+    # in the graph build).
+    routed_parts: List[int] = []
+    arp_parts: Dict[str, Dict[Optional[Ip], List[int]]] = {}
     for prefix, entries in fib.entries():
-        space = encoder.ip_in_prefix(f.DST_IP, prefix)
-        for longer in shadow.covered_prefixes(prefix):
-            space = engine.diff(space, encoder.ip_in_prefix(f.DST_IP, longer))
+        space = engine.diff(
+            encoder.ip_in_prefix(f.DST_IP, prefix),
+            engine.or_all(
+                encoder.ip_in_prefix(f.DST_IP, longer)
+                for longer in shadow.covered_prefixes(prefix)
+            ),
+        )
         space = engine.and_(space, not_accepted)
-        routed_space = engine.or_(routed_space, space)
+        routed_parts.append(space)
         if space == FALSE:
             continue
         for entry in entries:
@@ -439,10 +465,13 @@ def _build_device_pipeline(
                     out_point,
                     Constraint(engine, space, f"fib {prefix} -> {entry.out_interface}"),
                 )
-                per_arp = arp_spaces.setdefault(entry.out_interface, {})
-                per_arp[entry.arp_ip] = engine.or_(
-                    per_arp.get(entry.arp_ip, FALSE), space
-                )
+                per_arp = arp_parts.setdefault(entry.out_interface, {})
+                per_arp.setdefault(entry.arp_ip, []).append(space)
+    routed_space = engine.or_all(routed_parts)
+    arp_spaces: Dict[str, Dict[Optional[Ip], int]] = {
+        iface: {arp_ip: engine.or_all(parts) for arp_ip, parts in per.items()}
+        for iface, per in arp_parts.items()
+    }
     no_route_space = engine.diff(engine.not_(own_ip_set), routed_space)
     graph.add_edge(
         fwd,
@@ -506,19 +535,18 @@ def _add_zone_policy(graph, device, iface_name, zones, current, hostname):
     engine = encoder.engine
     to_zone = device.zone_of_interface(iface_name)
     to_index = zones.get(to_zone, 0) if to_zone else 0
-    allowed = FALSE
     # Intra-zone traffic is permitted by default.
-    allowed = engine.or_(allowed, encoder.field_eq(f.ZONE_IN, to_index))
+    allowed_parts: List[int] = [encoder.field_eq(f.ZONE_IN, to_index)]
     for (from_zone, policy_to_zone), policy in sorted(device.zone_policies.items()):
         if policy_to_zone != to_zone:
             continue
         from_index = zones.get(from_zone, 0)
         acl = device.acls.get(policy.acl)
         permit = acl_permit_space(acl, encoder) if acl else FALSE
-        allowed = engine.or_(
-            allowed,
-            engine.and_(encoder.field_eq(f.ZONE_IN, from_index), permit),
+        allowed_parts.append(
+            engine.and_(encoder.field_eq(f.ZONE_IN, from_index), permit)
         )
+    allowed = engine.or_all(allowed_parts)
     policy_point = ("zone_policy", hostname, iface_name)
     graph.add_edge(current, policy_point, Identity(engine))
     graph.add_edge(
@@ -572,13 +600,13 @@ def _wire_egress(
         )
     prefix = iface.prefix
     delivered = FALSE
+    neighbor_ips = engine.or_all(
+        encoder.ip_eq(f.DST_IP, ip) for ip in neighbor_ip_set
+    )
     if prefix is not None:
         # Delivered to hosts on the connected subnet (addresses not owned
         # by modeled neighbors).
         subnet = encoder.ip_in_prefix(f.DST_IP, prefix)
-        neighbor_ips = engine.all_or(
-            encoder.ip_eq(f.DST_IP, ip) for ip in neighbor_ip_set
-        )
         delivered = engine.and_(direct_space, engine.diff(subnet, neighbor_ips))
         if delivered != FALSE:
             graph.add_edge(
@@ -588,15 +616,17 @@ def _wire_egress(
             )
     # Traffic forwarded toward an unmodeled next hop (e.g. a provider
     # address we do not have the config for), or directly forwarded
-    # beyond the subnet, exits the network here.
-    exits = engine.diff(direct_space, delivered)
-    exits = engine.diff(
-        exits,
-        engine.all_or(encoder.ip_eq(f.DST_IP, ip) for ip in neighbor_ip_set),
-    )
-    for arp_ip, space in arp_spaces.items():
-        if arp_ip is not None and arp_ip not in neighbor_ip_set:
-            exits = engine.or_(exits, space)
+    # beyond the subnet, exits the network here. The arp map is walked
+    # in sorted next-hop order so the build is schedule-independent.
+    exit_parts: List[int] = [
+        engine.diff(engine.diff(direct_space, delivered), neighbor_ips)
+    ]
+    for arp_ip in sorted(
+        (ip for ip in arp_spaces if ip is not None), key=lambda ip: ip.value
+    ):
+        if arp_ip not in neighbor_ip_set:
+            exit_parts.append(arp_spaces[arp_ip])
+    exits = engine.or_all(exit_parts)
     if exits != FALSE:
         graph.add_edge(
             egress,

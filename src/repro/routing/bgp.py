@@ -172,6 +172,11 @@ def compute_bgp_sessions(
 _ORIGIN_RANK = {Origin.IGP: 0, Origin.EGP: 1, Origin.INCOMPLETE: 2}
 
 
+def _zero_igp_cost(_ip: Ip) -> Optional[int]:
+    """Default IGP cost resolver (picklable, unlike a lambda)."""
+    return 0
+
+
 class BgpRib:
     """The BGP RIB of one node: per-peer candidates, best selection via
     the full decision process, logical clocks, and a RIB delta."""
@@ -185,13 +190,26 @@ class BgpRib:
     ):
         self.local_as = local_as
         self.multipath = max(1, multipath)
-        self._igp_cost = igp_cost or (lambda _ip: 0)
+        self._igp_cost = igp_cost or _zero_igp_cost
         self.use_clocks = use_clocks
         # prefix -> {received_from (None = local): route}
         self._candidates: Dict[Prefix, Dict[Optional[Ip], BgpRoute]] = {}
         self._clocks: Dict[Tuple[Prefix, Optional[Ip]], int] = {}
         self._best: Dict[Prefix, List[BgpRoute]] = {}
         self.delta = RibDelta()
+
+    def __getstate__(self):
+        """Pickle support for the snapshot cache: the IGP cost resolver
+        is a closure over live node state and is not serialized; a
+        cached (already converged) RIB never re-runs best selection."""
+        state = self.__dict__.copy()
+        state["_igp_cost"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._igp_cost is None:
+            self._igp_cost = _zero_igp_cost
 
     # -- mutation ---------------------------------------------------------
 

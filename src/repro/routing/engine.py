@@ -176,7 +176,9 @@ def compute_dataplane(
 
 
 def _install_connected(nodes: Dict[str, NodeState]) -> None:
-    for state in nodes.values():
+    # Sorted hostname order: install order feeds RIB deltas, and the
+    # parallel/serial equivalence tests assert byte-identical FIBs.
+    for _hostname, state in sorted(nodes.items()):
         for iface in sorted(state.device.interfaces.values(), key=lambda i: i.name):
             if not iface.enabled or iface.prefix is None:
                 continue
@@ -241,9 +243,10 @@ def _run_ospf(
         state = nodes[hostname]
         for route in routes:
             state.main_rib.merge(route)
-    # Redistribution into OSPF (connected/static sources).
+    # Redistribution into OSPF (connected/static sources), walked in
+    # sorted hostname order for schedule-independent results.
     redistributed: Dict[str, List[Tuple[Prefix, int]]] = {}
-    for hostname, state in nodes.items():
+    for hostname, state in sorted(nodes.items()):
         device = state.device
         if device.ospf is None or not device.ospf.redistributions:
             continue
@@ -670,16 +673,17 @@ def _global_state(nodes, bgp_nodes) -> Tuple[int, Dict[str, Tuple]]:
 
 def _diff_prefixes(old: Dict[str, Tuple], new: Dict[str, Tuple]) -> List[Prefix]:
     changed: List[Prefix] = []
-    for hostname in new:
+    for hostname in sorted(new):
         old_set = set(old.get(hostname, ()))
         new_set = set(new.get(hostname, ()))
-        for entry in old_set ^ new_set:
-            changed.append(entry[0])
+        # Set iteration order is hash-seed dependent; sort so reports
+        # are identical across processes (parallel workers included).
+        changed.extend(sorted((entry[0] for entry in old_set ^ new_set), key=str))
     return changed
 
 
 def _merge_bgp_into_main(nodes: Dict[str, NodeState]) -> None:
-    for state in nodes.values():
+    for _hostname, state in sorted(nodes.items()):
         for route in state.bgp_in_main:
             state.main_rib.withdraw(route)
         state.bgp_in_main = []

@@ -1,0 +1,155 @@
+"""Tests for the content-addressed snapshot cache (repro.core.cache)."""
+
+import pytest
+
+from repro.core.cache import (
+    SnapshotCache,
+    engine_version,
+    resolve_cache,
+    snapshot_key,
+)
+from repro.core.session import Session
+from repro.synth.special import net1
+
+
+@pytest.fixture()
+def configs():
+    return net1(2)
+
+
+class TestKeying:
+    def test_key_is_stable(self, configs):
+        assert snapshot_key(configs) == snapshot_key(dict(configs))
+
+    def test_key_ignores_dict_order(self, configs):
+        reordered = dict(reversed(list(configs.items())))
+        assert snapshot_key(configs) == snapshot_key(reordered)
+
+    def test_one_byte_edit_changes_key(self, configs):
+        edited = dict(configs)
+        name = sorted(edited)[0]
+        edited[name] = edited[name] + "!"
+        assert snapshot_key(configs) != snapshot_key(edited)
+
+    def test_filename_participates_in_key(self, configs):
+        renamed = {f"x-{name}": text for name, text in configs.items()}
+        assert snapshot_key(configs) != snapshot_key(renamed)
+
+    def test_salt_participates_in_key(self, configs):
+        assert snapshot_key(configs) != snapshot_key(configs, salt="other")
+
+    def test_engine_version_is_hex_and_memoized(self):
+        version = engine_version()
+        assert len(version) == 64
+        assert version == engine_version()
+
+
+class TestResolve:
+    def test_none_and_false_disable(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_string_names_directory(self, tmp_path):
+        cache = resolve_cache(str(tmp_path))
+        assert isinstance(cache, SnapshotCache)
+
+    def test_instance_passthrough(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path))
+        assert resolve_cache(cache) is cache
+
+    def test_true_uses_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = resolve_cache(True)
+        cache.store("probe", "0" * 64, {"ok": 1})
+        assert (tmp_path / "envcache").exists()
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            resolve_cache(42)
+
+
+class TestRoundTrip:
+    def test_same_configs_hit_with_identical_results(self, tmp_path, configs):
+        cache = SnapshotCache(str(tmp_path))
+        cold = Session.from_texts(configs, cache=cache)
+        cold_dp = cold.dataplane
+        assert cache.stats()["misses"] >= 2  # snapshot + dataplane
+        assert cache.stats()["hits"] == 0
+
+        warm = Session.from_texts(configs, cache=cache)
+        warm_dp = warm.dataplane
+        assert cache.stats()["hits"] >= 2  # snapshot + dataplane
+
+        # The cached pipeline must be indistinguishable from the
+        # computed one.
+        assert warm.snapshot.hostnames() == cold.snapshot.hostnames()
+        assert warm_dp.converged == cold_dp.converged
+        assert sorted(warm_dp.nodes) == sorted(cold_dp.nodes)
+        for hostname in cold_dp.nodes:
+            cold_routes = sorted(
+                r.describe() for r in cold_dp.main_rib(hostname).routes()
+            )
+            warm_routes = sorted(
+                r.describe() for r in warm_dp.main_rib(hostname).routes()
+            )
+            assert warm_routes == cold_routes
+
+    def test_cached_session_answers_queries(self, tmp_path, configs):
+        cache = SnapshotCache(str(tmp_path))
+        Session.from_texts(configs, cache=cache).dataplane
+        warm = Session.from_texts(configs, cache=cache)
+        answer = warm.reachability()
+        assert answer.success_set() != 0
+
+    def test_one_byte_edit_misses(self, tmp_path, configs):
+        cache = SnapshotCache(str(tmp_path))
+        Session.from_texts(configs, cache=cache).dataplane
+        hits_before = cache.stats()["hits"]
+
+        edited = dict(configs)
+        name = sorted(edited)[0]
+        edited[name] = edited[name] + "\n! trailing comment\n"
+        Session.from_texts(edited, cache=cache).dataplane
+        assert cache.stats()["hits"] == hits_before  # no false sharing
+
+    def test_settings_change_misses_dataplane(self, tmp_path, configs):
+        from repro.routing.engine import ConvergenceSettings
+
+        cache = SnapshotCache(str(tmp_path))
+        Session.from_texts(configs, cache=cache).dataplane
+        changed = Session.from_texts(
+            configs,
+            cache=cache,
+            settings=ConvergenceSettings(max_iterations=77),
+        )
+        changed.dataplane
+        stats = cache.stats()
+        # Snapshot key matches (same bytes) but the dataplane entry is
+        # salted with the simulation settings, so it recomputes.
+        assert stats["hits"] == 1
+        assert stats["misses"] >= 3
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle",
+            b"garbage\n",  # 'g' is the pickle GLOBAL opcode -> ValueError
+            b"",
+            b"\x80\x05incomplete",
+        ],
+    )
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, configs, garbage):
+        cache = SnapshotCache(str(tmp_path))
+        session = Session.from_texts(configs, cache=cache)
+        session.dataplane
+        for path in tmp_path.rglob("*"):
+            if path.is_file():
+                path.write_bytes(garbage)
+        recovered = Session.from_texts(configs, cache=cache)
+        assert recovered.dataplane.converged
+
+    def test_clear_empties_cache(self, tmp_path, configs):
+        cache = SnapshotCache(str(tmp_path))
+        Session.from_texts(configs, cache=cache)
+        cache.clear()
+        assert not any(p.is_file() for p in tmp_path.rglob("*"))
