@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, fields as dataclass_fields, make_dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.config.loader import load_snapshot_from_texts
 from repro.config.model import Snapshot
 from repro.dataplane.fib import compute_fibs
@@ -64,16 +65,20 @@ class TimedPipeline:
 
 def run_pipeline(spec: NetworkSpec, scale: int = 1) -> TimedPipeline:
     configs = spec.generate(scale)
-    started = time.perf_counter()
-    snapshot = load_snapshot_from_texts(configs)
-    parse_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    dataplane = compute_dataplane(snapshot, ConvergenceSettings())
-    dataplane_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    fibs = compute_fibs(dataplane)
-    analyzer = NetworkAnalyzer(dataplane, fibs=fibs)
-    graph_seconds = time.perf_counter() - started
+    # Phase timings come from obs spans: an `obs.Span` measures wall/CPU
+    # whether or not tracing is on, and additionally lands in the trace
+    # (REPRO_TRACE) so bench runs and traces report identical numbers.
+    with obs.Span(f"bench.pipeline.{spec.name}", scale=scale):
+        with obs.Span("bench.parse") as parse_span:
+            snapshot = load_snapshot_from_texts(configs)
+        with obs.Span("bench.dataplane") as dataplane_span:
+            dataplane = compute_dataplane(snapshot, ConvergenceSettings())
+        with obs.Span("bench.graph") as graph_span:
+            fibs = compute_fibs(dataplane)
+            analyzer = NetworkAnalyzer(dataplane, fibs=fibs)
+    parse_seconds = parse_span.wall_s
+    dataplane_seconds = dataplane_span.wall_s
+    graph_seconds = graph_span.wall_s
     return TimedPipeline(
         spec_name=spec.name,
         configs=configs,
@@ -205,7 +210,9 @@ def write_bench_json(name: str, payload: Dict) -> str:
     """Persist a benchmark artifact as ``BENCH_<name>.json``.
 
     The payload is augmented with the environment facts needed to
-    compare runs across PRs (job count, CPU count, Python version).
+    compare runs across PRs (job count, CPU count, Python version) and,
+    when the obs subsystem is enabled, with the run's metrics snapshot —
+    the same counters/gauges/histograms a ``REPRO_TRACE`` trace carries.
     """
     payload = dict(payload)
     payload.setdefault("schema", f"repro-bench-{name}/v1")
@@ -217,6 +224,8 @@ def write_bench_json(name: str, payload: Dict) -> str:
             "python": sys.version.split()[0],
         },
     )
+    if obs.enabled():
+        payload.setdefault("obs_metrics", obs.metrics_dump())
     path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

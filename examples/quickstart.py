@@ -65,7 +65,7 @@ def main():
 
     print("== Stage 1: parse ==")
     print(f"devices: {session.snapshot.hostnames()}")
-    print(f"parse warnings: {len(session.parse_warnings())}")
+    print(f"parse warnings: {len(session.parse_warnings)}")
     print(f"undefined references: {len(session.undefined_references().rows)}")
     ntp = session.management_plane_consistency(expected_ntp=["192.0.2.123"])
     for row in ntp.rows:

@@ -117,6 +117,27 @@ class BddEngine:
         """Total nodes ever allocated (includes both terminals)."""
         return len(self._level)
 
+    def stats(self) -> Dict[str, int]:
+        """Engine size counters for telemetry: allocated nodes, the
+        unique-table population, and total memoized operation-cache
+        entries across all operation kinds."""
+        ops_cached = (
+            len(self._and_cache)
+            + len(self._or_cache)
+            + len(self._xor_cache)
+            + len(self._not_cache)
+            + len(self._ite_cache)
+            + len(self._exists_cache)
+            + len(self._rename_cache)
+            + len(self._andex_cache)
+            + len(self._count_cache)
+        )
+        return {
+            "nodes": self.num_nodes(),
+            "unique_table": len(self._unique),
+            "ops_cached": ops_cached,
+        }
+
     # ------------------------------------------------------------------
     # Boolean connectives
 

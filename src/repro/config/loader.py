@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.config.cisco import parse_cisco
 from repro.config.juniper import parse_juniper
 from repro.config.model import ParseWarning, Snapshot
@@ -58,7 +59,21 @@ def parse_config_text(text: str, filename: str = "<config>"):
 def _parse_one(item: Tuple[str, str]):
     """Per-file parse worker (module-level so pmap can fan it out)."""
     filename, text = item
-    return parse_config_text(text, filename)
+    vendor = detect_syntax(text)
+    if vendor == "juniperish":
+        device, warnings = parse_juniper(text, filename)
+    else:
+        device, warnings = parse_cisco(text, filename)
+    # File attribution survives normalization: every warning knows which
+    # snapshot file produced it (Session.parse_warnings surfaces this).
+    for warning in warnings:
+        if not warning.source_file:
+            warning.source_file = filename
+    if obs.enabled():
+        obs.add("parse.files")
+        obs.add(f"parse.lines.{vendor}", text.count("\n") + 1)
+        obs.add("parse.warnings", len(warnings))
+    return device, warnings
 
 
 def load_snapshot_from_texts(
@@ -75,24 +90,28 @@ def load_snapshot_from_texts(
     """
     snapshot = Snapshot()
     filenames = sorted(configs)
-    parsed = pmap(
-        _parse_one,
-        [(filename, configs[filename]) for filename in filenames],
-        jobs=jobs,
-        min_items=_MIN_PARALLEL_FILES,
-    )
-    for filename, (device, warnings) in zip(filenames, parsed):
-        snapshot.warnings.extend(warnings)
-        if device.hostname in snapshot.devices:
-            snapshot.warnings.append(
-                ParseWarning(
-                    hostname=device.hostname,
-                    line_number=0,
-                    text=filename,
-                    comment="duplicate hostname in snapshot; keeping the last file",
+    with obs.span("parse", files=len(filenames)):
+        parsed = pmap(
+            _parse_one,
+            [(filename, configs[filename]) for filename in filenames],
+            jobs=jobs,
+            min_items=_MIN_PARALLEL_FILES,
+        )
+        for filename, (device, warnings) in zip(filenames, parsed):
+            snapshot.warnings.extend(warnings)
+            if device.hostname in snapshot.devices:
+                snapshot.warnings.append(
+                    ParseWarning(
+                        hostname=device.hostname,
+                        line_number=0,
+                        text=filename,
+                        comment="duplicate hostname in snapshot; keeping the last file",
+                        source_file=filename,
+                    )
                 )
-            )
-        snapshot.devices[device.hostname] = device
+                if obs.enabled():
+                    obs.add("parse.warnings")
+            snapshot.devices[device.hostname] = device
     return snapshot
 
 

@@ -429,6 +429,15 @@ class ParseWarning:
     line_number: int
     text: str
     comment: str
+    #: Snapshot file the warning came from (stamped by the loader, so
+    #: answers can point at the exact source file:line).
+    source_file: str = ""
+
+    def describe(self) -> str:
+        location = self.source_file or self.hostname
+        if self.line_number:
+            location += f":{self.line_number}"
+        return f"{location}: {self.comment} ({self.text.strip()})"
 
 
 @dataclass

@@ -32,6 +32,8 @@ import pickle
 import tempfile
 from typing import Dict, Optional
 
+from repro import obs
+
 #: Bump to invalidate every existing cache entry on format changes.
 CACHE_FORMAT = "repro-cache/v1"
 
@@ -107,8 +109,14 @@ class SnapshotCache:
         # damaged entry must degrade to a miss, never crash analysis.
         except Exception:
             self.misses += 1
+            if obs.enabled():
+                obs.add("cache.miss")
+                obs.add(f"cache.miss.{kind}")
             return None
         self.hits += 1
+        if obs.enabled():
+            obs.add("cache.hit")
+            obs.add(f"cache.hit.{kind}")
         return value
 
     def store(self, kind: str, key: str, value) -> None:
@@ -122,6 +130,9 @@ class SnapshotCache:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temp_path, path)
+            if obs.enabled():
+                obs.add("cache.store")
+                obs.add(f"cache.store.{kind}")
         except BaseException:
             try:
                 os.unlink(temp_path)

@@ -20,9 +20,11 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
 from repro.config.model import ParseWarning, Snapshot
 from repro.core.cache import SnapshotCache, resolve_cache, snapshot_key
+from repro.obs.coverage import CoverageReport, coverage_report
 from repro.dataplane.fib import Fib, compute_fibs
 from repro.hdr.headerspace import HeaderSpace, PacketEncoder
 from repro.hdr.packet import Packet
@@ -83,7 +85,12 @@ class Session:
         snapshot: Snapshot,
         settings: Optional[ConvergenceSettings] = None,
         semantics: PolicySemantics = DEFAULT_SEMANTICS,
+        trace: Optional[str] = None,
     ):
+        if trace is not None:
+            # Programmatic alternative to REPRO_TRACE: turn tracing on
+            # for this process, appending to the given JSONL path.
+            obs.enable(trace)
         self.snapshot = snapshot
         self.settings = settings or ConvergenceSettings()
         self.semantics = semantics
@@ -142,8 +149,10 @@ class Session:
 
     # -- pipeline stages ----------------------------------------------------
 
+    @property
     def parse_warnings(self) -> List[ParseWarning]:
-        """Stage 1 diagnostics: lines the parsers could not model."""
+        """Stage 1 diagnostics: lines the parsers could not model, with
+        file/device attribution (``warning.describe()`` renders one)."""
         return list(self.snapshot.warnings)
 
     @property
@@ -177,7 +186,8 @@ class Session:
     @property
     def fibs(self) -> Dict[str, Fib]:
         if self._fibs is None:
-            self._fibs = compute_fibs(self.dataplane)
+            with obs.span("fib"):
+                self._fibs = compute_fibs(self.dataplane)
         return self._fibs
 
     @property
@@ -186,6 +196,17 @@ class Session:
         if self._analyzer is None:
             self._analyzer = NetworkAnalyzer(self.dataplane, fibs=self.fibs)
         return self._analyzer
+
+    def coverage_report(self) -> CoverageReport:
+        """Configuration coverage (Xu et al. spirit): which VI-model
+        structures — interfaces, ACL lines, route-map clauses — the
+        queries run so far have exercised, against the snapshot's totals.
+
+        Only populated while tracing/metrics are enabled (``REPRO_TRACE``
+        or ``Session(trace=...)``); with obs disabled every kind reads
+        0 touched.
+        """
+        return coverage_report(obs.coverage(), self.snapshot)
 
     @property
     def encoder(self) -> PacketEncoder:

@@ -1,0 +1,76 @@
+"""`repro.obs` — dependency-free tracing, metrics, and config coverage.
+
+The observability subsystem the pipeline reports through:
+
+* **Spans** (:func:`span` / :class:`Span`) — nested wall/CPU timing
+  scopes streamed as JSON lines (``REPRO_TRACE=/path/trace.jsonl`` or
+  ``Session(trace=...)``).
+* **Metrics** (:func:`add`, :func:`gauge`, :func:`observe`) — named
+  counters/gauges/histograms emitted from the hot paths: parser line and
+  warning counts, per-iteration BGP RIB deltas, BDD node/unique-table
+  sizes, snapshot-cache hits/misses, and ``pmap`` fan-out stats merged
+  back from pool workers.
+* **Config coverage** (:func:`touch`, ``Session.coverage_report()``) —
+  which VI-model structures (interfaces, ACL lines, route-map clauses)
+  each query exercised, in the spirit of Xu et al.'s *Test Coverage for
+  Network Configurations*.
+* **Report CLI** — ``python -m repro.obs.report trace.jsonl`` renders
+  the per-phase time tree, top counters, and the coverage summary;
+  ``--strict`` fails on unclosed spans (the CI gate).
+
+All instrumentation is zero-cost when disabled: one module-level flag
+guard per call site, no formatting or allocation off the hot path.
+"""
+
+from repro.obs.coverage import CoverageReport, CoverageTracker, coverage_report
+from repro.obs.metrics import Histogram, Metrics
+from repro.obs.trace import (
+    Span,
+    add,
+    coverage,
+    current_span_name,
+    disable,
+    enable,
+    enabled,
+    events,
+    flush,
+    gauge,
+    merge_worker_dump,
+    metrics,
+    metrics_dump,
+    observe,
+    reset,
+    span,
+    touch,
+    trace_path,
+    unclosed_spans,
+    worker_dump,
+)
+
+__all__ = [
+    "CoverageReport",
+    "CoverageTracker",
+    "Histogram",
+    "Metrics",
+    "Span",
+    "add",
+    "coverage",
+    "coverage_report",
+    "current_span_name",
+    "disable",
+    "enable",
+    "enabled",
+    "events",
+    "flush",
+    "gauge",
+    "merge_worker_dump",
+    "metrics",
+    "metrics_dump",
+    "observe",
+    "reset",
+    "span",
+    "touch",
+    "trace_path",
+    "unclosed_spans",
+    "worker_dump",
+]

@@ -1,0 +1,147 @@
+"""The metrics half of :mod:`repro.obs`: named counters, gauges, and
+histograms.
+
+Instruments are identified by dotted string names (the full catalog is
+documented in README's "Observability" section). The registry is a plain
+dictionary triple guarded by one lock, so it is safe to update from any
+thread; process-pool workers (:func:`repro.parallel.pmap`) run against
+their own forked copy and ship a :meth:`Metrics.dump` back to the parent,
+which :meth:`Metrics.merge`\\ s it — counters and histograms add, gauges
+take the latest value.
+
+The registry itself never formats strings or allocates beyond one dict
+entry per instrument; the zero-cost-when-disabled guarantee lives one
+level up, in the module-level helpers of :mod:`repro.obs.trace` that
+early-return before reaching this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Streaming summary of one observed quantity (no stored samples)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def dump(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+    def merge(self, other: Dict[str, float]) -> None:
+        count = int(other.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(other.get("total", 0.0))
+        low, high = float(other.get("min", 0.0)), float(other.get("max", 0.0))
+        if self.min is None or low < self.min:
+            self.min = low
+        if self.max is None or high > self.max:
+            self.max = high
+
+
+class Metrics:
+    """A registry of counters (monotonic), gauges (last value wins), and
+    histograms (count/total/min/max summaries)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- updates ----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- reads ------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def top_counters(self, limit: int = 20) -> List:
+        with self._lock:
+            ranked = sorted(self._counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+    # -- transport (worker merge, trace flush) ----------------------------
+
+    def dump(self) -> Dict[str, Dict]:
+        """JSON-ready snapshot with deterministically sorted keys."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: histogram.dump()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, dump: Dict[str, Dict]) -> None:
+        """Fold a worker's :meth:`dump` into this registry."""
+        if not dump:
+            return
+        with self._lock:
+            for name, value in dump.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in dump.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, summary in dump.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
+                histogram.merge(summary)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

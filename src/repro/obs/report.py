@@ -1,0 +1,243 @@
+"""Render a ``repro.obs`` JSONL trace: time tree, counters, coverage.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl [--strict] [--top N]
+
+* the **span tree** aggregates spans by their name-path (parent names
+  joined with ``/``), summing wall/CPU time and counting invocations —
+  one line per distinct path, children indented under parents;
+* **top counters**, **gauges**, and **histogram** summaries come from the
+  trace's ``metrics`` events (merged across processes);
+* the **coverage summary** shows touched/total per structure kind when a
+  snapshot's coverage event is present;
+* ``--strict`` exits non-zero when any span started but never closed
+  (a ``start`` line without a matching ``span`` line, or a ``flush``
+  event listing unclosed spans) — the CI gate for leaked spans.
+
+Corrupt or half-written lines (a process died mid-write, interleaved
+appends) are counted and skipped, never fatal: a damaged trace must
+degrade to a partial report, not an exception.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Metrics
+
+
+class TraceReport:
+    """Parsed view of one JSONL trace file."""
+
+    def __init__(self):
+        self.spans: List[Dict] = []
+        self.starts: Dict[Tuple[int, int], str] = {}  # (pid, id) -> name
+        self.ends: set = set()
+        self.metrics = Metrics()
+        self.coverage: Dict = {}
+        self.flush_unclosed: List[str] = []
+        self.corrupt_lines = 0
+        self.total_lines = 0
+
+    # -- ingestion --------------------------------------------------------
+
+    def feed_line(self, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        self.total_lines += 1
+        try:
+            event = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            self.corrupt_lines += 1
+            return
+        if not isinstance(event, dict):
+            self.corrupt_lines += 1
+            return
+        kind = event.get("type")
+        if kind == "start":
+            self.starts[(event.get("pid", 0), event.get("id", 0))] = event.get(
+                "name", "?"
+            )
+        elif kind == "span":
+            self.spans.append(event)
+            self.ends.add((event.get("pid", 0), event.get("id", 0)))
+        elif kind == "metrics":
+            self.metrics.merge(event)
+        elif kind == "coverage":
+            self.coverage = event
+        elif kind == "flush":
+            self.flush_unclosed.extend(event.get("unclosed", []))
+
+    @classmethod
+    def from_file(cls, path: str) -> "TraceReport":
+        report = cls()
+        try:
+            with open(path, errors="replace") as handle:
+                for line in handle:
+                    report.feed_line(line)
+        except OSError as error:
+            print(f"cannot read trace: {error}", file=sys.stderr)
+        return report
+
+    # -- analysis ---------------------------------------------------------
+
+    def unclosed(self) -> List[str]:
+        """Span names that started but never produced a close event."""
+        leaked = [
+            name
+            for key, name in sorted(self.starts.items())
+            if key not in self.ends
+        ]
+        return sorted(set(leaked) | set(self.flush_unclosed))
+
+    def span_tree(self) -> List[Tuple[str, int, float, float]]:
+        """Aggregated (path, count, wall_s, cpu_s) rows, tree-ordered.
+
+        Spans are keyed by their name-path: the chain of ancestor span
+        names joined with '/'. Identical paths aggregate (count goes up),
+        so repeated phases (e.g. per-network pipelines) fold into one
+        line each.
+        """
+        # Resolve each span's path through its parent chain, per process.
+        by_id: Dict[Tuple[int, int], Dict] = {
+            (event.get("pid", 0), event.get("id", 0)): event
+            for event in self.spans
+        }
+        paths: Dict[Tuple[int, int], str] = {}
+
+        def path_of(key: Tuple[int, int]) -> str:
+            if key in paths:
+                return paths[key]
+            event = by_id[key]
+            parent_key = (key[0], event.get("parent", 0))
+            name = event.get("name", "?")
+            if parent_key[1] == 0 or parent_key not in by_id:
+                result = name
+            else:
+                result = f"{path_of(parent_key)}/{name}"
+            paths[key] = result
+            return result
+
+        aggregated: Dict[str, List[float]] = {}
+        order: List[str] = []
+        for key in by_id:
+            path = path_of(key)
+            event = by_id[key]
+            if path not in aggregated:
+                aggregated[path] = [0, 0.0, 0.0]
+                order.append(path)
+            entry = aggregated[path]
+            entry[0] += 1
+            entry[1] += float(event.get("wall_s", 0.0))
+            entry[2] += float(event.get("cpu_s", 0.0))
+        # Tree order: parents before children, stable across runs.
+        order.sort()
+        return [
+            (path, int(aggregated[path][0]), aggregated[path][1], aggregated[path][2])
+            for path in order
+        ]
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, top: int = 20) -> str:
+        lines: List[str] = []
+        rows = self.span_tree()
+        lines.append("== span tree (wall seconds, aggregated by path) ==")
+        if not rows:
+            lines.append("  (no spans)")
+        for path, count, wall, cpu in rows:
+            depth = path.count("/")
+            name = path.rsplit("/", 1)[-1]
+            suffix = f" x{count}" if count > 1 else ""
+            lines.append(
+                f"  {'  ' * depth}{name:<{max(1, 40 - 2 * depth)}}"
+                f" {wall:9.4f}s  cpu {cpu:8.4f}s{suffix}"
+            )
+        dump = self.metrics.dump()
+        counters = self.metrics.top_counters(top)
+        lines.append("")
+        lines.append(f"== top counters (of {len(dump['counters'])}) ==")
+        if not counters:
+            lines.append("  (no counters)")
+        for name, value in counters:
+            lines.append(f"  {name:<44} {value:>12}")
+        if dump["gauges"]:
+            lines.append("")
+            lines.append("== gauges ==")
+            for name, value in dump["gauges"].items():
+                lines.append(f"  {name:<44} {value:>12}")
+        if dump["histograms"]:
+            lines.append("")
+            lines.append("== histograms ==")
+            for name, summary in dump["histograms"].items():
+                count = summary["count"] or 1
+                lines.append(
+                    f"  {name:<34} n={summary['count']:<8}"
+                    f" mean={summary['total'] / count:.3f}"
+                    f" min={summary['min']:.3f} max={summary['max']:.3f}"
+                )
+        touched = self.coverage.get("touched", {})
+        if touched:
+            lines.append("")
+            lines.append("== config coverage (touched structures) ==")
+            per_kind: Dict[str, int] = {}
+            for key in touched:
+                per_kind[key.split(":", 1)[0]] = (
+                    per_kind.get(key.split(":", 1)[0], 0) + 1
+                )
+            for kind, count in sorted(per_kind.items()):
+                lines.append(f"  {kind:<24} {count} distinct structures touched")
+            by_query = self.coverage.get("by_query", {})
+            for query, kinds in sorted(by_query.items()):
+                rendered = ", ".join(
+                    f"{kind}={count}" for kind, count in sorted(kinds.items())
+                )
+                lines.append(f"    {query}: {rendered}")
+        unclosed = self.unclosed()
+        lines.append("")
+        lines.append(
+            f"events: {self.total_lines} lines,"
+            f" {len(self.spans)} spans, {self.corrupt_lines} corrupt,"
+            f" {len(unclosed)} unclosed"
+        )
+        for name in unclosed:
+            lines.append(f"  UNCLOSED: {name}")
+        return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a repro.obs JSONL trace.",
+    )
+    parser.add_argument("trace", help="path to the trace.jsonl file")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any span was left unclosed",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="number of counters to show"
+    )
+    args = parser.parse_args(argv)
+    report = TraceReport.from_file(args.trace)
+    try:
+        print(report.render(top=args.top))
+    except BrokenPipeError:
+        pass  # downstream pager closed early; the verdict still counts
+    if args.strict and report.unclosed():
+        print(
+            f"STRICT: {len(report.unclosed())} unclosed span(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro import obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -43,13 +46,22 @@ _WORKER_FN: Optional[Callable] = None
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS``, else the CPU count."""
+    """Worker count from ``REPRO_JOBS``, else the CPU count.
+
+    ``REPRO_JOBS=0`` (or any non-positive value) explicitly requests the
+    CPU count — handy for overriding a pinned value from a wrapper
+    script without having to unset the variable.
+    """
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
-            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+        if value > 0:
+            return value
     return os.cpu_count() or 1
 
 
@@ -66,6 +78,22 @@ def _invoke(item):
 def _invoke_chunk(chunk: Sequence) -> List:
     """Map a whole chunk in one task to amortize IPC per item."""
     return [_WORKER_FN(item) for item in chunk]
+
+
+def _invoke_chunk_obs(chunk: Sequence):
+    """Observable chunk worker: also ships the chunk's wall time and the
+    worker's metric/coverage deltas back for the parent to merge.
+
+    The forked worker inherits the parent's registries, so they are
+    reset at chunk start — everything in the outbound dump is this
+    chunk's own contribution.
+    """
+    obs.metrics().reset()
+    obs.coverage().reset()
+    started = time.perf_counter()
+    results = [_WORKER_FN(item) for item in chunk]
+    wall = time.perf_counter() - started
+    return results, wall, obs.worker_dump()
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> List[Sequence[T]]:
@@ -105,6 +133,9 @@ def pmap(
         # degrade to serial inside the worker.
         or multiprocessing.current_process().daemon
     ):
+        if obs.enabled():
+            obs.add("pmap.serial_calls")
+            obs.add("pmap.items", len(work))
         return [fn(item) for item in work]
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (n_jobs * 4)))
@@ -112,9 +143,23 @@ def pmap(
     context = multiprocessing.get_context("fork")
     previous = _WORKER_FN
     _WORKER_FN = fn
+    observing = obs.enabled()
     try:
         with context.Pool(processes=min(n_jobs, len(chunks))) as pool:
-            mapped = pool.map(_invoke_chunk, chunks)
+            if observing:
+                with obs.span("pmap", jobs=n_jobs, chunks=len(chunks)):
+                    mapped_obs = pool.map(_invoke_chunk_obs, chunks)
+                obs.add("pmap.pool_calls")
+                obs.add("pmap.items", len(work))
+                obs.add("pmap.chunks", len(chunks))
+                obs.gauge("pmap.jobs", n_jobs)
+                mapped = []
+                for results, wall, dump in mapped_obs:
+                    obs.observe("pmap.chunk_seconds", wall)
+                    obs.merge_worker_dump(dump)
+                    mapped.append(results)
+            else:
+                mapped = pool.map(_invoke_chunk, chunks)
     finally:
         _WORKER_FN = previous
     return [result for chunk in mapped for result in chunk]

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.bdd.engine import FALSE, TRUE
 from repro.dataplane.fib import Fib, compute_fibs
 from repro.hdr import fields as f
@@ -121,12 +122,26 @@ class NetworkAnalyzer:
         self.dataplane = dataplane
         self.encoder = encoder or PacketEncoder()
         self.fibs = fibs if fibs is not None else compute_fibs(dataplane)
-        self.graph = build_forwarding_graph(
-            dataplane, self.fibs, self.encoder, options
-        )
-        self.compression: Optional[CompressionStats] = None
-        if compress:
-            self.compression = compress_graph(self.graph)
+        with obs.span("bdd.graph_build", devices=len(dataplane.snapshot.devices)):
+            self.graph = build_forwarding_graph(
+                dataplane, self.fibs, self.encoder, options
+            )
+            self.compression: Optional[CompressionStats] = None
+            if compress:
+                self.compression = compress_graph(self.graph)
+        self._emit_bdd_gauges()
+
+    def _emit_bdd_gauges(self) -> None:
+        """Publish the BDD engine's size counters as gauges; called at
+        graph-build and query boundaries (cheap: three dict sizes)."""
+        if not obs.enabled():
+            return
+        stats = self.encoder.engine.stats()
+        obs.gauge("bdd.nodes", stats["nodes"])
+        obs.gauge("bdd.unique_table", stats["unique_table"])
+        obs.gauge("bdd.ops_cached", stats["ops_cached"])
+        obs.gauge("bdd.graph_nodes", len(self.graph.nodes))
+        obs.gauge("bdd.graph_edges", len(self.graph.edges))
 
     # ------------------------------------------------------------------
     # Sources and scoping defaults (§4.4.2)
@@ -184,23 +199,37 @@ class NetworkAnalyzer:
     ) -> ReachabilityAnswer:
         """Forward reachability from the given sources."""
         engine = self.encoder.engine
-        reach = forward_reachability(self.graph, sources)
-        answer = ReachabilityAnswer(reach=reach)
-        answer._or = engine.or_
-        for node, packet_set in reach.items():
-            if node[0] == "disp":
-                disposition = Disposition(node[2])
-                answer.by_disposition[disposition] = engine.or_(
-                    answer.by_disposition.get(disposition, FALSE), packet_set
-                )
-                answer.by_sink[node] = packet_set
-            elif node[0] == "sink":
-                answer.by_disposition[Disposition.DELIVERED] = engine.or_(
-                    answer.by_disposition.get(Disposition.DELIVERED, FALSE),
-                    packet_set,
-                )
-                answer.by_sink[node] = packet_set
+        with obs.span("query.reachability", sources=len(sources)):
+            reach = forward_reachability(self.graph, sources)
+            answer = ReachabilityAnswer(reach=reach)
+            answer._or = engine.or_
+            for node, packet_set in reach.items():
+                if node[0] == "disp":
+                    disposition = Disposition(node[2])
+                    answer.by_disposition[disposition] = engine.or_(
+                        answer.by_disposition.get(disposition, FALSE), packet_set
+                    )
+                    answer.by_sink[node] = packet_set
+                elif node[0] == "sink":
+                    answer.by_disposition[Disposition.DELIVERED] = engine.or_(
+                        answer.by_disposition.get(Disposition.DELIVERED, FALSE),
+                        packet_set,
+                    )
+                    answer.by_sink[node] = packet_set
+            if obs.enabled():
+                obs.add("query.reachability_runs")
+                self._touch_reach_coverage(reach)
+                self._emit_bdd_gauges()
         return answer
+
+    def _touch_reach_coverage(self, reach: Dict[GraphNode, int]) -> None:
+        """Symbolic coverage: an interface counts as exercised when any
+        packet set flowed through one of its graph nodes."""
+        for node, packet_set in reach.items():
+            if packet_set == FALSE or len(node) < 3:
+                continue
+            if node[0] in ("src", "in", "out", "egress", "sink"):
+                obs.touch("interface", node[1], str(node[2]))
 
     def destination_reachability(
         self, hostname: str, interface: Optional[str] = None,
@@ -210,20 +239,25 @@ class NetworkAnalyzer:
         device (interface)? Uses backward propagation (§4.2.3): walks
         only the destination's forwarding tree."""
         engine = self.encoder.engine
-        targets: Dict[GraphNode, int] = {}
-        accepted = disp_node(hostname, Disposition.ACCEPTED)
-        if accepted in self.graph.nodes:
-            targets[accepted] = headerspace_bdd
-        for node in self.graph.nodes:
-            if node[0] == "sink" and node[1] == hostname:
-                if interface is None or node[2] == interface:
-                    targets[node] = headerspace_bdd
-        reach = backward_reachability(self.graph, targets)
-        return {
-            node: packet_set
-            for node, packet_set in reach.items()
-            if node[0] == "src" and packet_set != FALSE
-        }
+        with obs.span("query.destination_reachability", target=hostname):
+            targets: Dict[GraphNode, int] = {}
+            accepted = disp_node(hostname, Disposition.ACCEPTED)
+            if accepted in self.graph.nodes:
+                targets[accepted] = headerspace_bdd
+            for node in self.graph.nodes:
+                if node[0] == "sink" and node[1] == hostname:
+                    if interface is None or node[2] == interface:
+                        targets[node] = headerspace_bdd
+            reach = backward_reachability(self.graph, targets)
+            if obs.enabled():
+                obs.add("query.destination_reachability_runs")
+                self._touch_reach_coverage(reach)
+                self._emit_bdd_gauges()
+            return {
+                node: packet_set
+                for node, packet_set in reach.items()
+                if node[0] == "src" and packet_set != FALSE
+            }
 
     def multipath_consistency(
         self, sources: Optional[Dict[GraphNode, int]] = None
@@ -232,6 +266,17 @@ class NetworkAnalyzer:
         (the paper's §6 verification benchmark)."""
         engine = self.encoder.engine
         sources = sources if sources is not None else self.all_sources()
+        with obs.span("query.multipath_consistency", sources=len(sources)):
+            violations = self._multipath_consistency(engine, sources)
+        if obs.enabled():
+            obs.add("query.multipath_runs")
+            obs.add("query.multipath_violations", len(violations))
+            self._emit_bdd_gauges()
+        return violations
+
+    def _multipath_consistency(
+        self, engine, sources: Dict[GraphNode, int]
+    ) -> List[MultipathViolation]:
         violations: List[MultipathViolation] = []
         for source in sorted(sources, key=lambda n: tuple(map(str, n))):
             answer = self.reachability({source: sources[source]})

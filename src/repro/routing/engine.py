@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.config.model import Action, Device, Protocol, Snapshot
 from repro.hdr import fields as hdr_fields
 from repro.hdr.ip import Ip, Prefix
@@ -131,34 +132,46 @@ def compute_dataplane(
     """Derive the data plane implied by a configuration snapshot."""
     settings = settings or ConvergenceSettings()
     started = time.perf_counter()
-    topology = build_layer3_topology(snapshot)
-    nodes: Dict[str, NodeState] = {
-        hostname: NodeState(device=snapshot.device(hostname))
-        for hostname in snapshot.hostnames()
-    }
-    _install_connected(nodes)
-    _install_static(nodes)
-    _run_ospf(snapshot, topology, nodes, semantics)
-    sessions, issues = compute_bgp_sessions(snapshot)
-    stats = DataPlaneStats()
-    converged = True
-    oscillating: List[Prefix] = []
-    established_keys: Set[Tuple[str, str, str]] = set()
-    for round_number in range(settings.max_session_rounds):
-        stats.session_rounds = round_number + 1
-        _evaluate_session_viability(snapshot, nodes, sessions)
-        new_keys = {s.key for s in sessions if s.established}
-        if round_number > 0 and new_keys == established_keys:
-            break
-        established_keys = new_keys
-        converged, oscillating = _run_bgp(
-            snapshot, nodes, sessions, settings, semantics, stats
-        )
-        _merge_bgp_into_main(nodes)
-        if not converged:
-            break
-    stats.elapsed_seconds = time.perf_counter() - started
-    stats.total_routes = sum(len(state.main_rib) for state in nodes.values())
+    with obs.span("dataplane", devices=len(snapshot.devices)):
+        with obs.span("dataplane.igp"):
+            topology = build_layer3_topology(snapshot)
+            nodes: Dict[str, NodeState] = {
+                hostname: NodeState(device=snapshot.device(hostname))
+                for hostname in snapshot.hostnames()
+            }
+            _install_connected(nodes)
+            _install_static(nodes)
+            _run_ospf(snapshot, topology, nodes, semantics)
+        sessions, issues = compute_bgp_sessions(snapshot)
+        stats = DataPlaneStats()
+        converged = True
+        oscillating: List[Prefix] = []
+        established_keys: Set[Tuple[str, str, str]] = set()
+        with obs.span("dataplane.bgp"):
+            for round_number in range(settings.max_session_rounds):
+                stats.session_rounds = round_number + 1
+                _evaluate_session_viability(snapshot, nodes, sessions)
+                new_keys = {s.key for s in sessions if s.established}
+                if round_number > 0 and new_keys == established_keys:
+                    break
+                established_keys = new_keys
+                converged, oscillating = _run_bgp(
+                    snapshot, nodes, sessions, settings, semantics, stats
+                )
+                _merge_bgp_into_main(nodes)
+                if not converged:
+                    break
+        stats.elapsed_seconds = time.perf_counter() - started
+        stats.total_routes = sum(len(state.main_rib) for state in nodes.values())
+        if obs.enabled():
+            obs.add("dataplane.runs")
+            obs.add("dataplane.bgp.iterations", stats.iterations)
+            obs.add("dataplane.session_rounds", stats.session_rounds)
+            obs.add("dataplane.bgp.routes_processed", stats.bgp_routes_processed)
+            obs.observe("dataplane.convergence_iterations", stats.iterations)
+            obs.gauge("dataplane.total_routes", stats.total_routes)
+            if not converged:
+                obs.add("dataplane.oscillations")
     return DataPlane(
         snapshot=snapshot,
         topology=topology,
@@ -353,7 +366,15 @@ def _acl_permits(device: Device, acl_name: str, packet: Packet) -> bool:
     acl = device.acls.get(acl_name)
     if acl is None:
         return True  # undefined ACL: permit (model default, Lesson 3)
-    return evaluate_acl(acl, packet).action is Action.PERMIT
+    result = evaluate_acl(acl, packet)
+    if obs.enabled():
+        obs.touch(
+            "acl_line",
+            device.hostname,
+            acl_name,
+            result.line_index if result.line_index is not None else -1,
+        )
+    return result.action is Action.PERMIT
 
 
 # ----------------------------------------------------------------------
@@ -443,9 +464,11 @@ def _run_bgp(
     previous_best: Dict[str, Tuple] = {}
     converged = False
     oscillating: List[Prefix] = []
+    observing = obs.enabled()
     for iteration in range(1, settings.max_iterations + 1):
         stats.iterations = iteration
         any_change = False
+        iteration_delta_routes = 0
         for color_class in schedule:
             # Two-phase within a class: snapshot pendings first so nodes
             # of one class see a consistent pre-class state (they are
@@ -467,14 +490,20 @@ def _run_bgp(
                         next_clock, stats,
                     )
                 deltas[hostname] = state.bgp_rib.take_delta()
-                stats.best_route_changes += len(deltas[hostname].added) + len(
+                delta_size = len(deltas[hostname].added) + len(
                     deltas[hostname].removed
                 )
+                stats.best_route_changes += delta_size
+                iteration_delta_routes += delta_size
             for hostname in color_class:
                 delta = deltas[hostname]
                 if not delta.empty:
                     any_change = True
                     publish(hostname, delta)
+        if observing:
+            # Per-iteration RIB-delta telemetry: the §4.1.3 churn signal
+            # used to diagnose slow or diverging convergence.
+            obs.observe("dataplane.bgp.iteration_delta_routes", iteration_delta_routes)
         if not any_change and all(p.empty for p in pending.values()):
             converged = True
             break

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set, Tuple
 
+from repro import obs
 from repro.config.model import (
     Action,
     Device,
@@ -113,6 +114,10 @@ def _evaluate(
     for clause in route_map.sorted_clauses():
         if not _clause_matches(device, clause, route, semantics, trace):
             continue
+        if obs.enabled():
+            obs.touch(
+                "route_map_clause", device.hostname, route_map.name, clause.seq
+            )
         label = f"route-map {route_map.name} clause {clause.seq}"
         if clause.action is Action.DENY:
             trace.append(f"{label}: deny")

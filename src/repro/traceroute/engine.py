@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.config.model import Action, Device
 from repro.dataplane.acl import evaluate_acl
 from repro.dataplane.fib import Fib, FibActionType
@@ -87,9 +88,14 @@ class TracerouteEngine:
         Returns all ECMP paths; each with its disposition and the final
         (possibly NAT-transformed) packet.
         """
-        return self._arrive(
-            packet, start_node, start_interface, hops=[], visited=set()
-        )
+        with obs.span("traceroute", node=start_node, interface=start_interface):
+            traces = self._arrive(
+                packet, start_node, start_interface, hops=[], visited=set()
+            )
+        if obs.enabled():
+            obs.add("traceroute.runs")
+            obs.add("traceroute.paths", len(traces))
+        return traces
 
     # ------------------------------------------------------------------
 
@@ -111,11 +117,19 @@ class TracerouteEngine:
         hop = TraceHop(hostname)
         hop.add("arrive", f"received on {interface_name}: {packet.describe()}")
         iface = device.interfaces.get(interface_name)
+        observing = obs.enabled()
+        if observing:
+            obs.add("traceroute.hops")
+            obs.touch("interface", hostname, interface_name)
         # Ingress ACL.
         if iface is not None and iface.incoming_acl:
             acl = device.acls.get(iface.incoming_acl)
             if acl is not None:
                 result = evaluate_acl(acl, packet)
+                if observing and result.line_index is not None:
+                    obs.touch(
+                        "acl_line", hostname, iface.incoming_acl, result.line_index
+                    )
                 hop.add(
                     "acl",
                     f"in acl {iface.incoming_acl}: {result.describe()}",
@@ -190,6 +204,13 @@ class TracerouteEngine:
             acl = device.acls.get(out_iface.outgoing_acl)
             if acl is not None:
                 result = evaluate_acl(acl, packet)
+                if obs.enabled() and result.line_index is not None:
+                    obs.touch(
+                        "acl_line",
+                        hostname,
+                        out_iface.outgoing_acl,
+                        result.line_index,
+                    )
                 hop.add(
                     "acl", f"out acl {out_iface.outgoing_acl}: {result.describe()}"
                 )
@@ -244,6 +265,8 @@ class TracerouteEngine:
         if acl is None:
             return False, f"zone policy acl {policy.acl} undefined: deny"
         result = evaluate_acl(acl, packet)
+        if obs.enabled() and result.line_index is not None:
+            obs.touch("acl_line", device.hostname, policy.acl, result.line_index)
         return (
             result.permitted,
             f"zone policy {in_zone} -> {out_zone}: {result.describe()}",

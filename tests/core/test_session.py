@@ -52,7 +52,7 @@ class TestQuestionSurface:
         assert all(row.node == "net1-core0" for row in one_node)
 
     def test_parse_warnings_empty_on_clean(self, session):
-        assert session.parse_warnings() == []
+        assert session.parse_warnings == []
 
     def test_configuration_questions(self, session):
         assert session.undefined_references().rows == []

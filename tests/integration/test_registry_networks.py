@@ -27,8 +27,8 @@ def sessions():
 @pytest.mark.parametrize("name", _ALL)
 def test_parses_without_warnings(sessions, name):
     session = sessions(name)
-    assert session.parse_warnings() == [], [
-        (w.text, w.comment) for w in session.parse_warnings()[:3]
+    assert session.parse_warnings == [], [
+        (w.text, w.comment) for w in session.parse_warnings[:3]
     ]
 
 

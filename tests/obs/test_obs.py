@@ -1,0 +1,232 @@
+"""Core obs subsystem tests: spans, metrics, coverage, and the
+zero-cost-when-disabled guarantee."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.config.loader import load_snapshot_from_texts
+from repro.obs.coverage import CoverageTracker, coverage_report
+from repro.obs.metrics import Metrics
+from repro.obs.trace import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def obs_clean():
+    """Every test starts and ends with obs off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSpans:
+    def test_nested_spans_record_parentage(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = [e for e in obs.events() if e["type"] == "span"]
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner, outer = spans
+        assert inner["parent"] == outer["id"]
+        assert inner["depth"] == 1 and outer["depth"] == 0
+        assert inner["wall_s"] >= 0.0 and inner["cpu_s"] >= 0.0
+
+    def test_start_events_precede_close_events(self):
+        obs.enable()
+        with obs.span("phase"):
+            pass
+        types = [e["type"] for e in obs.events()]
+        assert types == ["start", "span"]
+
+    def test_span_attrs_serialized_sorted(self):
+        obs.enable()
+        with obs.span("parse", zebra=1, alpha="x"):
+            pass
+        event = [e for e in obs.events() if e["type"] == "span"][0]
+        assert list(event["attrs"]) == ["alpha", "zebra"]
+
+    def test_exception_marks_span(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("nope")
+        event = [e for e in obs.events() if e["type"] == "span"][0]
+        assert event["error"] == "ValueError"
+
+    def test_unclosed_span_listed_in_flush(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(str(trace))
+        span = obs.span("leaky")
+        span.__enter__()
+        obs.flush()
+        flush_events = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if json.loads(line)["type"] == "flush"
+        ]
+        assert flush_events[-1]["unclosed"] == ["leaky"]
+        span.__exit__(None, None, None)
+
+    def test_jsonl_trace_is_valid_line_by_line(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(str(trace))
+        with obs.span("a", n=1):
+            obs.add("k")
+        obs.flush()
+        lines = trace.read_text().splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert isinstance(event, dict) and "type" in event
+
+
+class TestDisabledPath:
+    def test_span_factory_returns_shared_null_span(self):
+        assert obs.span("anything") is _NULL_SPAN
+        assert obs.span("other", attr=1) is _NULL_SPAN
+
+    def test_helpers_record_nothing_when_disabled(self):
+        obs.add("counter")
+        obs.gauge("gauge", 5)
+        obs.observe("hist", 1.0)
+        obs.touch("interface", "r1", "eth0")
+        dump = obs.metrics_dump()
+        assert dump["counters"] == {}
+        assert dump["gauges"] == {}
+        assert dump["histograms"] == {}
+        assert obs.coverage().dump()["touched"] == {}
+        assert obs.events() == []
+
+    def test_obs_span_still_times_when_disabled(self):
+        with obs.Span("bench") as span:
+            sum(range(100))
+        assert span.wall_s >= 0.0
+        assert obs.events() == []
+
+
+class TestMetrics:
+    def test_counters_gauges_histograms(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        metrics.gauge("g", 2.5)
+        metrics.observe("h", 1.0)
+        metrics.observe("h", 3.0)
+        assert metrics.counter("a") == 5
+        assert metrics.gauge_value("g") == 2.5
+        hist = metrics.histogram("h")
+        assert hist.count == 2 and hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = Metrics(), Metrics()
+        a.inc("c", 2)
+        a.observe("h", 1.0)
+        a.gauge("g", 1)
+        b.inc("c", 3)
+        b.observe("h", 5.0)
+        b.gauge("g", 9)
+        a.merge(b.dump())
+        assert a.counter("c") == 5
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").max == 5.0
+        assert a.gauge_value("g") == 9  # gauges: last writer wins
+
+    def test_dump_roundtrips_through_json(self):
+        metrics = Metrics()
+        metrics.inc("x")
+        metrics.observe("y", 0.5)
+        restored = Metrics()
+        restored.merge(json.loads(json.dumps(metrics.dump())))
+        assert restored.counter("x") == 1
+        assert restored.histogram("y").count == 1
+
+    def test_thread_safety_of_counters(self):
+        obs.enable()
+
+        def bump():
+            for _ in range(1000):
+                obs.add("threads")
+
+        workers = [threading.Thread(target=bump) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert obs.metrics().counter("threads") == 4000
+
+
+class TestCoverage:
+    CONFIGS = {
+        "r1.cfg": """
+hostname r1
+interface eth0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group FILTER in
+interface eth1
+ ip address 10.1.0.1 255.255.255.0
+ip access-list extended FILTER
+ deny tcp any any eq 23
+ permit ip any any
+route-map RM permit 10
+ match ip address prefix-list PL
+""",
+    }
+
+    def test_touch_and_report(self):
+        snapshot = load_snapshot_from_texts(self.CONFIGS)
+        tracker = CoverageTracker()
+        tracker.touch("interface", "r1", "eth0", query="q1")
+        tracker.touch("acl_line", "r1", "FILTER", 0, query="q1")
+        report = coverage_report(tracker, snapshot)
+        kinds = report.kinds
+        assert kinds["interface"].touched == 1
+        assert kinds["interface"].total == 2
+        assert kinds["acl_line"].touched == 1
+        assert kinds["acl_line"].total == 2
+        assert kinds["route_map_clause"].total == 1
+        assert "interface" in report.describe()
+
+    def test_merge_unions_touches(self):
+        a, b = CoverageTracker(), CoverageTracker()
+        a.touch("interface", "r1", "eth0")
+        b.touch("interface", "r1", "eth1", query="q")
+        a.merge(b.dump())
+        assert len(a.touched_keys()) == 2
+
+    def test_session_coverage_report_counts_totals(self):
+        from repro.core.session import Session
+
+        session = Session.from_texts(self.CONFIGS)
+        report = session.coverage_report()
+        assert report.kinds["interface"].total == 2
+        # obs disabled: nothing touched.
+        assert all(k.touched == 0 for k in report.kinds.values())
+
+
+class TestSessionIntegration:
+    def test_parse_warnings_is_property_with_attribution(self):
+        from repro.core.session import Session
+
+        configs = {
+            "r1.cfg": "hostname r1\nfrobnicate widget\n",
+        }
+        session = Session.from_texts(configs)
+        warnings = session.parse_warnings
+        assert isinstance(warnings, list)
+        assert warnings, "unparsed line should produce a warning"
+        assert warnings[0].source_file == "r1.cfg"
+        assert "r1.cfg" in warnings[0].describe()
+
+    def test_parse_counters_emitted(self):
+        obs.enable()
+        load_snapshot_from_texts(
+            {"r1.cfg": "hostname r1\n", "r2.cfg": "hostname r2\n"}
+        )
+        assert obs.metrics().counter("parse.files") == 2
+        assert obs.metrics().counter("parse.lines.ciscoish") >= 2

@@ -1,0 +1,136 @@
+"""Tests for the ``python -m repro.obs.report`` trace renderer."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.report import TraceReport, main
+
+
+@pytest.fixture(autouse=True)
+def obs_clean():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def write_trace(path):
+    """A small but complete trace: nested spans, metrics, coverage."""
+    obs.enable(str(path))
+    with obs.span("parse", files=2):
+        obs.add("parse.files", 2)
+    with obs.span("dataplane"):
+        with obs.span("dataplane.bgp"):
+            obs.observe("dataplane.bgp.iteration_delta_routes", 7.0)
+    obs.gauge("bdd.nodes", 123)
+    obs.touch("interface", "r1", "eth0")
+    obs.flush()
+    obs.disable()
+
+
+class TestTraceReport:
+    def test_span_tree_paths_and_aggregation(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        report = TraceReport.from_file(str(trace))
+        paths = [row[0] for row in report.span_tree()]
+        assert "parse" in paths
+        assert "dataplane/dataplane.bgp" in paths
+        assert report.unclosed() == []
+
+    def test_render_contains_all_sections(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        rendered = TraceReport.from_file(str(trace)).render()
+        assert "span tree" in rendered
+        assert "parse.files" in rendered
+        assert "bdd.nodes" in rendered
+        assert "dataplane.bgp.iteration_delta_routes" in rendered
+        assert "interface" in rendered
+        assert "0 corrupt" in rendered
+
+    def test_corrupt_and_halfwritten_lines_are_skipped(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        with open(trace, "a") as handle:
+            handle.write("this is not json\n")
+            handle.write('{"type": "span", "name": "torn", "wall_s"\n')
+            handle.write("[1, 2, 3]\n")
+        report = TraceReport.from_file(str(trace))
+        assert report.corrupt_lines == 3
+        assert report.unclosed() == []
+        assert "3 corrupt" in report.render()
+
+    def test_missing_file_degrades_to_empty_report(self, tmp_path, capsys):
+        report = TraceReport.from_file(str(tmp_path / "nope.jsonl"))
+        assert report.total_lines == 0
+        assert "(no spans)" in report.render()
+
+    def test_spans_merge_across_pids(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        events = [
+            {"type": "span", "name": "work", "id": 1, "parent": 0,
+             "depth": 0, "pid": 100, "wall_s": 1.0, "cpu_s": 1.0},
+            {"type": "span", "name": "work", "id": 1, "parent": 0,
+             "depth": 0, "pid": 200, "wall_s": 2.0, "cpu_s": 2.0},
+        ]
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        report = TraceReport.from_file(str(trace))
+        rows = report.span_tree()
+        assert rows == [("work", 2, 3.0, 3.0)]
+
+
+class TestCli:
+    def test_main_renders_and_exits_zero(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        assert main([str(trace)]) == 0
+        assert "span tree" in capsys.readouterr().out
+
+    def test_strict_fails_on_unclosed_span(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        obs.enable(str(trace))
+        leaky = obs.span("leaky")
+        leaky.__enter__()
+        obs.flush()
+        leaky.__exit__(None, None, None)
+        # Truncate after the flush so the close event is not in the file.
+        lines = [
+            line
+            for line in trace.read_text().splitlines()
+            if json.loads(line).get("type") != "span"
+        ]
+        trace.write_text("".join(line + "\n" for line in lines))
+        obs.disable()
+        assert main([str(trace), "--strict"]) == 1
+        assert "UNCLOSED: leaky" in capsys.readouterr().out
+
+    def test_strict_passes_on_clean_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        assert main([str(trace), "--strict"]) == 0
+
+    def test_module_entrypoint_runs(self, tmp_path):
+        import os
+
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo_root, "src")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", str(trace)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=repo_root,
+        )
+        assert result.returncode == 0
+        assert "span tree" in result.stdout

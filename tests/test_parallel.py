@@ -72,6 +72,48 @@ def test_default_jobs_env_knob(monkeypatch):
     assert default_jobs() == (os.cpu_count() or 1)
 
 
+def test_default_jobs_zero_means_cpu_count(monkeypatch):
+    # REPRO_JOBS=0 (or any non-positive value) explicitly requests the
+    # CPU count, overriding a pinned value without unsetting the var.
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "-2")
+    assert default_jobs() == (os.cpu_count() or 1)
+
+
+def test_pmap_merges_worker_metrics(tmp_path):
+    # With obs enabled, pool workers ship their metric deltas back and
+    # the parent merges them: counters must reflect every item exactly
+    # once, and pmap emits fan-out telemetry.
+    if not fork_available():
+        pytest.skip("requires fork start method")
+    from repro import obs
+
+    obs.disable()
+    obs.reset()
+    obs.enable()
+    try:
+        assert pmap(_count_item, list(range(20)), jobs=4, min_items=1) == [
+            x * x for x in range(20)
+        ]
+        metrics = obs.metrics()
+        assert metrics.counter("worker.items") == 20
+        assert metrics.counter("pmap.pool_calls") == 1
+        assert metrics.counter("pmap.items") == 20
+        assert metrics.gauge_value("pmap.jobs") == 4
+        assert metrics.histogram("pmap.chunk_seconds").count >= 1
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def _count_item(x):
+    from repro import obs
+
+    obs.add("worker.items")
+    return x * x
+
+
 def test_chunked_covers_all_items_in_order():
     items = list(range(10))
     chunks = chunked(items, 3)
