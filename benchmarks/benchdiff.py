@@ -1,0 +1,270 @@
+"""Compare two ``BENCH_*.json`` artifacts and flag regressions.
+
+Starts the bench-trajectory story: every benchmark run persists a
+``BENCH_<name>.json`` (see :mod:`benchlib`), and this tool diffs a new
+artifact against a committed baseline — per-network wall-clock phases,
+peak RSS, and (when present) the obs metrics snapshot — printing a
+regression table and exiting non-zero when any tracked number grew by
+more than the threshold, so CI can gate on it.
+
+Usage::
+
+    python benchmarks/benchdiff.py BASELINE.json CURRENT.json \
+        [--threshold 0.25] [--rss-threshold 0.25] [--min-seconds 0.05]
+
+* ``--threshold`` — allowed fractional growth for wall-clock numbers
+  (0.25 = +25%); timings below ``--min-seconds`` in the baseline are
+  reported but never gate (sub-50ms phases are noise-dominated).
+* ``--rss-threshold`` — allowed fractional growth for ``peak_rss_kb``.
+* obs counters are compared informationally (work counters like
+  ``bgp.routes_processed`` moving is a correctness signal, not a
+  pass/fail one — they gate only with ``--strict-counters``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def print_table(title: str, header: List[str], rows: List[List[str]]) -> None:
+    """Minimal aligned-table printer (duplicated from benchlib so this
+    tool stays importable without the repro package on the path — it
+    only ever reads JSON artifacts)."""
+    widths = [
+        max(len(str(header[col])), *(len(str(row[col])) for row in rows))
+        for col in range(len(header))
+    ]
+    print(title)
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print(
+            "  " + "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+
+
+def load_bench(path: str) -> Dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def networks_by_name(payload: Dict) -> Dict[str, Dict]:
+    return {
+        entry.get("network", f"#{index}"): entry
+        for index, entry in enumerate(payload.get("networks", []))
+    }
+
+
+def ratio(baseline: float, current: float) -> Optional[float]:
+    """Fractional change vs baseline (None when baseline is zero)."""
+    if baseline == 0:
+        return None
+    return (current - baseline) / baseline
+
+
+def format_change(change: Optional[float]) -> str:
+    if change is None:
+        return "n/a"
+    return f"{change * +100:+.1f}%"
+
+
+class Comparison:
+    """Accumulates rows and regression verdicts for one artifact pair."""
+
+    def __init__(
+        self,
+        threshold: float,
+        rss_threshold: float,
+        min_seconds: float,
+        strict_counters: bool,
+    ):
+        self.threshold = threshold
+        self.rss_threshold = rss_threshold
+        self.min_seconds = min_seconds
+        self.strict_counters = strict_counters
+        self.rows: List[List[str]] = []
+        self.regressions: List[str] = []
+
+    def compare_seconds(
+        self, network: str, baseline: Dict, current: Dict
+    ) -> None:
+        base_seconds = baseline.get("seconds", {})
+        cur_seconds = current.get("seconds", {})
+        for phase in sorted(set(base_seconds) | set(cur_seconds)):
+            base = float(base_seconds.get(phase, 0.0))
+            cur = float(cur_seconds.get(phase, 0.0))
+            change = ratio(base, cur)
+            gated = base >= self.min_seconds
+            verdict = "ok"
+            if change is not None and change > self.threshold:
+                if gated:
+                    verdict = "REGRESSION"
+                    self.regressions.append(
+                        f"{network} {phase}: {base:.4f}s -> {cur:.4f}s "
+                        f"({format_change(change)})"
+                    )
+                else:
+                    verdict = "noise"  # below the gating floor
+            self.rows.append(
+                [
+                    network,
+                    f"seconds.{phase}",
+                    f"{base:.4f}",
+                    f"{cur:.4f}",
+                    format_change(change),
+                    verdict,
+                ]
+            )
+
+    def compare_rss(self, network: str, baseline: Dict, current: Dict) -> None:
+        base = float(baseline.get("peak_rss_kb", 0))
+        cur = float(current.get("peak_rss_kb", 0))
+        change = ratio(base, cur)
+        verdict = "ok"
+        if change is not None and change > self.rss_threshold:
+            verdict = "REGRESSION"
+            self.regressions.append(
+                f"{network} peak_rss_kb: {base:.0f} -> {cur:.0f} "
+                f"({format_change(change)})"
+            )
+        self.rows.append(
+            [
+                network,
+                "peak_rss_kb",
+                f"{base:.0f}",
+                f"{cur:.0f}",
+                format_change(change),
+                verdict,
+            ]
+        )
+
+    def compare_counters(self, baseline: Dict, current: Dict) -> None:
+        base_counters = baseline.get("obs_metrics", {}).get("counters", {})
+        cur_counters = current.get("obs_metrics", {}).get("counters", {})
+        if not base_counters and not cur_counters:
+            return
+        for name in sorted(set(base_counters) | set(cur_counters)):
+            base = float(base_counters.get(name, 0))
+            cur = float(cur_counters.get(name, 0))
+            if base == cur:
+                continue
+            change = ratio(base, cur)
+            verdict = "info"
+            if (
+                self.strict_counters
+                and change is not None
+                and change > self.threshold
+            ):
+                verdict = "REGRESSION"
+                self.regressions.append(
+                    f"counter {name}: {base:.0f} -> {cur:.0f} "
+                    f"({format_change(change)})"
+                )
+            self.rows.append(
+                [
+                    "-",
+                    f"counter.{name}",
+                    f"{base:.0f}",
+                    f"{cur:.0f}",
+                    format_change(change),
+                    verdict,
+                ]
+            )
+
+
+def compare(
+    baseline: Dict,
+    current: Dict,
+    threshold: float = 0.25,
+    rss_threshold: float = 0.25,
+    min_seconds: float = 0.05,
+    strict_counters: bool = False,
+) -> Comparison:
+    """Diff two bench payloads; the returned comparison holds the table
+    rows and the list of gating regressions."""
+    comparison = Comparison(
+        threshold, rss_threshold, min_seconds, strict_counters
+    )
+    base_networks = networks_by_name(baseline)
+    cur_networks = networks_by_name(current)
+    for network in sorted(set(base_networks) & set(cur_networks)):
+        comparison.compare_seconds(
+            network, base_networks[network], cur_networks[network]
+        )
+        comparison.compare_rss(
+            network, base_networks[network], cur_networks[network]
+        )
+    for network in sorted(set(base_networks) - set(cur_networks)):
+        comparison.rows.append([network, "(network)", "present", "missing", "n/a", "info"])
+    for network in sorted(set(cur_networks) - set(base_networks)):
+        comparison.rows.append([network, "(network)", "missing", "present", "n/a", "info"])
+    comparison.compare_counters(baseline, current)
+    return comparison
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/benchdiff.py",
+        description="Diff two BENCH_*.json artifacts and gate on regressions.",
+    )
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-clock growth (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional peak-RSS growth (default 0.25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="baseline timings below this never gate (noise floor)",
+    )
+    parser.add_argument(
+        "--strict-counters",
+        action="store_true",
+        help="also gate on obs counter growth beyond the threshold",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_bench(args.baseline)
+        current = load_bench(args.current)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot load bench artifact: {error}", file=sys.stderr)
+        return 2
+    comparison = compare(
+        baseline,
+        current,
+        threshold=args.threshold,
+        rss_threshold=args.rss_threshold,
+        min_seconds=args.min_seconds,
+        strict_counters=args.strict_counters,
+    )
+    print_table(
+        f"bench diff: {args.baseline} -> {args.current} "
+        f"(threshold +{args.threshold * 100:.0f}%)",
+        ["network", "metric", "baseline", "current", "change", "verdict"],
+        comparison.rows or [["-", "(no comparable data)", "-", "-", "-", "-"]],
+    )
+    if comparison.regressions:
+        print(
+            f"\n{len(comparison.regressions)} regression(s):", file=sys.stderr
+        )
+        for line in comparison.regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

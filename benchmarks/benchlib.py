@@ -226,7 +226,9 @@ def write_bench_json(name: str, payload: Dict) -> str:
     )
     if obs.enabled():
         payload.setdefault("obs_metrics", obs.metrics_dump())
-    path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    out_dir = bench_output_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -28,6 +28,15 @@ from repro.obs.coverage import CoverageReport, coverage_report
 from repro.dataplane.fib import Fib, compute_fibs
 from repro.hdr.headerspace import HeaderSpace, PacketEncoder
 from repro.hdr.packet import Packet
+from repro.provenance import (
+    DerivationTree,
+    Flow,
+    FlowExplanation,
+    ProvenanceRecorder,
+    build_flow_explanation,
+    build_route_tree,
+)
+from repro.provenance import record as prov
 from repro.questions.configuration import (
     DuplicateIpsAnswer,
     PropertyConsistencyAnswer,
@@ -98,6 +107,11 @@ class Session:
         self._fibs: Optional[Dict[str, Fib]] = None
         self._analyzer: Optional[NetworkAnalyzer] = None
         self._tracer: Optional[TracerouteEngine] = None
+        #: Cached provenance re-derivation (recorder, dataplane, fibs) —
+        #: populated on the first explain_route call (Stage 4).
+        self._provenance: Optional[
+            Tuple[ProvenanceRecorder, DataPlane, Dict[str, Fib]]
+        ] = None
         #: Content-addressed cache backing this session (see from_texts).
         self._cache: Optional[SnapshotCache] = None
         self._cache_key: Optional[str] = None
@@ -324,3 +338,49 @@ class Session:
         from repro.fidelity.differential import run_differential_suite
 
         return run_differential_suite(self.analyzer)
+
+    # -- provenance / explanation (Stage 4, §4.4) ----------------------------
+
+    def _recorded_derivation(
+        self,
+    ) -> Tuple[ProvenanceRecorder, DataPlane, Dict[str, Fib]]:
+        """Re-derive the data plane and FIBs with provenance recording
+        on, once per session.
+
+        Normal runs stay at zero recording cost; the first ``explain_*``
+        call pays for one extra simulation and every later call reuses
+        the recorded events (the same way Batfish answers "why" questions
+        from retained derivation state rather than instrumenting every
+        run)."""
+        if self._provenance is None:
+            with prov.recording() as recorder:
+                dataplane = compute_dataplane(
+                    self.snapshot, self.settings, self.semantics
+                )
+                fibs = compute_fibs(dataplane)
+            self._provenance = (recorder, dataplane, fibs)
+        return self._provenance
+
+    def explain_route(self, node: str, prefix) -> DerivationTree:
+        """Why does (or doesn't) ``node`` have a route for ``prefix``?
+
+        Returns a :class:`DerivationTree` tracing each FIB entry back
+        through main-RIB selection to the protocol event that produced
+        it — including suppressed alternatives — with neighbor, policy
+        clause, and convergence iteration attribution.
+        """
+        recorder, dataplane, fibs = self._recorded_derivation()
+        return build_route_tree(recorder, dataplane, fibs, node, prefix)
+
+    def explain_flow(self, flow: Flow) -> FlowExplanation:
+        """Trace ``flow`` through the concrete forwarding engine with
+        per-ACL-line / per-NAT-rule evaluation detail attached.
+
+        The hop sequence is exactly what :meth:`traceroute` produces —
+        the explanation decorates the same engine run rather than
+        re-deriving the path independently."""
+        with prov.recording():
+            traces = self.tracer.trace(
+                flow.packet, flow.ingress_node, flow.ingress_interface
+            )
+        return build_flow_explanation(flow, traces)

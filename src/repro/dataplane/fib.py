@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.hdr.ip import Ip, Prefix
+from repro.provenance import record as prov
 from repro.routing.engine import DataPlane, NodeState
 from repro.routing.prefix_trie import PrefixTrie
 from repro.routing.route import (
@@ -84,11 +85,34 @@ class Fib:
 
 def build_fib(state: NodeState) -> Fib:
     """Resolve every best route of the node's main RIB into FIB entries."""
-    fib = Fib(state.device.hostname)
+    hostname = state.device.hostname
+    fib = Fib(hostname)
+    recording = prov.enabled()
     for route in state.main_rib.routes():
         for entry in _resolve_route(state, route, route, 0, None):
             fib.add(entry)
+            if recording:
+                _record_fib_entry(hostname, route, entry)
     return fib
+
+
+def _record_fib_entry(hostname: str, route, entry: "FibEntry") -> None:
+    if entry.action is FibActionType.FORWARD:
+        detail = f"{route.describe()} resolved to {entry.describe()}"
+        if entry.arp_ip is not None and _next_hop_of(route) != entry.arp_ip:
+            detail += " (recursive next-hop resolution)"
+        prov.route_event(hostname, route.prefix, "fib", "resolved", detail)
+    elif entry.action is FibActionType.DROP_NULL:
+        prov.route_event(
+            hostname, route.prefix, "fib", "dropped",
+            f"{route.describe()} null-routed: explicit discard entry",
+        )
+    else:
+        prov.route_event(
+            hostname, route.prefix, "fib", "dropped",
+            f"{route.describe()} unresolvable: next hop has no covering "
+            "route (or resolution depth exceeded)",
+        )
 
 
 def _resolve_route(

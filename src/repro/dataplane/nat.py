@@ -73,6 +73,30 @@ class NatPipeline:
             return self._rewrite(rule, packet)
         return packet
 
+    def apply_concrete_trace(
+        self, packet: Packet
+    ) -> Tuple[Packet, List[str]]:
+        """Like :meth:`apply_concrete`, but also return the ordered
+        per-rule evaluation trace (skipped rules included) for the
+        provenance layer."""
+        trace: List[str] = []
+        for index, rule in enumerate(self.rules):
+            label = f"{rule.kind.value} rule {index} pool {rule.pool}"
+            if not self._rule_matches(rule, packet):
+                trace.append(f"nat {label}: no match")
+                continue
+            rewritten = self._rewrite(rule, packet)
+            changed = (
+                f"dst {packet.dst_ip} -> {rewritten.dst_ip}"
+                if rule.kind is NatKind.DESTINATION
+                else f"src {packet.src_ip} -> {rewritten.src_ip}"
+            )
+            trace.append(f"nat {label}: matched, rewrote {changed}")
+            return rewritten, trace
+        if trace:
+            trace.append("end of NAT pipeline: packet unchanged")
+        return packet, trace
+
     def _rule_matches(self, rule: NatRule, packet: Packet) -> bool:
         if rule.kind is NatKind.STATIC and rule.static_inside is not None:
             return rule.static_inside.contains_ip(packet.src_ip)

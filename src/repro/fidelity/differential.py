@@ -14,6 +14,12 @@ modeling bugs." Two validation directions:
    entry choose a packet matching the entry's prefix; trace it to its
    terminal location and disposition; then check the symbolic analysis
    agrees (the computed start set contains the original start).
+
+A third direction compares the imperative control-plane engine against
+the original Datalog model (:func:`validate_imperative_against_datalog`)
+and, on any forwarding mismatch, attaches both engines' provenance
+derivation trees plus the first-divergence diff — the located witness a
+human needs to debug a modeling disagreement.
 """
 
 from __future__ import annotations
@@ -26,6 +32,15 @@ from repro.hdr import fields as f
 from repro.hdr.ip import Ip
 from repro.hdr.packet import Packet
 from repro.parallel import pmap
+from repro.provenance import (
+    DerivationTree,
+    Divergence,
+    build_route_tree,
+    datalog_route_tree,
+    first_divergence,
+    render_divergence_report,
+)
+from repro.provenance import record as prov
 from repro.reachability.examples import default_preferences
 from repro.reachability.graph import Disposition, src_node
 from repro.reachability.queries import NetworkAnalyzer
@@ -170,6 +185,130 @@ def validate_concrete_against_symbolic(
                         actual=f"symbolic has {sorted(d.value for d in symbolic)}",
                     )
                 )
+    return report
+
+
+@dataclass
+class DataplaneMismatch:
+    """One (node, prefix) where the imperative engine and the Datalog
+    model derived different forwarding, with both provenance trees and
+    the first point where their derivations diverge."""
+
+    node: str
+    prefix: str
+    imperative_next_hops: Tuple[str, ...]
+    datalog_next_hops: Tuple[str, ...]
+    imperative_tree: DerivationTree
+    datalog_tree: DerivationTree
+    divergence: Optional[Divergence]
+
+    def describe(self) -> str:
+        header = (
+            f"{self.node} {self.prefix}: imperative forwards via "
+            f"{list(self.imperative_next_hops) or 'nothing'}, datalog via "
+            f"{list(self.datalog_next_hops) or 'nothing'}"
+        )
+        return header + "\n" + render_divergence_report(
+            self.imperative_tree, self.datalog_tree, self.divergence
+        )
+
+
+@dataclass
+class ImperativeDatalogReport:
+    """Outcome of the imperative-vs-Datalog dataplane comparison."""
+
+    checks: int = 0
+    mismatches: List[DataplaneMismatch] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.passed:
+            return f"imperative and datalog dataplanes agree ({self.checks} tuples)"
+        parts = [
+            f"{len(self.mismatches)} dataplane mismatch(es) over "
+            f"{self.checks} tuples"
+        ]
+        parts.extend(m.describe() for m in self.mismatches)
+        return "\n\n".join(parts)
+
+
+def validate_imperative_against_datalog(
+    snapshot, settings=None, semantics=None
+) -> ImperativeDatalogReport:
+    """Direction 3: the original Datalog model verifies the imperative
+    control-plane engine (both simulate the same snapshot; their
+    ``(node, prefix, next-hop-node)`` relations must agree on the
+    protocols Datalog models: connected/static/OSPF).
+
+    The imperative run happens under provenance recording; every
+    mismatched (node, prefix) is reported with the imperative derivation
+    tree, the Datalog derivation tree, and the first divergence between
+    them.
+    """
+    from repro.original.cp_model import compute_dataplane_datalog
+    from repro.routing.engine import ConvergenceSettings, compute_dataplane
+    from repro.routing.policy import DEFAULT_SEMANTICS
+    from repro.dataplane.fib import FibActionType, compute_fibs
+
+    datalog = compute_dataplane_datalog(snapshot)
+    with prov.recording() as recorder:
+        imperative = compute_dataplane(
+            snapshot, settings or ConvergenceSettings(),
+            semantics or DEFAULT_SEMANTICS,
+        )
+        fibs = compute_fibs(imperative)
+
+    ip_owner: Dict[Ip, str] = {}
+    for hostname in snapshot.hostnames():
+        for _name, address, _length in snapshot.device(hostname).interface_ips():
+            ip_owner.setdefault(address, hostname)
+    imperative_forwards = set()
+    for hostname, fib in fibs.items():
+        for prefix, entries in fib.entries():
+            for entry in entries:
+                if entry.action is not FibActionType.FORWARD:
+                    continue
+                if entry.arp_ip is None:
+                    continue  # connected: the datalog model omits these
+                neighbor = ip_owner.get(entry.arp_ip)
+                if neighbor:
+                    imperative_forwards.add((hostname, prefix, neighbor))
+
+    report = ImperativeDatalogReport(
+        checks=len(imperative_forwards | datalog.forwards)
+    )
+    disagreeing = sorted(
+        {
+            (node, str(prefix))
+            for node, prefix, _neighbor in
+            imperative_forwards ^ datalog.forwards
+        }
+    )
+    for node, prefix_str in disagreeing:
+        left = build_route_tree(recorder, imperative, fibs, node, prefix_str)
+        right = datalog_route_tree(datalog, node, prefix_str)
+        report.mismatches.append(
+            DataplaneMismatch(
+                node=node,
+                prefix=prefix_str,
+                imperative_next_hops=tuple(sorted(
+                    neighbor
+                    for n, p, neighbor in imperative_forwards
+                    if n == node and str(p) == prefix_str
+                )),
+                datalog_next_hops=tuple(sorted(
+                    neighbor
+                    for n, p, neighbor in datalog.forwards
+                    if n == node and str(p) == prefix_str
+                )),
+                imperative_tree=left,
+                datalog_tree=right,
+                divergence=first_divergence(left, right),
+            )
+        )
     return report
 
 

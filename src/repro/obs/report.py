@@ -13,7 +13,15 @@ Usage::
   snapshot's coverage event is present;
 * ``--strict`` exits non-zero when any span started but never closed
   (a ``start`` line without a matching ``span`` line, or a ``flush``
-  event listing unclosed spans) — the CI gate for leaked spans.
+  event listing unclosed spans) or when a span's close timestamp
+  precedes its start timestamp (a clock regression or corrupted merge)
+  — the CI gate for leaked or inconsistent spans.
+
+An ``explain`` subcommand renders provenance derivation trees::
+
+    python -m repro.obs.report explain route --snapshot DIR NODE PREFIX
+    python -m repro.obs.report explain flow --snapshot DIR NODE IFACE \
+        --src-ip A --dst-ip B [--protocol tcp|udp|icmp] [--dst-port N]
 
 Corrupt or half-written lines (a process died mid-write, interleaved
 appends) are counted and skipped, never fatal: a damaged trace must
@@ -36,6 +44,7 @@ class TraceReport:
     def __init__(self):
         self.spans: List[Dict] = []
         self.starts: Dict[Tuple[int, int], str] = {}  # (pid, id) -> name
+        self.start_ts: Dict[Tuple[int, int], float] = {}  # (pid, id) -> ts
         self.ends: set = set()
         self.metrics = Metrics()
         self.coverage: Dict = {}
@@ -60,9 +69,10 @@ class TraceReport:
             return
         kind = event.get("type")
         if kind == "start":
-            self.starts[(event.get("pid", 0), event.get("id", 0))] = event.get(
-                "name", "?"
-            )
+            key = (event.get("pid", 0), event.get("id", 0))
+            self.starts[key] = event.get("name", "?")
+            if isinstance(event.get("ts"), (int, float)):
+                self.start_ts[key] = float(event["ts"])
         elif kind == "span":
             self.spans.append(event)
             self.ends.add((event.get("pid", 0), event.get("id", 0)))
@@ -94,6 +104,26 @@ class TraceReport:
             if key not in self.ends
         ]
         return sorted(set(leaked) | set(self.flush_unclosed))
+
+    def time_regressions(self) -> List[str]:
+        """Spans whose close event carries a timestamp earlier than their
+        start event's — impossible on a sane clock, so a symptom of clock
+        regression or a corrupted multi-process merge."""
+        bad: List[str] = []
+        for event in self.spans:
+            key = (event.get("pid", 0), event.get("id", 0))
+            close_ts = event.get("ts")
+            start_ts = self.start_ts.get(key)
+            if (
+                isinstance(close_ts, (int, float))
+                and start_ts is not None
+                and float(close_ts) < start_ts
+            ):
+                bad.append(
+                    f"{event.get('name', '?')} (pid {key[0]}, id {key[1]}: "
+                    f"closed {float(close_ts):.6f} < started {start_ts:.6f})"
+                )
+        return sorted(bad)
 
     def span_tree(self) -> List[Tuple[str, int, float, float]]:
         """Aggregated (path, count, wall_s, cpu_s) rows, tree-ordered.
@@ -199,27 +229,88 @@ class TraceReport:
                 )
                 lines.append(f"    {query}: {rendered}")
         unclosed = self.unclosed()
+        regressions = self.time_regressions()
         lines.append("")
         lines.append(
             f"events: {self.total_lines} lines,"
             f" {len(self.spans)} spans, {self.corrupt_lines} corrupt,"
-            f" {len(unclosed)} unclosed"
+            f" {len(unclosed)} unclosed, {len(regressions)} time regressions"
         )
         for name in unclosed:
             lines.append(f"  UNCLOSED: {name}")
+        for detail in regressions:
+            lines.append(f"  TIME REGRESSION: {detail}")
         return "\n".join(lines)
 
 
+def _explain_main(argv: List[str]) -> int:
+    """The ``explain`` subcommand: render derivation trees for a route
+    or a flow over a snapshot directory (Stage 4, §4.4)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report explain",
+        description="Render provenance derivation trees.",
+    )
+    sub = parser.add_subparsers(dest="what", required=True)
+    route = sub.add_parser("route", help="why a node has (or lacks) a route")
+    route.add_argument("--snapshot", required=True, help="config directory")
+    route.add_argument("node")
+    route.add_argument("prefix", help="e.g. 10.0.0.0/24")
+    flow = sub.add_parser("flow", help="trace a flow with per-line detail")
+    flow.add_argument("--snapshot", required=True, help="config directory")
+    flow.add_argument("node", help="ingress node")
+    flow.add_argument("interface", help="ingress interface")
+    flow.add_argument("--src-ip", required=True)
+    flow.add_argument("--dst-ip", required=True)
+    flow.add_argument(
+        "--protocol", default="tcp", choices=["tcp", "udp", "icmp"]
+    )
+    flow.add_argument("--src-port", type=int, default=0)
+    flow.add_argument("--dst-port", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.core.session import Session
+
+    session = Session.from_dir(args.snapshot)
+    if args.what == "route":
+        tree = session.explain_route(args.node, args.prefix)
+        print(tree.render())
+        return 0
+    from repro.hdr import fields as f
+    from repro.hdr.ip import Ip
+    from repro.hdr.packet import Packet
+    from repro.provenance import Flow
+
+    proto = {
+        "tcp": f.PROTO_TCP, "udp": f.PROTO_UDP, "icmp": f.PROTO_ICMP
+    }[args.protocol]
+    packet = Packet(
+        src_ip=Ip(args.src_ip),
+        dst_ip=Ip(args.dst_ip),
+        ip_protocol=proto,
+        src_port=args.src_port,
+        dst_port=args.dst_port,
+    )
+    explanation = session.explain_flow(
+        Flow(packet=packet, ingress_node=args.node, ingress_interface=args.interface)
+    )
+    print(explanation.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Render a repro.obs JSONL trace.",
+        description="Render a repro.obs JSONL trace (or `explain` a "
+        "route/flow derivation).",
     )
     parser.add_argument("trace", help="path to the trace.jsonl file")
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit non-zero if any span was left unclosed",
+        help="exit non-zero on unclosed spans or span-timestamp regressions",
     )
     parser.add_argument(
         "--top", type=int, default=20, help="number of counters to show"
@@ -230,11 +321,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.render(top=args.top))
     except BrokenPipeError:
         pass  # downstream pager closed early; the verdict still counts
-    if args.strict and report.unclosed():
-        print(
-            f"STRICT: {len(report.unclosed())} unclosed span(s)",
-            file=sys.stderr,
+    failures: List[str] = []
+    if report.unclosed():
+        failures.append(f"{len(report.unclosed())} unclosed span(s)")
+    if report.time_regressions():
+        failures.append(
+            f"{len(report.time_regressions())} span timestamp regression(s)"
         )
+    if args.strict and failures:
+        print("STRICT: " + ", ".join(failures), file=sys.stderr)
         return 1
     return 0
 

@@ -186,6 +186,7 @@ class Span:
                 "id": self.span_id,
                 "parent": self.parent_id,
                 "pid": os.getpid(),
+                "ts": round(time.time(), 6),
             })
         self._wall_start = time.perf_counter()
         self._cpu_start = time.process_time()
@@ -209,6 +210,7 @@ class Span:
                 "parent": self.parent_id,
                 "depth": self.depth,
                 "pid": os.getpid(),
+                "ts": round(time.time(), 6),
                 "wall_s": round(self.wall_s, 6),
                 "cpu_s": round(self.cpu_s, 6),
             }

@@ -1,0 +1,91 @@
+"""First-divergence diff between two derivation trees.
+
+Differential fidelity testing (§4.3.2) turns a dataplane mismatch from a
+bare inequality into a *located* disagreement: walk both derivation
+trees in lockstep and report the first node where they diverge, with the
+path to it. That is the minimal witness a human needs to start debugging
+— everything above the divergence is agreed context, everything below it
+is consequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.provenance.model import DerivationNode, DerivationTree
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two derivation trees disagree."""
+
+    path: Tuple[str, ...]  # labels from each root down to the divergence
+    left: Optional[str]  # label on the left side (None = missing)
+    right: Optional[str]  # label on the right side (None = missing)
+
+    def describe(self) -> str:
+        location = " / ".join(self.path) if self.path else "(root)"
+        left = self.left if self.left is not None else "(absent)"
+        right = self.right if self.right is not None else "(absent)"
+        return f"first divergence at {location}:\n  left:  {left}\n  right: {right}"
+
+
+def _first_divergence_nodes(
+    left: DerivationNode, right: DerivationNode, path: Tuple[str, ...]
+) -> Optional[Divergence]:
+    if left.label != right.label:
+        return Divergence(path=path, left=left.label, right=right.label)
+    child_path = path + (left.label,)
+    for left_child, right_child in zip(left.children, right.children):
+        found = _first_divergence_nodes(left_child, right_child, child_path)
+        if found is not None:
+            return found
+    if len(left.children) != len(right.children):
+        if len(left.children) > len(right.children):
+            extra = left.children[len(right.children)]
+            return Divergence(path=child_path, left=extra.label, right=None)
+        extra = right.children[len(left.children)]
+        return Divergence(path=child_path, left=None, right=extra.label)
+    return None
+
+
+def first_divergence(
+    left: DerivationTree, right: DerivationTree
+) -> Optional[Divergence]:
+    """The first structural disagreement, or None when the trees match.
+
+    Root labels are compared *structurally* (children first): the roots
+    name their engines and always differ textually, so a root-label
+    mismatch alone is not a divergence.
+    """
+    path: Tuple[str, ...] = (left.root.label,)
+    for left_child, right_child in zip(left.root.children, right.root.children):
+        found = _first_divergence_nodes(left_child, right_child, path)
+        if found is not None:
+            return found
+    if len(left.root.children) != len(right.root.children):
+        if len(left.root.children) > len(right.root.children):
+            extra = left.root.children[len(right.root.children)]
+            return Divergence(path=path, left=extra.label, right=None)
+        extra = right.root.children[len(left.root.children)]
+        return Divergence(path=path, left=None, right=extra.label)
+    return None
+
+
+def render_divergence_report(
+    left: DerivationTree, right: DerivationTree, divergence: Optional[Divergence]
+) -> str:
+    """A human-readable mismatch report: the diff first, both trees after."""
+    lines: List[str] = []
+    if divergence is None:
+        lines.append("derivation trees agree")
+    else:
+        lines.append(divergence.describe())
+    lines.append("")
+    lines.append("-- left tree --")
+    lines.append(left.render())
+    lines.append("")
+    lines.append("-- right tree --")
+    lines.append(right.render())
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Provenance data model: derivation events and derivation trees.
+
+A *route event* is one fact about how a RIB/FIB entry came to exist (or
+why it does not): which protocol produced it, which neighbor advertised
+it, which policy clause permitted/denied it, and at which convergence
+iteration the decision happened. Events are recorded by the control
+plane while :mod:`repro.provenance.record` is enabled and assembled into
+:class:`DerivationTree` answers by :mod:`repro.provenance.explain` —
+the mechanism real Batfish exposes as answer ``TraceElement``s (§4.4.3:
+"we annotate example packets with as much context as possible").
+
+A *flow explanation* is the forwarding-side counterpart: the ordered
+evaluation trace of every ACL line, route-map clause, and NAT rule a
+concrete flow touched on its way through the network, hop by hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.hdr.packet import Packet
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEvent:
+    """One recorded derivation fact about a (node, prefix) pair.
+
+    ``protocol`` names the producing subsystem (``connected``,
+    ``static``, ``ospf``, ``bgp``, ``main-rib``, ``fib``, ``session``);
+    ``action`` is what happened (``installed``, ``suppressed``,
+    ``displaced``, ``withdrawn``, ``originated``, ``rejected``,
+    ``resolved``, ``dropped``, ``best``, ``redistributed``, ``down``).
+    ``iteration`` is the BGP convergence iteration (0 = outside the BGP
+    fixed point); ``seq`` totally orders events within one recording.
+    """
+
+    seq: int
+    node: str
+    prefix: str
+    protocol: str
+    action: str
+    detail: str
+    neighbor: str = ""
+    policy: str = ""
+    iteration: int = 0
+
+    def describe(self) -> str:
+        parts = [f"[{self.protocol}] {self.action}: {self.detail}"]
+        if self.neighbor:
+            parts.append(f"neighbor {self.neighbor}")
+        if self.policy:
+            parts.append(self.policy)
+        if self.iteration:
+            parts.append(f"iteration {self.iteration}")
+        return " | ".join(parts)
+
+
+#: Actions that explain why an entry is absent rather than present.
+SUPPRESSING_ACTIONS = frozenset(
+    {"suppressed", "displaced", "withdrawn", "rejected", "dropped", "down"}
+)
+
+
+@dataclass
+class DerivationNode:
+    """One node of a derivation tree: a label plus supporting children."""
+
+    label: str
+    kind: str = "derivation"  # "fib" | "rib" | "event" | "suppressed" | ...
+    children: List["DerivationNode"] = field(default_factory=list)
+
+    def add(self, child: "DerivationNode") -> "DerivationNode":
+        self.children.append(child)
+        return child
+
+    def walk(self, path: Tuple[str, ...] = ()) -> Iterator[Tuple[Tuple[str, ...], "DerivationNode"]]:
+        """Depth-first (path, node) pairs; path excludes this node."""
+        yield path, self
+        for child in self.children:
+            yield from child.walk(path + (self.label,))
+
+    def render(self, indent: int = 0) -> str:
+        lines = [f"{'  ' * indent}{self.label}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class DerivationTree:
+    """The full answer to "why is (or isn't) this route in the FIB".
+
+    ``root`` holds the structured derivation; ``events`` keeps the raw
+    record so callers can re-slice it.
+    """
+
+    node: str
+    prefix: str
+    root: DerivationNode
+    events: List[RouteEvent] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.root.children
+
+    def render(self) -> str:
+        return self.root.render()
+
+    def suppressions(self) -> List[RouteEvent]:
+        """The events explaining absent/overridden alternatives."""
+        return [e for e in self.events if e.action in SUPPRESSING_ACTIONS]
+
+
+# ----------------------------------------------------------------------
+# Flow explanations
+
+
+@dataclass(frozen=True, slots=True)
+class Flow:
+    """A concrete flow: one packet entering at (node, interface)."""
+
+    packet: Packet
+    ingress_node: str
+    ingress_interface: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.packet.describe()} entering "
+            f"{self.ingress_node}[{self.ingress_interface}]"
+        )
+
+
+@dataclass
+class FlowStepExplanation:
+    """One forwarding decision with its full evaluation trace.
+
+    ``kind`` mirrors the traceroute step kinds (``acl``, ``fib``,
+    ``nat``, ``zone``, ``arrive``, ``final``); ``lines`` is the ordered
+    per-line / per-rule / per-clause evaluation that produced the
+    decision (empty when the step has no internal structure).
+    """
+
+    kind: str
+    detail: str
+    lines: Tuple[str, ...] = ()
+
+
+@dataclass
+class FlowHopExplanation:
+    node: str
+    steps: List[FlowStepExplanation] = field(default_factory=list)
+
+
+@dataclass
+class FlowPathExplanation:
+    """One ECMP path of the flow with its disposition."""
+
+    disposition: str
+    hops: List[FlowHopExplanation] = field(default_factory=list)
+
+    def hop_nodes(self) -> List[str]:
+        return [hop.node for hop in self.hops]
+
+
+@dataclass
+class FlowExplanation:
+    """All paths a flow takes, with ordered evaluation traces."""
+
+    flow: Flow
+    paths: List[FlowPathExplanation] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.paths
+
+    def to_tree(self) -> DerivationNode:
+        root = DerivationNode(f"flow {self.flow.describe()}", kind="flow")
+        for index, path in enumerate(self.paths):
+            path_node = root.add(
+                DerivationNode(
+                    f"path {index}: [{path.disposition}] "
+                    + " -> ".join(path.hop_nodes()),
+                    kind="path",
+                )
+            )
+            for hop in path.hops:
+                hop_node = path_node.add(
+                    DerivationNode(f"hop {hop.node}", kind="hop")
+                )
+                for step in hop.steps:
+                    step_node = hop_node.add(
+                        DerivationNode(f"{step.kind}: {step.detail}", kind="step")
+                    )
+                    for line in step.lines:
+                        step_node.add(DerivationNode(line, kind="line"))
+        return root
+
+    def render(self) -> str:
+        return self.to_tree().render()
+
+
+def events_for(
+    events: Sequence[RouteEvent], node: str, prefix: Optional[str] = None
+) -> List[RouteEvent]:
+    """Events of one node (optionally one prefix), in record order."""
+    return [
+        e
+        for e in events
+        if e.node == node and (prefix is None or e.prefix == prefix)
+    ]

@@ -1,0 +1,154 @@
+"""The provenance recorder: a process-global, off-by-default event sink.
+
+Mirrors the :mod:`repro.obs` discipline exactly: recording is **off by
+default** and every instrumentation point in the routing/dataplane code
+guards through :func:`enabled` — one module attribute read and a falsy
+branch per site, no formatting or allocation — so the <2% disabled
+overhead budget of the benchmarks is preserved. Enabling happens
+per-derivation via the :func:`recording` context manager (the way
+``Session.explain_route`` re-derives the data plane with provenance on),
+never globally at import time.
+
+Recorded events also flow through :mod:`repro.obs` when tracing is
+enabled: each event increments the ``provenance.route_events`` counter
+and the recorder's totals ride the existing worker-dump metric merge,
+so ``pmap`` fan-outs aggregate provenance telemetry the same way they
+aggregate every other counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.provenance.model import RouteEvent
+
+
+class ProvenanceRecorder:
+    """Collects :class:`RouteEvent`s during one derivation run."""
+
+    def __init__(self):
+        self.events: List[RouteEvent] = []
+        self._by_key: Dict[Tuple[str, str], List[RouteEvent]] = {}
+        self.iteration = 0
+        self._seq = 0
+
+    def route_event(
+        self,
+        node: str,
+        prefix,
+        protocol: str,
+        action: str,
+        detail: str,
+        neighbor: str = "",
+        policy: str = "",
+        iteration: Optional[int] = None,
+    ) -> None:
+        self._seq += 1
+        event = RouteEvent(
+            seq=self._seq,
+            node=node,
+            prefix=str(prefix),
+            protocol=protocol,
+            action=action,
+            detail=detail,
+            neighbor=neighbor,
+            policy=policy,
+            iteration=self.iteration if iteration is None else iteration,
+        )
+        self.events.append(event)
+        self._by_key.setdefault((event.node, event.prefix), []).append(event)
+
+    def events_for(self, node: str, prefix) -> List[RouteEvent]:
+        return list(self._by_key.get((node, str(prefix)), []))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class _ProvState:
+    def __init__(self):
+        self.enabled = False
+        self.recorder: Optional[ProvenanceRecorder] = None
+        self.lock = threading.Lock()
+
+
+_STATE = _ProvState()
+
+
+def enabled() -> bool:
+    """The guard every instrumentation point checks first."""
+    return _STATE.enabled
+
+
+def recorder() -> Optional[ProvenanceRecorder]:
+    return _STATE.recorder
+
+
+def enable() -> ProvenanceRecorder:
+    """Start recording into a fresh recorder (returned)."""
+    with _STATE.lock:
+        _STATE.recorder = ProvenanceRecorder()
+        _STATE.enabled = True
+        return _STATE.recorder
+
+
+def disable() -> None:
+    with _STATE.lock:
+        _STATE.enabled = False
+        _STATE.recorder = None
+
+
+@contextmanager
+def recording():
+    """Record provenance for the duration of the block.
+
+    Yields the recorder; restores the previous recorder afterwards so
+    nested recordings (an explain inside a traced session) compose.
+    """
+    with _STATE.lock:
+        previous = (_STATE.enabled, _STATE.recorder)
+        _STATE.recorder = ProvenanceRecorder()
+        _STATE.enabled = True
+        current = _STATE.recorder
+    try:
+        yield current
+    finally:
+        with _STATE.lock:
+            _STATE.enabled, _STATE.recorder = previous
+        if obs.enabled():
+            obs.add("provenance.recordings")
+            obs.add("provenance.route_events", len(current.events))
+
+
+def route_event(
+    node: str,
+    prefix,
+    protocol: str,
+    action: str,
+    detail: str,
+    neighbor: str = "",
+    policy: str = "",
+    iteration: Optional[int] = None,
+) -> None:
+    """Record one derivation fact (no-op unless recording is enabled).
+
+    Hot paths must guard with :func:`enabled` *before* building the
+    ``detail`` string; this function re-checks only for safety.
+    """
+    rec = _STATE.recorder
+    if rec is None:
+        return
+    rec.route_event(
+        node, prefix, protocol, action, detail,
+        neighbor=neighbor, policy=policy, iteration=iteration,
+    )
+
+
+def set_iteration(iteration: int) -> None:
+    """Stamp subsequent events with a convergence iteration number."""
+    rec = _STATE.recorder
+    if rec is not None:
+        rec.iteration = iteration

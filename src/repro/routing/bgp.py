@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.config.model import BgpNeighbor, Device, Snapshot
 from repro.hdr.ip import Ip, Prefix
+from repro.provenance import record as prov
 from repro.routing.rib import RibDelta, route_sort_key
 from repro.routing.route import (
     AD_EBGP,
@@ -187,11 +188,14 @@ class BgpRib:
         multipath: int = 1,
         igp_cost: Optional[Callable[[Ip], Optional[int]]] = None,
         use_clocks: bool = True,
+        owner: Optional[str] = None,
     ):
         self.local_as = local_as
         self.multipath = max(1, multipath)
         self._igp_cost = igp_cost or _zero_igp_cost
         self.use_clocks = use_clocks
+        #: hosting node, for provenance recording of decision outcomes
+        self.owner = owner
         # prefix -> {received_from (None = local): route}
         self._candidates: Dict[Prefix, Dict[Optional[Ip], BgpRoute]] = {}
         self._clocks: Dict[Tuple[Prefix, Optional[Ip]], int] = {}
@@ -258,9 +262,28 @@ class BgpRib:
         for route in old_best:
             if route not in new_best:
                 self.delta.removed.append(route)
+                if prov.enabled() and self.owner is not None:
+                    prov.route_event(
+                        self.owner, prefix, "bgp", "displaced",
+                        f"{route.describe()} no longer best in BGP decision "
+                        "process",
+                        neighbor=str(route.received_from)
+                        if route.received_from is not None
+                        else None,
+                    )
         for route in new_best:
             if route not in old_best:
                 self.delta.added.append(route)
+                if prov.enabled() and self.owner is not None:
+                    detail = f"{route.describe()} won BGP decision process"
+                    if len(new_best) > 1:
+                        detail += f" (multipath set of {len(new_best)})"
+                    prov.route_event(
+                        self.owner, prefix, "bgp", "best", detail,
+                        neighbor=str(route.received_from)
+                        if route.received_from is not None
+                        else None,
+                    )
         return True
 
     def _select(self, prefix: Prefix) -> List[BgpRoute]:

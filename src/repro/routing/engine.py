@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
+from repro.provenance import record as prov
 from repro.config.model import Action, Device, Protocol, Snapshot
 from repro.hdr import fields as hdr_fields
 from repro.hdr.ip import Ip, Prefix
@@ -136,7 +137,12 @@ def compute_dataplane(
         with obs.span("dataplane.igp"):
             topology = build_layer3_topology(snapshot)
             nodes: Dict[str, NodeState] = {
-                hostname: NodeState(device=snapshot.device(hostname))
+                hostname: NodeState(
+                    device=snapshot.device(hostname),
+                    # Owner wires main-RIB install/suppress outcomes into
+                    # the provenance record (no-op unless recording).
+                    main_rib=Rib(owner=hostname),
+                )
                 for hostname in snapshot.hostnames()
             }
             _install_connected(nodes)
@@ -191,12 +197,19 @@ def compute_dataplane(
 def _install_connected(nodes: Dict[str, NodeState]) -> None:
     # Sorted hostname order: install order feeds RIB deltas, and the
     # parallel/serial equivalence tests assert byte-identical FIBs.
-    for _hostname, state in sorted(nodes.items()):
+    recording = prov.enabled()
+    for hostname, state in sorted(nodes.items()):
         for iface in sorted(state.device.interfaces.values(), key=lambda i: i.name):
             if not iface.enabled or iface.prefix is None:
                 continue
             route = ConnectedRoute(prefix=iface.prefix, interface=iface.name)
             state.connected_routes.append(route)
+            if recording:
+                prov.route_event(
+                    hostname, iface.prefix, "connected", "installed",
+                    f"interface {iface.name} is up with address "
+                    f"{iface.address}/{iface.prefix.length}",
+                )
             state.main_rib.merge(route)
 
 
@@ -217,6 +230,7 @@ def _install_static(nodes: Dict[str, NodeState]) -> None:
             for config_route in state.device.static_routes
         ]
         pending[hostname] = entries
+    recording = prov.enabled()
     changed = True
     while changed:
         changed = False
@@ -224,21 +238,44 @@ def _install_static(nodes: Dict[str, NodeState]) -> None:
             state = nodes[hostname]
             still_pending: List[StaticRouteEntry] = []
             for entry in pending[hostname]:
+                resolution = ""
                 if entry.is_null_routed or entry.next_hop_ip is None:
                     resolvable = True
+                    resolution = "null-routed (discard)" if entry.is_null_routed else (
+                        f"directly via interface {entry.next_hop_interface}"
+                    )
                 elif entry.next_hop_interface is not None:
                     resolvable = entry.next_hop_interface in state.device.interfaces
+                    resolution = f"via configured interface {entry.next_hop_interface}"
                 else:
                     match = state.main_rib.longest_match(entry.next_hop_ip)
                     # Require the resolving route to be less specific
                     # than the static route itself (no self-resolution).
                     resolvable = match is not None and match[0] != entry.prefix
+                    if resolvable:
+                        resolution = (
+                            f"next hop {entry.next_hop_ip} resolved via {match[0]}"
+                        )
                 if resolvable:
+                    if recording:
+                        prov.route_event(
+                            hostname, entry.prefix, "static", "installed",
+                            f"static route activated: {resolution}",
+                        )
                     if state.main_rib.merge(entry):
                         changed = True
                 else:
                     still_pending.append(entry)
             pending[hostname] = still_pending
+    if recording:
+        # Whatever never resolved explains the *absence* of a FIB entry.
+        for hostname in sorted(pending):
+            for entry in pending[hostname]:
+                prov.route_event(
+                    hostname, entry.prefix, "static", "suppressed",
+                    f"static route inactive: next hop {entry.next_hop_ip} "
+                    "unresolvable in main RIB",
+                )
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +292,15 @@ def _run_ospf(
     for hostname, routes in computation.routes.items():
         state = nodes[hostname]
         for route in routes:
+            if prov.enabled():
+                prov.route_event(
+                    hostname, route.prefix, "ospf", "installed",
+                    f"SPF result: {route.describe()} "
+                    f"(next hop {route.next_hop_ip})",
+                    neighbor=str(route.next_hop_ip)
+                    if route.next_hop_ip is not None
+                    else None,
+                )
             state.main_rib.merge(route)
     # Redistribution into OSPF (connected/static sources), walked in
     # sorted hostname order for schedule-independent results.
@@ -264,6 +310,7 @@ def _run_ospf(
         if device.ospf is None or not device.ospf.redistributions:
             continue
         contributions: List[Tuple[Prefix, int]] = []
+        recording = prov.enabled()
         for redist in device.ospf.redistributions:
             metric = redist.metric or DEFAULT_EXTERNAL_METRIC
             for route in state.main_rib.routes():
@@ -275,6 +322,15 @@ def _run_ospf(
                 result = apply_route_map(
                     device, redist.route_map, policy_route, semantics
                 )
+                if recording:
+                    prov.route_event(
+                        hostname, route.prefix, "ospf",
+                        "redistributed" if result.permitted else "rejected",
+                        f"redistribute {redist.source.value} into OSPF "
+                        f"(metric {metric}): "
+                        + ("permitted" if result.permitted else "denied"),
+                        policy=_policy_label(redist.route_map, result),
+                    )
                 if result.permitted:
                     contributions.append((route.prefix, metric))
         if contributions:
@@ -284,7 +340,21 @@ def _run_ospf(
         for hostname, routes in externals.items():
             state = nodes[hostname]
             for route in routes:
+                if prov.enabled():
+                    prov.route_event(
+                        hostname, route.prefix, "ospf", "installed",
+                        f"external (redistributed): {route.describe()}",
+                    )
                 state.main_rib.merge(route)
+
+
+def _policy_label(route_map_name: Optional[str], result) -> str:
+    """Render the deciding policy clause for a provenance event."""
+    if route_map_name is None:
+        return ""
+    if result.matched_clause is None:
+        return f"route-map {route_map_name} (no clause matched)"
+    return f"route-map {route_map_name} clause {result.matched_clause}"
 
 
 def _matches_redist_source(route, source: Protocol) -> bool:
@@ -306,10 +376,20 @@ def _matches_redist_source(route, source: Protocol) -> bool:
 def _evaluate_session_viability(
     snapshot: Snapshot, nodes: Dict[str, NodeState], sessions: List[BgpSession]
 ) -> None:
+    recording = prov.enabled()
     for session in sessions:
         session.established, session.failure_reason = _session_viable(
             snapshot, nodes, session
         )
+        if recording and not session.established:
+            # A down session suppresses every route it would have
+            # carried; record it against the wildcard prefix.
+            prov.route_event(
+                session.local_node, "*", "session", "down",
+                f"BGP session to {session.remote_node} ({session.remote_ip}) "
+                f"not established: {session.failure_reason}",
+                neighbor=str(session.remote_ip),
+            )
 
 
 def _session_viable(
@@ -419,6 +499,7 @@ def _run_bgp(
             multipath=device.bgp.maximum_paths,
             igp_cost=_igp_cost_fn(state),
             use_clocks=settings.use_logical_clocks,
+            owner=hostname,
         )
         _originate_local_bgp(state, semantics, next_clock)
 
@@ -465,8 +546,13 @@ def _run_bgp(
     converged = False
     oscillating: List[Prefix] = []
     observing = obs.enabled()
+    recording = prov.enabled()
     for iteration in range(1, settings.max_iterations + 1):
         stats.iterations = iteration
+        if recording:
+            # Stamp subsequent derivation events with the convergence
+            # iteration that produced them (§4.1.2 diagnosability).
+            prov.set_iteration(iteration)
         any_change = False
         iteration_delta_routes = 0
         for color_class in schedule:
@@ -515,6 +601,8 @@ def _run_bgp(
             break
         seen_states[state_hash] = iteration
         previous_best = best_map
+    if recording:
+        prov.set_iteration(0)  # later events are outside the fixed point
     return converged, sorted(set(oscillating), key=str)
 
 
@@ -538,12 +626,26 @@ def _originate_local_bgp(state: NodeState, semantics, next_clock) -> None:
     device = state.device
     bgp = device.bgp
     local_ip = device.router_id()
+    recording = prov.enabled()
+    hostname = device.hostname
     for prefix in bgp.networks:
         # A network statement originates only if the prefix is present
         # in the main RIB (IGP/connected/static), per vendor semantics.
         if state.main_rib.best_routes(prefix):
+            if recording:
+                prov.route_event(
+                    hostname, prefix, "bgp", "originated",
+                    f"network statement for {prefix}: prefix present in "
+                    "main RIB, originated into BGP",
+                )
             state.bgp_rib.put(
                 local_route(prefix, local_ip, bgp.local_as), next_clock()
+            )
+        elif recording:
+            prov.route_event(
+                hostname, prefix, "bgp", "suppressed",
+                f"network statement for {prefix} did not originate: "
+                "prefix absent from main RIB",
             )
     for redist in bgp.redistributions:
         for route in list(state.main_rib.routes()):
@@ -557,6 +659,14 @@ def _originate_local_bgp(state: NodeState, semantics, next_clock) -> None:
             result = apply_route_map(
                 device, redist.route_map, policy_route, semantics
             )
+            if recording:
+                prov.route_event(
+                    hostname, route.prefix, "bgp",
+                    "originated" if result.permitted else "rejected",
+                    f"redistribute {redist.source.value} into BGP: "
+                    + ("permitted" if result.permitted else "denied"),
+                    policy=_policy_label(redist.route_map, result),
+                )
             if not result.permitted:
                 continue
             transformed = result.route
@@ -588,9 +698,18 @@ def _process_incoming(
     receiver_device = state.device
     receiver_neighbor = receiver_device.bgp.neighbors.get(sender_session.local_ip)
     peer_ip = sender_session.local_ip
+    recording = prov.enabled()
+    receiver = receiver_device.hostname
+    sender = sender_session.local_node
     # Withdrawals: remove whatever we had from this peer for the prefix.
     for route in delta.removed:
         stats.bgp_routes_processed += 1
+        if recording:
+            prov.route_event(
+                receiver, route.prefix, "bgp", "withdrawn",
+                f"withdrawal pulled from {sender}",
+                neighbor=str(peer_ip),
+            )
         state.bgp_rib.withdraw(route.prefix, peer_ip)
     advertised: Set[Prefix] = set()
     for route in delta.added:
@@ -605,17 +724,37 @@ def _process_incoming(
             sender_device, export_policy, policy_route, semantics
         )
         if not result.permitted:
+            if recording:
+                prov.route_event(
+                    receiver, route.prefix, "bgp", "suppressed",
+                    f"denied by {sender}'s export policy",
+                    neighbor=str(peer_ip),
+                    policy=_policy_label(export_policy, result),
+                )
             state.bgp_rib.withdraw(route.prefix, peer_ip)
             continue
         shaped = _from_policy_route(route, result.route)
         advertisement = export_route(sender_session, shaped)
         if advertisement is None:
+            if recording:
+                prov.route_event(
+                    receiver, route.prefix, "bgp", "suppressed",
+                    f"not advertised by {sender}: iBGP-learned route to "
+                    "non-route-reflector-client peer",
+                    neighbor=str(peer_ip),
+                )
             state.bgp_rib.withdraw(route.prefix, peer_ip)
             continue
-        accepted, _reason = accepts_route(
+        accepted, reason = accepts_route(
             _receiver_view(sender_session), advertisement
         )
         if not accepted:
+            if recording:
+                prov.route_event(
+                    receiver, route.prefix, "bgp", "rejected",
+                    f"advertisement from {sender} rejected: {reason}",
+                    neighbor=str(peer_ip),
+                )
             state.bgp_rib.withdraw(route.prefix, peer_ip)
             continue
         # Receiver-side import policy.
@@ -627,6 +766,13 @@ def _process_incoming(
             receiver_device, import_policy, policy_route, semantics
         )
         if not result.permitted:
+            if recording:
+                prov.route_event(
+                    receiver, route.prefix, "bgp", "suppressed",
+                    f"advertisement from {sender} denied by import policy",
+                    neighbor=str(peer_ip),
+                    policy=_policy_label(import_policy, result),
+                )
             state.bgp_rib.withdraw(route.prefix, peer_ip)
             continue
         final = _from_policy_route(advertisement, result.route)
@@ -636,6 +782,23 @@ def _process_incoming(
             attributes=final.attributes,
             received_from=peer_ip,
         )
+        if recording:
+            export_label = _policy_label(export_policy, result)
+            prov.route_event(
+                receiver, route.prefix, "bgp", "installed",
+                f"received from {sender} via {peer_ip}: "
+                f"as-path {list(final.attributes.as_path)}, "
+                f"local-pref {final.attributes.local_pref}, "
+                f"med {final.attributes.med}; export "
+                + (f"[{export_label}]" if export_label else "[no policy]")
+                + "; import "
+                + (
+                    f"[{_policy_label(import_policy, result)}]"
+                    if import_policy
+                    else "[no policy]"
+                ),
+                neighbor=str(peer_ip),
+            )
         state.bgp_rib.put(final, next_clock())
 
 

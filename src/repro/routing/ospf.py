@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.config.model import Device, Snapshot
 from repro.hdr.ip import Ip, Prefix
+from repro.provenance import record as prov
 from repro.routing.route import OspfRoute, OspfRouteType
 from repro.routing.topology import InterfaceId, Layer3Edge, Layer3Topology
 
@@ -204,6 +205,13 @@ def compute_ospf(snapshot: Snapshot, topology: Layer3Topology) -> OspfComputatio
                     continue
                 for prefix, stub_cost in db.prefixes[advertiser]:
                     if prefix in own_prefixes:
+                        if prov.enabled():
+                            prov.route_event(
+                                source, prefix, "ospf", "suppressed",
+                                f"advertisement from {advertiser} for a "
+                                "directly connected prefix: connected wins",
+                                neighbor=advertiser,
+                            )
                         continue  # connected beats OSPF
                     total = dist[advertiser] + stub_cost
                     for edge in first_hops[advertiser]:

@@ -73,11 +73,17 @@ class PolicyRoute:
 @dataclass
 class PolicyResult:
     """Outcome of a policy evaluation, with the trace used for
-    counterexample annotation (Stage 4)."""
+    counterexample annotation (Stage 4).
+
+    ``matched_clause`` is the sequence number of the deciding route-map
+    clause (None when no policy applied, the policy was undefined, or no
+    clause matched) — the provenance layer records it so derivation
+    trees can point at the exact configuration clause."""
 
     permitted: bool
     route: Optional[PolicyRoute]
     trace: List[str] = field(default_factory=list)
+    matched_clause: Optional[int] = None
 
 
 def apply_route_map(
@@ -121,12 +127,12 @@ def _evaluate(
         label = f"route-map {route_map.name} clause {clause.seq}"
         if clause.action is Action.DENY:
             trace.append(f"{label}: deny")
-            return PolicyResult(False, None, trace)
+            return PolicyResult(False, None, trace, matched_clause=clause.seq)
         transformed = route.copy()
         for set_clause in clause.sets:
             _apply_set(transformed, set_clause, trace)
         trace.append(f"{label}: permit")
-        return PolicyResult(True, transformed, trace)
+        return PolicyResult(True, transformed, trace, matched_clause=clause.seq)
     trace.append(f"route-map {route_map.name}: no clause matched, implicit deny")
     return PolicyResult(False, None, trace)
 

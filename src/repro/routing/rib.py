@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.hdr.ip import Ip, Prefix
+from repro.provenance import record as prov
 from repro.routing.prefix_trie import PrefixTrie
 from repro.routing.route import BgpRoute, ConnectedRoute, OspfRoute, StaticRouteEntry
 
@@ -88,15 +89,24 @@ def main_rib_preference(route) -> Tuple[int, int]:
 
 
 class Rib:
-    """A best-route table with pluggable preference and delta tracking."""
+    """A best-route table with pluggable preference and delta tracking.
+
+    ``owner`` names the hosting node for provenance recording: when set
+    and :mod:`repro.provenance` is recording, every merge/withdraw logs
+    whether the candidate became best or was suppressed (and by what) —
+    the "main-rib" outcome half of a route's derivation trace.
+    """
 
     def __init__(
-        self, preference: Callable[[object], Tuple] = main_rib_preference
+        self,
+        preference: Callable[[object], Tuple] = main_rib_preference,
+        owner: Optional[str] = None,
     ):
         self._preference = preference
         self._candidates: Dict[Prefix, List[object]] = {}
         self._best: PrefixTrie = PrefixTrie()
         self.delta = RibDelta()
+        self.owner = owner
 
     # -- mutation ---------------------------------------------------------
 
@@ -106,7 +116,32 @@ class Rib:
         if route in candidates:
             return False
         candidates.append(route)
-        return self._reselect(route.prefix)
+        changed = self._reselect(route.prefix)
+        if prov.enabled() and self.owner is not None:
+            self._record_merge_outcome(route)
+        return changed
+
+    def _record_merge_outcome(self, route) -> None:
+        best = self._best.get(route.prefix)
+        if route in best:
+            detail = f"{route.describe()} selected as best"
+            if len(best) > 1:
+                detail += f" (ECMP set of {len(best)})"
+            prov.route_event(
+                self.owner, route.prefix, "main-rib", "best", detail
+            )
+        else:
+            incumbent = best[0] if best else None
+            prov.route_event(
+                self.owner,
+                route.prefix,
+                "main-rib",
+                "suppressed",
+                f"{route.describe()} lost best selection to "
+                f"{incumbent.describe() if incumbent else 'nothing'} "
+                f"(preference {self._preference(route)} vs "
+                f"{self._preference(incumbent) if incumbent else '-'})",
+            )
 
     def withdraw(self, route) -> bool:
         """Remove a candidate route. Returns True if the best set changed."""
@@ -116,7 +151,17 @@ class Rib:
         candidates.remove(route)
         if not candidates:
             del self._candidates[route.prefix]
-        return self._reselect(route.prefix)
+        changed = self._reselect(route.prefix)
+        if prov.enabled() and self.owner is not None:
+            prov.route_event(
+                self.owner,
+                route.prefix,
+                "main-rib",
+                "withdrawn",
+                f"{route.describe()} withdrawn"
+                + (" (best set changed)" if changed else ""),
+            )
+        return changed
 
     def clear_prefix(self, prefix: Prefix) -> bool:
         """Drop all candidates for a prefix."""

@@ -20,11 +20,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.config.model import Action, Device
-from repro.dataplane.acl import evaluate_acl
+from repro.dataplane.acl import evaluate_acl, evaluate_acl_trace
 from repro.dataplane.fib import Fib, FibActionType
 from repro.dataplane.nat import NatPipeline
 from repro.hdr.ip import Ip
 from repro.hdr.packet import Packet
+from repro.provenance import record as prov
 from repro.reachability.graph import Disposition
 from repro.routing.engine import DataPlane
 from repro.routing.topology import InterfaceId
@@ -36,6 +37,9 @@ _MAX_HOPS = 64
 class TraceStep:
     kind: str  # "acl" | "fib" | "nat" | "zone" | "arrive" | "final"
     detail: str
+    #: Per-line/rule evaluation records (ACL line walk, NAT rule walk,
+    #: resolved route) — populated only while provenance recording is on.
+    lines: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -43,8 +47,8 @@ class TraceHop:
     node: str
     steps: List[TraceStep] = field(default_factory=list)
 
-    def add(self, kind: str, detail: str) -> None:
-        self.steps.append(TraceStep(kind, detail))
+    def add(self, kind: str, detail: str, lines: Tuple[str, ...] = ()) -> None:
+        self.steps.append(TraceStep(kind, detail, lines))
 
     def describe(self) -> str:
         inner = "; ".join(step.detail for step in self.steps)
@@ -121,11 +125,15 @@ class TracerouteEngine:
         if observing:
             obs.add("traceroute.hops")
             obs.touch("interface", hostname, interface_name)
+        recording = prov.enabled()
         # Ingress ACL.
         if iface is not None and iface.incoming_acl:
             acl = device.acls.get(iface.incoming_acl)
             if acl is not None:
-                result = evaluate_acl(acl, packet)
+                if recording:
+                    result, acl_lines = evaluate_acl_trace(acl, packet)
+                else:
+                    result, acl_lines = evaluate_acl(acl, packet), []
                 if observing and result.line_index is not None:
                     obs.touch(
                         "acl_line", hostname, iface.incoming_acl, result.line_index
@@ -133,6 +141,7 @@ class TracerouteEngine:
                 hop.add(
                     "acl",
                     f"in acl {iface.incoming_acl}: {result.describe()}",
+                    tuple(acl_lines),
                 )
                 if not result.permitted:
                     hop.add("final", "denied by ingress ACL")
@@ -140,11 +149,15 @@ class TracerouteEngine:
         # Destination NAT.
         if iface is not None and iface.dst_nat_rules:
             pipeline = NatPipeline(device, iface.dst_nat_rules, kind=None)
-            transformed = pipeline.apply_concrete(packet)
+            if recording:
+                transformed, nat_lines = pipeline.apply_concrete_trace(packet)
+            else:
+                transformed, nat_lines = pipeline.apply_concrete(packet), []
             if transformed != packet:
                 hop.add(
                     "nat",
                     f"dst nat: {packet.dst_ip} -> {transformed.dst_ip}",
+                    tuple(nat_lines),
                 )
                 packet = transformed
         in_zone = device.zone_of_interface(interface_name) if iface else None
@@ -161,7 +174,10 @@ class TracerouteEngine:
         traces: List[Trace] = []
         for entry in entries:
             branch_hop = TraceHop(hostname, steps=list(hop.steps))
-            branch_hop.add("fib", f"matched {entry.describe()}")
+            fib_lines: Tuple[str, ...] = ()
+            if recording and entry.source_route is not None:
+                fib_lines = (f"route: {entry.source_route.describe()}",)
+            branch_hop.add("fib", f"matched {entry.describe()}", fib_lines)
             traces.extend(
                 self._forward(
                     packet, device, entry, in_zone, branch_hop, hops, visited
@@ -173,6 +189,7 @@ class TracerouteEngine:
         self, packet, device: Device, entry, in_zone, hop, hops, visited
     ) -> List[Trace]:
         hostname = device.hostname
+        recording = prov.enabled()
         if entry.action is FibActionType.DROP_NULL:
             hop.add("final", "null routed")
             return [Trace(Disposition.NULL_ROUTED, hops + [hop], packet)]
@@ -183,27 +200,35 @@ class TracerouteEngine:
         # Zone policy (stateful firewall forward path).
         if device.zones:
             out_zone = device.zone_of_interface(entry.out_interface)
-            permitted, detail = self._zone_permits(
-                device, in_zone, out_zone, packet
+            permitted, detail, zone_lines = self._zone_permits(
+                device, in_zone, out_zone, packet, recording
             )
-            hop.add("zone", detail)
+            hop.add("zone", detail, tuple(zone_lines))
             if not permitted:
                 hop.add("final", "denied by zone policy")
                 return [Trace(Disposition.DENIED_OUT, hops + [hop], packet)]
         # Source NAT.
         if out_iface is not None and out_iface.src_nat_rules:
             pipeline = NatPipeline(device, out_iface.src_nat_rules, kind=None)
-            transformed = pipeline.apply_concrete(packet)
+            if recording:
+                transformed, nat_lines = pipeline.apply_concrete_trace(packet)
+            else:
+                transformed, nat_lines = pipeline.apply_concrete(packet), []
             if transformed != packet:
                 hop.add(
-                    "nat", f"src nat: {packet.src_ip} -> {transformed.src_ip}"
+                    "nat",
+                    f"src nat: {packet.src_ip} -> {transformed.src_ip}",
+                    tuple(nat_lines),
                 )
                 packet = transformed
         # Egress ACL.
         if out_iface is not None and out_iface.outgoing_acl:
             acl = device.acls.get(out_iface.outgoing_acl)
             if acl is not None:
-                result = evaluate_acl(acl, packet)
+                if recording:
+                    result, acl_lines = evaluate_acl_trace(acl, packet)
+                else:
+                    result, acl_lines = evaluate_acl(acl, packet), []
                 if obs.enabled() and result.line_index is not None:
                     obs.touch(
                         "acl_line",
@@ -212,7 +237,9 @@ class TracerouteEngine:
                         result.line_index,
                     )
                 hop.add(
-                    "acl", f"out acl {out_iface.outgoing_acl}: {result.describe()}"
+                    "acl",
+                    f"out acl {out_iface.outgoing_acl}: {result.describe()}",
+                    tuple(acl_lines),
                 )
                 if not result.permitted:
                     hop.add("final", "denied by egress ACL")
@@ -254,20 +281,24 @@ class TracerouteEngine:
         return [Trace(Disposition.EXITS_NETWORK, hops + [hop], packet)]
 
     def _zone_permits(
-        self, device: Device, in_zone, out_zone, packet
-    ) -> Tuple[bool, str]:
+        self, device: Device, in_zone, out_zone, packet, recording: bool = False
+    ) -> Tuple[bool, str, List[str]]:
         if in_zone == out_zone:
-            return True, f"intra-zone {in_zone}: permit"
+            return True, f"intra-zone {in_zone}: permit", []
         policy = device.zone_policies.get((in_zone, out_zone)) if in_zone and out_zone else None
         if policy is None:
-            return False, f"no policy {in_zone} -> {out_zone}: deny"
+            return False, f"no policy {in_zone} -> {out_zone}: deny", []
         acl = device.acls.get(policy.acl)
         if acl is None:
-            return False, f"zone policy acl {policy.acl} undefined: deny"
-        result = evaluate_acl(acl, packet)
+            return False, f"zone policy acl {policy.acl} undefined: deny", []
+        if recording:
+            result, acl_lines = evaluate_acl_trace(acl, packet)
+        else:
+            result, acl_lines = evaluate_acl(acl, packet), []
         if obs.enabled() and result.line_index is not None:
             obs.touch("acl_line", device.hostname, policy.acl, result.line_index)
         return (
             result.permitted,
             f"zone policy {in_zone} -> {out_zone}: {result.describe()}",
+            acl_lines,
         )

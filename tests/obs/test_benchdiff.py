@@ -1,0 +1,111 @@
+"""Tests for ``benchmarks/benchdiff.py`` (the bench-regression gate).
+
+benchdiff deliberately avoids importing the repro package so it can run
+standalone on JSON artifacts; the tests import it by path.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_BENCHDIFF = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+    "benchdiff.py",
+)
+_spec = importlib.util.spec_from_file_location("benchdiff", _BENCHDIFF)
+benchdiff = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(benchdiff)
+
+
+def payload(seconds, rss=10000, counters=None):
+    entry = {"network": "NET1", "seconds": seconds, "peak_rss_kb": rss}
+    result = {"networks": [entry]}
+    if counters is not None:
+        result["obs_metrics"] = {"counters": counters}
+    return result
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_payloads_have_no_regressions(self):
+        base = payload({"dataplane": 1.0})
+        comparison = benchdiff.compare(base, json.loads(json.dumps(base)))
+        assert comparison.regressions == []
+
+    def test_slower_phase_beyond_threshold_gates(self):
+        comparison = benchdiff.compare(
+            payload({"dataplane": 1.0}),
+            payload({"dataplane": 1.5}),
+            threshold=0.25,
+        )
+        assert len(comparison.regressions) == 1
+        assert "dataplane" in comparison.regressions[0]
+
+    def test_growth_within_threshold_passes(self):
+        comparison = benchdiff.compare(
+            payload({"dataplane": 1.0}),
+            payload({"dataplane": 1.1}),
+            threshold=0.25,
+        )
+        assert comparison.regressions == []
+
+    def test_sub_floor_baseline_is_noise_not_regression(self):
+        comparison = benchdiff.compare(
+            payload({"parse": 0.01}),
+            payload({"parse": 0.04}),  # +300%, but baseline is sub-50ms
+            threshold=0.25,
+            min_seconds=0.05,
+        )
+        assert comparison.regressions == []
+        verdicts = {row[5] for row in comparison.rows if row[1] == "seconds.parse"}
+        assert verdicts == {"noise"}
+
+    def test_rss_growth_gates_on_its_own_threshold(self):
+        comparison = benchdiff.compare(
+            payload({}, rss=10000),
+            payload({}, rss=14000),
+            rss_threshold=0.25,
+        )
+        assert any("peak_rss_kb" in r for r in comparison.regressions)
+
+    def test_counters_are_informational_unless_strict(self):
+        base = payload({}, counters={"bgp.routes_processed": 100})
+        cur = payload({}, counters={"bgp.routes_processed": 400})
+        assert benchdiff.compare(base, cur).regressions == []
+        strict = benchdiff.compare(base, cur, strict_counters=True)
+        assert any("bgp.routes_processed" in r for r in strict.regressions)
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload({"dataplane": 1.0}))
+        cur = write(tmp_path, "cur.json", payload({"dataplane": 1.0}))
+        assert benchdiff.main([base, cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", payload({"dataplane": 1.0}))
+        cur = write(tmp_path, "cur.json", payload({"dataplane": 2.0}))
+        assert benchdiff.main([base, cur]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression(s)" in captured.err
+
+    def test_exit_two_on_unreadable_artifact(self, tmp_path, capsys):
+        cur = write(tmp_path, "cur.json", payload({}))
+        assert benchdiff.main([str(tmp_path / "missing.json"), cur]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_threshold_flag_is_honoured(self, tmp_path):
+        base = write(tmp_path, "base.json", payload({"dataplane": 1.0}))
+        cur = write(tmp_path, "cur.json", payload({"dataplane": 1.5}))
+        assert benchdiff.main([base, cur, "--threshold", "0.6"]) == 0
+        assert benchdiff.main([base, cur, "--threshold", "0.2"]) == 1

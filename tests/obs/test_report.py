@@ -115,6 +115,45 @@ class TestCli:
         write_trace(trace)
         assert main([str(trace), "--strict"]) == 0
 
+    def test_span_events_carry_timestamps(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        write_trace(trace)
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        spanlike = [e for e in events if e["type"] in ("start", "span")]
+        assert spanlike and all("ts" in e for e in spanlike)
+
+    def test_strict_fails_on_close_before_start(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        events = [
+            {"type": "start", "name": "warp", "id": 1, "parent": 0,
+             "depth": 0, "pid": 100, "ts": 2000.0},
+            {"type": "span", "name": "warp", "id": 1, "parent": 0,
+             "depth": 0, "pid": 100, "wall_s": 0.5, "cpu_s": 0.5,
+             "ts": 1999.0},
+        ]
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        report = TraceReport.from_file(str(trace))
+        assert len(report.time_regressions()) == 1
+        assert "warp" in report.time_regressions()[0]
+        assert main([str(trace), "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "TIME REGRESSION" in captured.out
+        assert "STRICT" in captured.err
+
+    def test_strict_passes_when_close_after_start(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        events = [
+            {"type": "start", "name": "fine", "id": 1, "parent": 0,
+             "depth": 0, "pid": 100, "ts": 1000.0},
+            {"type": "span", "name": "fine", "id": 1, "parent": 0,
+             "depth": 0, "pid": 100, "wall_s": 0.5, "cpu_s": 0.5,
+             "ts": 1000.5},
+        ]
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        report = TraceReport.from_file(str(trace))
+        assert report.time_regressions() == []
+        assert main([str(trace), "--strict"]) == 0
+
     def test_module_entrypoint_runs(self, tmp_path):
         import os
 
