@@ -19,6 +19,11 @@ repeats from O(full pipeline) into O(hash lookup):
 * **Location.** ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
   Writes are atomic (temp file + rename), so concurrent processes — the
   parallel benchmark drivers — can share one cache directory.
+* **Bounded size.** ``REPRO_CACHE_MAX_BYTES`` (or ``max_bytes=``) caps
+  the directory: after each store, least-recently-used entries are
+  evicted until the total fits. Hits refresh recency (mtime), so a
+  long-running service keeps its hot snapshots and sheds cold ones.
+  Unset/empty means unbounded (the one-shot CLI default).
 
 The cache stores pickles of this package's own objects; entries are an
 implementation detail, not an interchange format.
@@ -86,13 +91,29 @@ def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", "").strip() or ".repro_cache"
 
 
+def default_max_bytes() -> Optional[int]:
+    """Size cap from ``REPRO_CACHE_MAX_BYTES`` (unset/empty = unbounded)."""
+    env = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CACHE_MAX_BYTES must be an integer, got {env!r}"
+        ) from None
+    return value if value > 0 else None
+
+
 class SnapshotCache:
     """A directory of content-addressed pipeline artifacts."""
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None, max_bytes: Optional[int] = None):
         self.root = root or default_cache_dir()
+        self.max_bytes = max_bytes if max_bytes is not None else default_max_bytes()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.pkl")
@@ -114,6 +135,12 @@ class SnapshotCache:
                 obs.add(f"cache.miss.{kind}")
             return None
         self.hits += 1
+        if self.max_bytes is not None:
+            # Refresh recency so LRU eviction spares hot entries.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
         if obs.enabled():
             obs.add("cache.hit")
             obs.add(f"cache.hit.{kind}")
@@ -139,6 +166,44 @@ class SnapshotCache:
             except OSError:
                 pass
             raise
+        self._evict_over_budget(keep=path)
+
+    def _evict_over_budget(self, keep: Optional[str] = None) -> None:
+        """Delete least-recently-used entries until the directory fits
+        ``max_bytes`` (no-op when unbounded).
+
+        The just-written entry (``keep``) is never evicted, so a single
+        oversized artifact still caches — the budget then empties the
+        rest of the directory around it.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        for name in os.listdir(self.root):
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((status.st_mtime, status.st_size, path))
+            total += status.st_size
+        entries.sort()  # oldest mtime first = least recently used
+        for mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            if obs.enabled():
+                obs.add("cache.evict")
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -155,7 +220,11 @@ class SnapshotCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 def resolve_cache(cache) -> Optional[SnapshotCache]:

@@ -17,13 +17,20 @@ Typical use::
 from __future__ import annotations
 
 import hashlib
+import pickle
+import warnings as _warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
 from repro.config.model import ParseWarning, Snapshot
-from repro.core.cache import SnapshotCache, resolve_cache, snapshot_key
+from repro.core.cache import (
+    SnapshotCache,
+    engine_version,
+    resolve_cache,
+    snapshot_key,
+)
 from repro.obs.coverage import CoverageReport, coverage_report
 from repro.dataplane.fib import Fib, compute_fibs
 from repro.hdr.headerspace import HeaderSpace, PacketEncoder
@@ -129,9 +136,11 @@ class Session:
         by a disk load; any config-byte or code change misses.
         """
         resolved = resolve_cache(cache)
-        if resolved is None:
-            return cls(load_snapshot_from_texts(configs), **kwargs)
         key = snapshot_key(configs)
+        if resolved is None:
+            session = cls(load_snapshot_from_texts(configs), **kwargs)
+            session._cache_key = key
+            return session
         snapshot = resolved.load("snapshot", key)
         if snapshot is None:
             snapshot = load_snapshot_from_texts(configs)
@@ -176,7 +185,7 @@ class Session:
         if self._dataplane is None:
             cached = None
             if self._cache is not None:
-                cached = self._cache.load("dataplane", self._dataplane_key())
+                cached = self._cache.load("dataplane", self.snapshot_key)
             if cached is not None:
                 self._dataplane = cached
             else:
@@ -185,17 +194,42 @@ class Session:
                 )
                 if self._cache is not None:
                     self._cache.store(
-                        "dataplane", self._dataplane_key(), self._dataplane
+                        "dataplane", self.snapshot_key, self._dataplane
                     )
         return self._dataplane
 
-    def _dataplane_key(self) -> str:
-        """Content address of the data plane: the snapshot key extended
-        with the simulation parameters."""
-        assert self._cache_key is not None
+    @property
+    def snapshot_key(self) -> str:
+        """Content address of this session's analysis state: configs +
+        engine version + the simulation parameters that shape the data
+        plane.
+
+        Two sessions share a key exactly when their analyses are
+        interchangeable — the snapshot cache uses it to address stored
+        data planes, and the service layer uses it to coalesce identical
+        in-flight question requests onto one computation.
+        """
+        if self._cache_key is None:
+            # Sessions built directly from a parsed Snapshot (no config
+            # texts in hand): fall back to hashing the model itself.
+            digest = hashlib.sha256(engine_version().encode())
+            digest.update(
+                pickle.dumps(self.snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self._cache_key = digest.hexdigest()
         digest = hashlib.sha256(self._cache_key.encode())
         digest.update(self._dataplane_cache_salt().encode())
         return digest.hexdigest()
+
+    def _dataplane_key(self) -> str:
+        """Deprecated alias of :attr:`snapshot_key`."""
+        _warnings.warn(
+            "Session._dataplane_key() is deprecated; use the public "
+            "Session.snapshot_key property",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.snapshot_key
 
     @property
     def fibs(self) -> Dict[str, Fib]:

@@ -1,0 +1,361 @@
+"""The HTTP JSON API over the snapshot store and job queue.
+
+Dependency-free: one :class:`ThreadingHTTPServer` (stdlib) whose
+request threads validate, enqueue, and optionally wait; all heavy
+computation happens on the :class:`JobQueue` workers, so a slow
+question never starves the accept loop.
+
+Surface (all bodies JSON)::
+
+    GET    /healthz                              liveness + queue depth
+    GET    /metrics                              service counters + obs dump
+    GET    /questions                            available question names
+    GET    /snapshots                            list snapshot records
+    POST   /snapshots                            {name, configs, settings?, force?}
+    GET    /snapshots/{name}                     one record
+    DELETE /snapshots/{name}
+    POST   /snapshots/{name}/questions/{q}       {params?, timeout_s?, wait?}
+    GET    /jobs/{id}                            job status / result / error
+    DELETE /jobs/{id}                            cancel (queued jobs only)
+
+Question POSTs block (up to ``wait_s``) for the synchronous case and
+return 202 + a job id when still in flight (``wait=false`` skips the
+wait entirely). Failures come back as the job's structured error with
+its HTTP status — 422 for analysis failures like non-convergence, 429
+when the bounded queue sheds load, 404/400 for bad names and params.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.core.cache import resolve_cache
+from repro.service.errors import (
+    InvalidRequestError,
+    NotFoundError,
+    ServiceError,
+    UnknownQuestionError,
+)
+from repro.service.jobs import Job, JobQueue, JobStatus
+from repro.service.serialize import (
+    DEBUG_QUESTIONS,
+    QUESTIONS,
+    run_question,
+    settings_from_json,
+)
+from repro.service.store import SnapshotStore
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8585  # 0 = ephemeral (bound port on AnalysisService.port)
+    workers: int = 2
+    max_queue: int = 64
+    #: Per-job deadline (queue wait); None = no deadline.
+    default_timeout_s: Optional[float] = None
+    #: How long a synchronous POST waits before returning 202.
+    wait_s: float = 30.0
+    #: Snapshot cache: None/False off, True = REPRO_CACHE_DIR, str = dir.
+    cache: object = None
+    #: Expose debug questions (``sleep``) — tests and load drills only.
+    debug: bool = False
+    #: Log one line per request to stderr.
+    verbose: bool = False
+
+
+class AnalysisService:
+    """The long-running analysis service: store + queue + HTTP front."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.cache = resolve_cache(self.config.cache)
+        self.store = SnapshotStore(cache=self.cache)
+        self.queue = JobQueue(
+            executor=self._execute,
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            default_timeout_s=self.config.default_timeout_s,
+        )
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- job execution -----------------------------------------------------
+
+    def _execute(self, job: Job) -> Dict:
+        return run_question(
+            self.store, job.snapshot, job.question, job.params,
+            debug=self.config.debug,
+        )
+
+    def submit_question(
+        self,
+        snapshot: str,
+        question: str,
+        params: Optional[Dict] = None,
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[Job, bool]:
+        """Validate and enqueue one question; returns (job, coalesced).
+
+        Validation happens before enqueue so bad requests fail fast with
+        400/404 instead of occupying a queue slot; the coalesce key is
+        the snapshot's *content* key plus the canonical params, so two
+        names holding identical configs (and settings) coalesce too.
+        """
+        params = params or {}
+        if not isinstance(params, dict):
+            raise InvalidRequestError("params must be an object")
+        known = question in QUESTIONS or (
+            self.config.debug and question in DEBUG_QUESTIONS
+        )
+        if not known:
+            raise UnknownQuestionError(
+                f"unknown question {question!r}", available=sorted(QUESTIONS)
+            )
+        session = self.store.get(snapshot)  # 404 before taking a slot
+        try:
+            canonical = json.dumps(params, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            raise InvalidRequestError("params must be JSON-serializable") from None
+        digest = hashlib.sha256(session.snapshot_key.encode())
+        digest.update(f"|{question}|{canonical}".encode())
+        return self.queue.submit(
+            snapshot=snapshot,
+            question=question,
+            params=params,
+            coalesce_key=digest.hexdigest(),
+            timeout_s=timeout_s,
+        )
+
+    # -- introspection payloads --------------------------------------------
+
+    def healthz(self) -> Dict:
+        return {
+            "status": "ok" if self.queue.accepting else "draining",
+            "snapshots": len(self.store),
+            "queue_depth": self.queue.depth(),
+        }
+
+    def metrics_payload(self) -> Dict:
+        payload = {
+            "queue": self.queue.stats(),
+            "snapshots": len(self.store),
+            "obs": obs.metrics_dump(),
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats()
+        return payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after start(); supports port=0)."""
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    def start(self) -> None:
+        """Bind and serve on a background thread."""
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> bool:
+        """Stop accepting, optionally drain in-flight jobs, shut down.
+
+        The HTTP listener closes first so no new work arrives while the
+        queue finishes what it already accepted (the SIGTERM path).
+        """
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return self.queue.stop(drain=drain, timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+
+_SNAPSHOT_PATH = re.compile(r"^/snapshots/([^/]+)$")
+_QUESTION_PATH = re.compile(r"^/snapshots/([^/]+)/questions/([^/]+)$")
+_JOB_PATH = re.compile(r"^/jobs/([^/]+)$")
+
+#: Cap request bodies (configs can be large, but not unbounded).
+_MAX_BODY = 64 * 1024 * 1024
+
+
+def _make_handler(service: AnalysisService):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- helpers -------------------------------------------------------
+
+        def log_message(self, fmt, *args):  # noqa: N802 (stdlib name)
+            if service.config.verbose:
+                super().log_message(fmt, *args)
+
+        def _send(self, status: int, payload: Dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error(self, error: ServiceError) -> None:
+            self._send(error.status, error.payload())
+
+        def _body(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > _MAX_BODY:
+                raise InvalidRequestError(
+                    f"body too large ({length} > {_MAX_BODY} bytes)"
+                )
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                return {}
+            try:
+                parsed = json.loads(raw)
+            except ValueError as exc:
+                raise InvalidRequestError(f"bad JSON body: {exc}") from None
+            if not isinstance(parsed, dict):
+                raise InvalidRequestError("body must be a JSON object")
+            return parsed
+
+        def _path_and_query(self) -> Tuple[str, Dict[str, str]]:
+            path, _, query_string = self.path.partition("?")
+            query: Dict[str, str] = {}
+            for pair in query_string.split("&"):
+                if pair:
+                    key, _, value = pair.partition("=")
+                    query[key] = value
+            return path.rstrip("/") or "/", query
+
+        def _respond_job(self, job: Job, coalesced: bool, wait: bool) -> None:
+            if wait:
+                job.wait(service.config.wait_s)
+            payload = job.to_json()
+            if coalesced:
+                payload["coalesced_request"] = True
+            if job.status is JobStatus.DONE:
+                self._send(200, payload)
+            elif job.status is JobStatus.FAILED:
+                self._send(job.error_status or 500, payload)
+            elif job.status is JobStatus.CANCELLED:
+                self._send(409, payload)
+            else:  # still queued/running: poll GET /jobs/{id}
+                self._send(202, payload)
+
+        # -- verbs ---------------------------------------------------------
+
+        def do_GET(self):  # noqa: N802
+            try:
+                path, _query = self._path_and_query()
+                if path == "/healthz":
+                    self._send(200, service.healthz())
+                elif path == "/metrics":
+                    self._send(200, service.metrics_payload())
+                elif path == "/questions":
+                    available = sorted(QUESTIONS)
+                    if service.config.debug:
+                        available += sorted(DEBUG_QUESTIONS)
+                    self._send(200, {"questions": available})
+                elif path == "/snapshots":
+                    self._send(
+                        200,
+                        {"snapshots": [r.to_json() for r in service.store.list()]},
+                    )
+                elif _SNAPSHOT_PATH.match(path):
+                    name = _SNAPSHOT_PATH.match(path).group(1)
+                    self._send(200, service.store.record(name).to_json())
+                elif _JOB_PATH.match(path):
+                    job_id = _JOB_PATH.match(path).group(1)
+                    self._send(200, service.queue.get(job_id).to_json())
+                else:
+                    self._send_error(NotFoundError(f"no such path {path!r}"))
+            except ServiceError as error:
+                self._send_error(error)
+
+        def do_POST(self):  # noqa: N802
+            try:
+                path, query = self._path_and_query()
+                body = self._body()
+                if path == "/snapshots":
+                    if "name" not in body or "configs" not in body:
+                        raise InvalidRequestError(
+                            "body must include 'name' and 'configs'"
+                        )
+                    record = service.store.init(
+                        body["name"],
+                        body["configs"],
+                        settings=settings_from_json(body.get("settings")),
+                        force=bool(body.get("force", False)),
+                    )
+                    self._send(201, record.to_json())
+                    return
+                match = _QUESTION_PATH.match(path)
+                if match:
+                    wait = _truthy(body.get("wait", query.get("wait", "true")))
+                    timeout_s = body.get("timeout_s")
+                    if timeout_s is not None:
+                        timeout_s = float(timeout_s)
+                    job, coalesced = service.submit_question(
+                        match.group(1),
+                        match.group(2),
+                        params=body.get("params"),
+                        timeout_s=timeout_s,
+                    )
+                    self._respond_job(job, coalesced, wait)
+                    return
+                raise NotFoundError(f"no such path {path!r}")
+            except ServiceError as error:
+                self._send_error(error)
+
+        def do_DELETE(self):  # noqa: N802
+            try:
+                path, _query = self._path_and_query()
+                match = _SNAPSHOT_PATH.match(path)
+                if match:
+                    service.store.delete(match.group(1))
+                    self._send(200, {"deleted": match.group(1)})
+                    return
+                match = _JOB_PATH.match(path)
+                if match:
+                    cancelled = service.queue.cancel(match.group(1))
+                    self._send(
+                        200 if cancelled else 409,
+                        {"id": match.group(1), "cancelled": cancelled},
+                    )
+                    return
+                raise NotFoundError(f"no such path {path!r}")
+            except ServiceError as error:
+                self._send_error(error)
+
+    return Handler
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    return str(value).strip().lower() not in ("false", "0", "no", "")

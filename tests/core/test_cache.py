@@ -153,3 +153,62 @@ class TestRoundTrip:
         Session.from_texts(configs, cache=cache)
         cache.clear()
         assert not any(p.is_file() for p in tmp_path.rglob("*"))
+
+
+class TestEviction:
+    def _entry_size(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path / "probe"))
+        cache.store("blob", "0" * 64, b"x" * 1024)
+        (path,) = (tmp_path / "probe").glob("*.pkl")
+        return path.stat().st_size
+
+    def test_unbounded_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        cache = SnapshotCache(str(tmp_path))
+        assert cache.max_bytes is None
+        for i in range(5):
+            cache.store("blob", f"{i:064d}", b"x" * 4096)
+        assert cache.stats()["evictions"] == 0
+        assert len(list(tmp_path.glob("*.pkl"))) == 5
+
+    def test_evicts_least_recently_used(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = SnapshotCache(str(tmp_path / "c"), max_bytes=size * 2)
+        import time as _time
+
+        for i in range(3):
+            cache.store("blob", f"{i:064d}", b"x" * 1024)
+            _time.sleep(0.01)  # distinct mtimes
+        # Budget holds two entries: the oldest (entry 0) was evicted.
+        assert cache.stats()["evictions"] == 1
+        assert cache.load("blob", f"{0:064d}") is None
+        assert cache.load("blob", f"{2:064d}") is not None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = SnapshotCache(str(tmp_path / "c"), max_bytes=size * 2)
+        import time as _time
+
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        _time.sleep(0.01)
+        cache.store("blob", "b" * 64, b"x" * 1024)
+        _time.sleep(0.01)
+        assert cache.load("blob", "a" * 64) is not None  # touch 'a'
+        _time.sleep(0.01)
+        cache.store("blob", "c" * 64, b"x" * 1024)
+        # 'b' is now the LRU entry, not 'a'.
+        assert cache.load("blob", "b" * 64) is None
+        assert cache.load("blob", "a" * 64) is not None
+
+    def test_just_written_entry_survives_tiny_budget(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path), max_bytes=1)
+        cache.store("blob", "a" * 64, b"x" * 4096)
+        # Over budget but never self-evicting: the entry still caches.
+        assert cache.load("blob", "a" * 64) is not None
+
+    def test_env_knob(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "12345")
+        assert SnapshotCache(str(tmp_path)).max_bytes == 12345
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
+        with pytest.raises(ValueError):
+            SnapshotCache(str(tmp_path))

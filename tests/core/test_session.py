@@ -44,6 +44,39 @@ class TestLifecycle:
         assert "10.0.0.0/8" in str(excinfo.value)
 
 
+class TestSnapshotKey:
+    def test_key_is_stable_for_identical_configs(self):
+        a = Session.from_texts(net1(2))
+        b = Session.from_texts(net1(2))
+        assert a.snapshot_key == b.snapshot_key
+        assert len(a.snapshot_key) == 64
+
+    def test_key_tracks_configs_and_settings(self):
+        base = Session.from_texts(net1(2))
+        edited_configs = net1(2)
+        name = sorted(edited_configs)[0]
+        edited_configs[name] += "\n! edit\n"
+        assert Session.from_texts(edited_configs).snapshot_key != base.snapshot_key
+        tuned = Session.from_texts(
+            net1(2), settings=ConvergenceSettings(max_iterations=7)
+        )
+        assert tuned.snapshot_key != base.snapshot_key
+
+    def test_fallback_for_raw_snapshot_sessions(self):
+        from repro.config.loader import load_snapshot_from_texts
+
+        session = Session(load_snapshot_from_texts(net1(2)))
+        assert len(session.snapshot_key) == 64
+        # Memoized: repeated reads agree.
+        assert session.snapshot_key == session.snapshot_key
+
+    def test_deprecated_alias_warns_and_matches(self):
+        session = Session.from_texts(net1(2))
+        with pytest.warns(DeprecationWarning):
+            legacy = session._dataplane_key()
+        assert legacy == session.snapshot_key
+
+
 class TestQuestionSurface:
     def test_routes(self, session):
         rows = session.routes()

@@ -1,0 +1,224 @@
+"""End-to-end tests: a real server on an ephemeral localhost port,
+driven over HTTP — the acceptance surface of the service subsystem.
+
+Covers the full acceptance checklist: snapshot init + questions,
+coalescing of concurrent identical requests (one underlying
+computation), 429 under a full queue, structured 422 for a snapshot
+that fails to converge (without killing a worker), and clean drain on
+shutdown with in-flight jobs completing.
+"""
+
+import time
+
+import pytest
+
+from repro.service.jobs import JobStatus
+from repro.synth.special import figure1b, net1
+
+
+class TestSnapshots:
+    def test_init_list_get_delete(self, make_service):
+        _, client = make_service()
+        status, record = client.post(
+            "/snapshots", {"name": "lab", "configs": net1(2)}
+        )
+        assert status == 201
+        assert record["devices"] == 4
+        status, listing = client.get("/snapshots")
+        assert status == 200
+        assert [r["name"] for r in listing["snapshots"]] == ["lab"]
+        status, one = client.get("/snapshots/lab")
+        assert status == 200 and one["key"] == record["key"]
+        status, body = client.delete("/snapshots/lab")
+        assert status == 200
+        status, body = client.get("/snapshots/lab")
+        assert status == 404
+        assert body["error"]["code"] == "snapshot_not_found"
+
+    def test_conflict_and_bad_requests(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post(
+            "/snapshots", {"name": "lab", "configs": net1(2)}
+        )
+        assert status == 409
+        assert body["error"]["code"] == "snapshot_conflict"
+        status, body = client.post("/snapshots", {"name": "lab"})
+        assert status == 400
+        status, body = client.post("/snapshots", {"name": "no/slash",
+                                                  "configs": net1(2)})
+        assert status == 400
+
+    def test_unknown_path_is_404(self, make_service):
+        _, client = make_service()
+        status, body = client.get("/nonsense")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+
+class TestQuestions:
+    def test_routes_and_reachability_sync(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post("/snapshots/lab/questions/routes")
+        assert status == 200
+        assert body["status"] == "done"
+        assert body["result"]["count"] > 0
+        status, body = client.post("/snapshots/lab/questions/reachability")
+        assert status == 200
+        assert body["result"]["success"]
+        assert body["result"]["dispositions"]
+
+    def test_unknown_question_and_snapshot(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post("/snapshots/lab/questions/divination")
+        assert status == 400
+        assert body["error"]["code"] == "unknown_question"
+        status, body = client.post("/snapshots/ghost/questions/routes")
+        assert status == 404
+
+    def test_async_submit_then_poll(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post(
+            "/snapshots/lab/questions/routes", {"wait": False}
+        )
+        assert status in (200, 202)  # may even finish that fast
+        job_id = body["id"]
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            status, body = client.get(f"/jobs/{job_id}")
+            if body["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert body["status"] == "done"
+        assert body["result"]["count"] > 0
+
+    def test_non_convergent_snapshot_returns_422(self, make_service):
+        service, client = make_service()
+        status, _ = client.post(
+            "/snapshots",
+            {"name": "osc", "configs": figure1b(),
+             "settings": {"schedule": "lockstep", "max_iterations": 40}},
+        )
+        assert status == 201  # parsing works; divergence shows at question time
+        status, body = client.post("/snapshots/osc/questions/routes")
+        assert status == 422
+        assert body["error"]["code"] == "analysis_failed"
+        assert body["error"]["details"]["kind"] == "not_converged"
+        assert "10.0.0.0/8" in body["error"]["message"]
+        # The worker survived: the service still answers.
+        status, health = client.get("/healthz")
+        assert status == 200 and health["status"] == "ok"
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post("/snapshots/lab/questions/routes")
+        assert status == 200 and body["status"] == "done"
+
+
+class TestConcurrency:
+    def test_coalescing_and_queue_full(self, make_service):
+        # One worker + tiny queue makes scheduling deterministic: hold
+        # the worker with a debug sleep, then drive the queue precisely.
+        service, client = make_service(workers=1, max_queue=2, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+
+        status, blocker = client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.5}, "wait": False},
+        )
+        assert status == 202
+
+        # Two concurrent identical requests -> one job, one computation.
+        s1, j1 = client.post("/snapshots/lab/questions/routes", {"wait": False})
+        s2, j2 = client.post("/snapshots/lab/questions/routes", {"wait": False})
+        assert s1 == 202 and s2 == 202
+        assert j1["id"] == j2["id"]
+        assert j2["coalesced_request"] is True
+        assert service.queue.stats()["coalesced"] >= 1
+
+        # Queue capacity 2: the routes job holds one slot; one more
+        # distinct question fits, the next bounces with 429.
+        s3, _ = client.post(
+            "/snapshots/lab/questions/parse_warnings", {"wait": False}
+        )
+        assert s3 == 202
+        s4, body = client.post(
+            "/snapshots/lab/questions/duplicate_ips", {"wait": False}
+        )
+        assert s4 == 429
+        assert body["error"]["code"] == "queue_full"
+
+        status, metrics = client.get("/metrics")
+        assert metrics["queue"]["coalesced"] >= 1
+        assert metrics["queue"]["rejected"] >= 1
+
+        # Once the blocker finishes, the coalesced job completes once.
+        status, body = client.get(f"/jobs/{j1['id']}")
+        deadline = time.time() + 30
+        while body["status"] not in ("done", "failed") and time.time() < deadline:
+            time.sleep(0.1)
+            status, body = client.get(f"/jobs/{j1['id']}")
+        assert body["status"] == "done"
+        assert body["coalesced"] == 1
+
+    def test_cancel_queued_job(self, make_service):
+        service, client = make_service(workers=1, max_queue=4, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.0}, "wait": False},
+        )
+        status, job = client.post(
+            "/snapshots/lab/questions/routes", {"wait": False}
+        )
+        status, body = client.delete(f"/jobs/{job['id']}")
+        assert status == 200 and body["cancelled"] is True
+        status, body = client.get(f"/jobs/{job['id']}")
+        assert body["status"] == "cancelled"
+
+
+class TestObservability:
+    def test_healthz_and_metrics_shapes(self, make_service):
+        _, client = make_service(cache=None)
+        status, health = client.get("/healthz")
+        assert status == 200
+        assert set(health) == {"status", "snapshots", "queue_depth"}
+        status, metrics = client.get("/metrics")
+        assert status == 200
+        assert {"queue", "snapshots", "obs"} <= set(metrics)
+        assert {"submitted", "completed", "coalesced", "rejected",
+                "depth"} <= set(metrics["queue"])
+
+    def test_cache_stats_surface_when_cached(self, make_service, tmp_path):
+        _, client = make_service(cache=str(tmp_path))
+        client.post("/snapshots", {"name": "a", "configs": net1(2)})
+        client.post("/snapshots", {"name": "b", "configs": net1(2)})
+        status, metrics = client.get("/metrics")
+        assert metrics["cache"]["hits"] >= 1
+
+    def test_questions_endpoint(self, make_service):
+        _, client = make_service()
+        status, body = client.get("/questions")
+        assert status == 200
+        assert "routes" in body["questions"]
+        assert "sleep" not in body["questions"]  # debug off by default
+
+
+class TestShutdown:
+    def test_stop_drains_inflight_jobs(self, make_service):
+        service, client = make_service(workers=1, max_queue=8, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, running = client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 0.8}, "wait": False},
+        )
+        status, queued = client.post(
+            "/snapshots/lab/questions/routes", {"wait": False}
+        )
+        assert service.stop(drain=True, timeout=30)
+        # Both the running and the queued job completed before stop
+        # returned — nothing was dropped.
+        assert service.queue.get(running["id"]).status is JobStatus.DONE
+        assert service.queue.get(queued["id"]).status is JobStatus.DONE
+        assert not service.queue.accepting

@@ -1,0 +1,152 @@
+"""Tests for the JSON boundary: decoders, encoders, and dispatch."""
+
+import pytest
+
+from repro.hdr import fields as f
+from repro.service.errors import InvalidRequestError, UnknownQuestionError
+from repro.service.serialize import (
+    QUESTIONS,
+    headerspace_from_json,
+    packet_from_json,
+    packet_to_json,
+    protocol_from_json,
+    run_question,
+    settings_from_json,
+    sources_from_json,
+)
+from repro.service.store import SnapshotStore
+from repro.synth.special import net1
+
+
+@pytest.fixture(scope="module")
+def store():
+    store = SnapshotStore()
+    store.init("lab", net1(2))
+    return store
+
+
+class TestDecoders:
+    def test_packet_roundtrip(self):
+        packet = packet_from_json(
+            {"dst_ip": "10.0.0.1", "src_ip": "10.0.0.2", "dst_port": 443,
+             "ip_protocol": "tcp"}
+        )
+        assert str(packet.dst_ip) == "10.0.0.1"
+        assert packet.ip_protocol == f.PROTO_TCP
+        encoded = packet_to_json(packet)
+        assert encoded["dst_port"] == 443
+        assert "tcp" in encoded["description"]
+
+    def test_packet_rejects_unknown_fields(self):
+        with pytest.raises(InvalidRequestError):
+            packet_from_json({"dst_ip": "10.0.0.1", "ttl": 3})
+
+    def test_packet_rejects_bad_values(self):
+        with pytest.raises(InvalidRequestError):
+            packet_from_json({"dst_port": 70000})
+        with pytest.raises(InvalidRequestError):
+            packet_from_json({"dst_ip": "not-an-ip"})
+        with pytest.raises(InvalidRequestError):
+            packet_from_json("tcp")
+
+    def test_protocol_names_and_numbers(self):
+        assert protocol_from_json("TCP") == f.PROTO_TCP
+        assert protocol_from_json(89) == 89
+        with pytest.raises(InvalidRequestError):
+            protocol_from_json("quic")
+        with pytest.raises(InvalidRequestError):
+            protocol_from_json(True)
+
+    def test_headerspace_defaults_and_ports(self):
+        assert headerspace_from_json(None).dst_prefixes == ()
+        space = headerspace_from_json(
+            {"dst": "10.0.0.0/8", "dst_ports": [443, [8000, 8999]],
+             "protocols": ["tcp"]}
+        )
+        assert space.dst_ports == ((443, 443), (8000, 8999))
+        assert space.ip_protocols == (f.PROTO_TCP,)
+        with pytest.raises(InvalidRequestError):
+            headerspace_from_json({"dst_ports": ["443-444"]})
+        with pytest.raises(InvalidRequestError):
+            headerspace_from_json({"destination": "10.0.0.0/8"})
+
+    def test_settings(self):
+        assert settings_from_json(None) is None
+        settings = settings_from_json({"schedule": "lockstep", "max_iterations": 9})
+        assert settings.schedule == "lockstep"
+        assert settings.max_iterations == 9
+        with pytest.raises(InvalidRequestError):
+            settings_from_json({"tempo": "fast"})
+
+    def test_sources(self):
+        assert sources_from_json(None) is None
+        assert sources_from_json(["r1", ["r2", "eth0"], ["r3"]]) == [
+            ("r1", None), ("r2", "eth0"), ("r3", None),
+        ]
+        with pytest.raises(InvalidRequestError):
+            sources_from_json([42])
+
+
+class TestDispatch:
+    def test_routes(self, store):
+        result = run_question(store, "lab", "routes", {})
+        assert result["count"] == len(result["rows"]) > 0
+        one = run_question(store, "lab", "routes", {"node": "net1-core0"})
+        assert all(row["node"] == "net1-core0" for row in one["rows"])
+
+    def test_reachability_has_witnesses(self, store):
+        result = run_question(store, "lab", "reachability", {})
+        assert result["success"]
+        assert result["dispositions"]
+        example = next(iter(result["dispositions"].values()))["example"]
+        assert "dst_ip" in example
+
+    def test_test_filter(self, store):
+        result = run_question(
+            store, "lab", "test_filter",
+            {"node": "net1-core0", "filter": "SPUR_FILTER",
+             "packet": {"dst_port": 23}},
+        )
+        assert result["action"] == "deny"
+
+    def test_traceroute(self, store):
+        result = run_question(
+            store, "lab", "traceroute",
+            {"packet": {"src_ip": "172.19.0.10", "dst_ip": "172.19.1.10",
+                        "dst_port": 80},
+             "node": "net1-spur0", "interface": "Vlan10"},
+        )
+        trace = result["traces"][0]
+        assert trace["path"]
+        assert trace["hops"][0]["steps"]
+
+    def test_config_questions_clean_snapshot(self, store):
+        assert run_question(store, "lab", "undefined_references", {})["rows"] == []
+        assert run_question(store, "lab", "duplicate_ips", {})["rows"] == []
+        assert run_question(store, "lab", "parse_warnings", {})["rows"] == []
+
+    def test_route_diff_self_is_empty(self, store):
+        result = run_question(store, "lab", "route_diff", {"candidate": "lab"})
+        assert result["rows"] == []
+
+    def test_missing_required_param(self, store):
+        with pytest.raises(InvalidRequestError):
+            run_question(store, "lab", "traceroute", {"node": "net1-spur0"})
+
+    def test_unknown_question(self, store):
+        with pytest.raises(UnknownQuestionError) as excinfo:
+            run_question(store, "lab", "divination", {})
+        assert excinfo.value.status == 400
+        assert "routes" in excinfo.value.details["available"]
+
+    def test_debug_questions_gated(self, store):
+        with pytest.raises(UnknownQuestionError):
+            run_question(store, "lab", "sleep", {})
+        result = run_question(
+            store, "lab", "sleep", {"seconds": 0.0}, debug=True
+        )
+        assert result["slept_s"] == 0.0
+
+    def test_registry_is_complete(self):
+        assert {"routes", "reachability", "traceroute", "test_filter",
+                "explain_route", "route_diff"} <= set(QUESTIONS)

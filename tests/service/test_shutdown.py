@@ -1,0 +1,89 @@
+"""SIGTERM drain test against a real ``python -m repro.service``
+subprocess: in-flight jobs must complete before the process exits."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.synth.special import net1
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM") or os.name == "nt",
+    reason="POSIX signal semantics required",
+)
+def test_sigterm_drains_inflight_jobs_before_exit():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service",
+            "--port", "0", "--workers", "1", "--debug-questions",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no listen banner: {banner!r}"
+        port = int(match.group(1))
+
+        status, _ = _post(port, "/snapshots", {"name": "lab", "configs": net1(2)})
+        assert status == 201
+        # An in-flight job (running on the single worker) ...
+        status, job = _post(
+            port, "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.5}, "wait": False},
+        )
+        assert status == 202
+        # ... and a queued one behind it.
+        status, queued = _post(
+            port, "/snapshots/lab/questions/routes", {"wait": False}
+        )
+        assert status == 202
+        time.sleep(0.1)  # let the sleep job actually start
+
+        started = time.monotonic()
+        process.send_signal(signal.SIGTERM)
+        output, _ = process.communicate(timeout=60)
+        elapsed = time.monotonic() - started
+
+        assert process.returncode == 0, output
+        # Exit waited for the 1.5s sleep job instead of killing it.
+        assert elapsed >= 1.0, (elapsed, output)
+        summary = re.search(
+            r"drained: completed=(\d+) failed=(\d+) cancelled=(\d+).*clean=True",
+            output,
+        )
+        assert summary, output
+        # sleep + routes both completed; nothing failed or was dropped.
+        assert int(summary.group(1)) >= 2, output
+        assert int(summary.group(2)) == 0, output
+        assert int(summary.group(3)) == 0, output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)

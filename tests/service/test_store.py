@@ -1,0 +1,100 @@
+"""Tests for the named-snapshot store."""
+
+import pytest
+
+from repro.core.cache import SnapshotCache
+from repro.service.errors import (
+    InvalidRequestError,
+    SnapshotConflictError,
+    SnapshotNotFoundError,
+)
+from repro.service.store import SnapshotStore
+from repro.synth.special import net1
+
+
+@pytest.fixture
+def configs():
+    return net1(2)
+
+
+class TestLifecycle:
+    def test_init_get_list_delete(self, configs):
+        store = SnapshotStore()
+        record = store.init("lab", configs)
+        assert record.name == "lab"
+        assert record.device_count == 4
+        assert len(record.key) == 64
+        assert store.get("lab").snapshot.hostnames()
+        assert [r.name for r in store.list()] == ["lab"]
+        assert len(store) == 1
+        store.delete("lab")
+        assert len(store) == 0
+
+    def test_get_unknown_raises_404(self):
+        store = SnapshotStore()
+        with pytest.raises(SnapshotNotFoundError) as excinfo:
+            store.get("ghost")
+        assert excinfo.value.status == 404
+        with pytest.raises(SnapshotNotFoundError):
+            store.record("ghost")
+        with pytest.raises(SnapshotNotFoundError):
+            store.delete("ghost")
+
+    def test_duplicate_name_conflicts(self, configs):
+        store = SnapshotStore()
+        store.init("lab", configs)
+        with pytest.raises(SnapshotConflictError) as excinfo:
+            store.init("lab", configs)
+        assert excinfo.value.status == 409
+
+    def test_force_replaces(self, configs):
+        store = SnapshotStore()
+        store.init("lab", configs)
+        edited = dict(configs)
+        name = sorted(edited)[0]
+        edited[name] = edited[name] + "\n! re-init\n"
+        record = store.init("lab", edited, force=True)
+        assert len(store) == 1
+        assert record.key != store.init("other", configs).key
+
+    def test_list_is_sorted_by_name(self, configs):
+        store = SnapshotStore()
+        for name in ("zeta", "alpha", "mid"):
+            store.init(name, configs)
+        assert [r.name for r in store.list()] == ["alpha", "mid", "zeta"]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ["", "a/b", "..", "-lead", "x" * 101, 7])
+    def test_bad_names_rejected(self, configs, name):
+        store = SnapshotStore()
+        with pytest.raises(InvalidRequestError):
+            store.init(name, configs)
+
+    @pytest.mark.parametrize("bad", [None, {}, [], {"r1": 7}, {7: "text"}])
+    def test_bad_configs_rejected(self, bad):
+        store = SnapshotStore()
+        with pytest.raises(InvalidRequestError):
+            store.init("lab", bad)
+
+
+class TestCacheIntegration:
+    def test_identical_configs_share_cache_entries(self, tmp_path, configs):
+        cache = SnapshotCache(str(tmp_path))
+        store = SnapshotStore(cache=cache)
+        first = store.init("a", configs)
+        second = store.init("b", configs)
+        # Same content => same content key, and the second init was a
+        # cache hit instead of a re-parse.
+        assert first.key == second.key
+        assert cache.stats()["hits"] >= 1
+
+    def test_content_key_tracks_settings(self, configs):
+        from repro.routing.engine import ConvergenceSettings
+
+        store = SnapshotStore()
+        default = store.init("a", configs)
+        tuned = store.init(
+            "b", configs, settings=ConvergenceSettings(max_iterations=7)
+        )
+        assert default.key != tuned.key
