@@ -36,6 +36,7 @@ except ImportError:  # running as `python benchmarks/bench_*.py`
 from benchmarks.benchlib import cached_pipeline, print_table, timed
 from repro.config.loader import load_snapshot_from_texts
 from repro.core.session import Session
+from repro.lint import lint_snapshot
 from repro.routing.engine import ConvergenceSettings, compute_dataplane
 from repro.synth.networks import NETWORKS
 
@@ -109,6 +110,9 @@ def measure_network(name: str) -> Dict[str, object]:
         lambda: analyzer.destination_reachability(*_first_delivery_location(analyzer))
     )
     multipath_seconds, violations = timed(analyzer.multipath_consistency)
+    lint_seconds, lint_report = timed(
+        lambda: lint_snapshot(pipeline.snapshot)
+    )
 
     cache_dir = tempfile.mkdtemp(prefix=f"repro-bench-{name}-")
     try:
@@ -136,9 +140,11 @@ def measure_network(name: str) -> Dict[str, object]:
             "graph": round(pipeline.graph_seconds, 4),
             "dest_reach": round(dest_seconds, 4),
             "multipath": round(multipath_seconds, 4),
+            "lint": round(lint_seconds, 4),
             "cache_cold": round(cold_seconds, 4),
             "cache_warm": round(warm_seconds, 4),
         },
+        "lint_findings": len(lint_report.active()),
         "cache_warm_hits": warm_hits,
         "peak_rss_kb": benchlib.peak_rss_kb(),
         "route_memory": benchlib.route_memory_stats(pipeline.dataplane),

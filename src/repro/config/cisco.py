@@ -94,14 +94,18 @@ class CiscoInterface:
     shutdown: bool = False
     description: str = ""
     bandwidth_kbps: Optional[int] = None
+    mtu: Optional[int] = None
     access_group_in: Optional[str] = None
     access_group_out: Optional[str] = None
     ospf_cost: Optional[int] = None
     ospf_area: Optional[int] = None
     ospf_passive: bool = False
+    ospf_hello_interval: Optional[int] = None
+    ospf_dead_interval: Optional[int] = None
     zone_member: Optional[str] = None
     nat_inside: bool = False
     nat_outside: bool = False
+    line_number: int = 0
 
 
 @dataclass
@@ -116,6 +120,7 @@ class CiscoAcl:
     name: str
     standard: bool = False
     lines: List[CiscoAclLine] = field(default_factory=list)
+    line_number: int = 0
 
 
 @dataclass
@@ -125,7 +130,7 @@ class CiscoOspf:
     reference_bandwidth_mbps: Optional[int] = None
     passive_interfaces: List[str] = field(default_factory=list)
     networks: List[Tuple[str, str, int]] = field(default_factory=list)
-    redistributes: List[List[str]] = field(default_factory=list)
+    redistributes: List[Tuple[List[str], int]] = field(default_factory=list)
     default_information_originate: bool = False
 
 
@@ -142,6 +147,7 @@ class CiscoBgpNeighbor:
     ebgp_multihop: bool = False
     update_source: Optional[str] = None
     local_as: Optional[int] = None
+    line_number: int = 0
 
 
 @dataclass
@@ -150,7 +156,7 @@ class CiscoBgp:
     router_id: Optional[str] = None
     neighbors: Dict[str, CiscoBgpNeighbor] = field(default_factory=dict)
     networks: List[Tuple[str, Optional[str]]] = field(default_factory=list)
-    redistributes: List[List[str]] = field(default_factory=list)
+    redistributes: List[Tuple[List[str], int]] = field(default_factory=list)
     maximum_paths: int = 1
 
 
@@ -160,6 +166,7 @@ class CiscoRouteMapClause:
     seq: int
     matches: List[List[str]] = field(default_factory=list)
     sets: List[List[str]] = field(default_factory=list)
+    line_number: int = 0
 
 
 @dataclass
@@ -190,11 +197,11 @@ class CiscoConfig:
     community_lists: Dict[str, List[str]] = field(default_factory=dict)
     as_path_lists: Dict[str, str] = field(default_factory=dict)
     route_maps: Dict[str, List[CiscoRouteMapClause]] = field(default_factory=dict)
-    static_routes: List[List[str]] = field(default_factory=list)
+    static_routes: List[Tuple[List[str], int]] = field(default_factory=list)
     ospf: Optional[CiscoOspf] = None
     bgp: Optional[CiscoBgp] = None
     zones: List[str] = field(default_factory=list)
-    zone_pairs: List[Tuple[str, str, str]] = field(default_factory=list)  # from,to,acl
+    zone_pairs: List[Tuple[str, str, str, int]] = field(default_factory=list)  # from,to,acl,line
     nat_pools: Dict[str, CiscoNatPool] = field(default_factory=dict)
     nat_rules: List[CiscoNatRule] = field(default_factory=list)
     ntp_servers: List[str] = field(default_factory=list)
@@ -202,6 +209,10 @@ class CiscoConfig:
     snmp_communities: List[str] = field(default_factory=list)
     line_count: int = 0
     warnings: List[ParseWarning] = field(default_factory=list)
+    #: First definition line of named structures, keyed (kind, name).
+    definition_lines: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: ``! lint-disable RULE`` directives: (rule_id, line_number).
+    lint_disables: List[Tuple[str, int]] = field(default_factory=list)
 
 
 class CiscoParser:
@@ -222,6 +233,8 @@ class CiscoParser:
             line = raw.strip()
             self._index += 1
             if not line or line.startswith("!"):
+                if line:
+                    self._maybe_lint_disable(line)
                 continue
             if raw[0].isspace():
                 self._warn(raw, "unexpected indented line at top level")
@@ -231,13 +244,22 @@ class CiscoParser:
 
     # -- block dispatch -------------------------------------------------
 
+    def _maybe_lint_disable(self, line: str) -> None:
+        """Record ``! lint-disable RULE...`` suppression comments."""
+        words = line.lstrip("!#").split()
+        if words[:1] == ["lint-disable"]:
+            rules = words[1:] or ["*"]
+            for rule in rules:
+                self._config.lint_disables.append((rule, self._index))
+
     def _top_level(self, line: str, raw: str) -> None:
         tokens = line.split()
         head = tokens[0]
+        number = self._index  # 1-based line number of the line just read
         if head == "hostname" and len(tokens) >= 2:
             self._config.hostname = tokens[1]
         elif head == "interface" and len(tokens) >= 2:
-            self._parse_interface(tokens[1])
+            self._parse_interface(tokens[1], number)
         elif line.startswith("router ospf"):
             self._parse_ospf(tokens[2] if len(tokens) > 2 else "1")
         elif line.startswith("router bgp") and len(tokens) >= 3:
@@ -245,7 +267,7 @@ class CiscoParser:
         elif head == "ip":
             self._parse_ip_line(tokens, raw)
         elif head == "route-map" and len(tokens) >= 3:
-            self._parse_route_map(tokens)
+            self._parse_route_map(tokens, number)
         elif head == "ntp" and len(tokens) >= 3 and tokens[1] == "server":
             self._config.ntp_servers.append(tokens[2])
         elif head == "snmp-server" and len(tokens) >= 3 and tokens[1] == "community":
@@ -253,7 +275,7 @@ class CiscoParser:
         elif line.startswith("zone security") and len(tokens) >= 3:
             self._config.zones.append(tokens[2])
         elif line.startswith("zone-pair security"):
-            self._parse_zone_pair(tokens)
+            self._parse_zone_pair(tokens, number)
         elif head == "access-list":
             self._warn(raw, "numbered ACLs are not supported; use named ACLs")
         else:
@@ -267,6 +289,7 @@ class CiscoParser:
                 self._index += 1
                 if not raw.strip().startswith("!"):
                     continue
+                self._maybe_lint_disable(raw.strip())
                 return  # '!' terminates a block
             if not raw[0].isspace():
                 return
@@ -275,8 +298,10 @@ class CiscoParser:
 
     # -- interface ------------------------------------------------------
 
-    def _parse_interface(self, name: str) -> None:
+    def _parse_interface(self, name: str, number: int = 0) -> None:
         iface = self._config.interfaces.setdefault(name, CiscoInterface(name=name))
+        if not iface.line_number:
+            iface.line_number = number
         for line, raw in self._block_lines():
             tokens = line.split()
             if line.startswith("ip address") and len(tokens) >= 3:
@@ -294,6 +319,8 @@ class CiscoParser:
                 iface.description = line.partition(" ")[2]
             elif tokens[0] == "bandwidth" and len(tokens) >= 2:
                 iface.bandwidth_kbps = int(tokens[1])
+            elif tokens[0] == "mtu" and len(tokens) >= 2:
+                iface.mtu = int(tokens[1])
             elif line.startswith("ip access-group") and len(tokens) >= 4:
                 if tokens[3] == "in":
                     iface.access_group_in = tokens[2]
@@ -307,6 +334,10 @@ class CiscoParser:
                 iface.ospf_area = int(tokens[3])
             elif line == "ip ospf passive":
                 iface.ospf_passive = True
+            elif line.startswith("ip ospf hello-interval") and len(tokens) >= 4:
+                iface.ospf_hello_interval = int(tokens[3])
+            elif line.startswith("ip ospf dead-interval") and len(tokens) >= 4:
+                iface.ospf_dead_interval = int(tokens[3])
             elif line.startswith("zone-member security") and len(tokens) >= 3:
                 iface.zone_member = tokens[2]
             elif line == "ip nat inside":
@@ -337,7 +368,7 @@ class CiscoParser:
             elif tokens[0] == "network" and len(tokens) >= 5 and tokens[3] == "area":
                 ospf.networks.append((tokens[1], tokens[2], int(tokens[4])))
             elif tokens[0] == "redistribute":
-                ospf.redistributes.append(tokens[1:])
+                ospf.redistributes.append((tokens[1:], self._index))
             elif line == "default-information originate":
                 ospf.default_information_originate = True
             else:
@@ -360,7 +391,7 @@ class CiscoParser:
                 mask = tokens[3] if len(tokens) >= 4 and tokens[2] == "mask" else None
                 bgp.networks.append((tokens[1], mask))
             elif tokens[0] == "redistribute":
-                bgp.redistributes.append(tokens[1:])
+                bgp.redistributes.append((tokens[1:], self._index))
             elif tokens[0] == "maximum-paths" and len(tokens) >= 2:
                 bgp.maximum_paths = int(tokens[1])
             else:
@@ -369,6 +400,8 @@ class CiscoParser:
     def _parse_bgp_neighbor(self, bgp: CiscoBgp, tokens: List[str], raw: str) -> None:
         peer = tokens[1]
         neighbor = bgp.neighbors.setdefault(peer, CiscoBgpNeighbor(peer=peer))
+        if not neighbor.line_number:
+            neighbor.line_number = self._index
         directive = tokens[2]
         if directive == "remote-as" and len(tokens) >= 4:
             neighbor.remote_as = int(tokens[3])
@@ -399,8 +432,9 @@ class CiscoParser:
     # -- ip ... lines -----------------------------------------------------
 
     def _parse_ip_line(self, tokens: List[str], raw: str) -> None:
+        number = self._index
         if len(tokens) >= 2 and tokens[1] == "route":
-            self._config.static_routes.append(tokens[2:])
+            self._config.static_routes.append((tokens[2:], number))
         elif len(tokens) >= 4 and tokens[1] == "access-list":
             standard = tokens[2] == "standard"
             if tokens[2] not in ("extended", "standard"):
@@ -409,6 +443,8 @@ class CiscoParser:
             acl = self._config.acls.setdefault(
                 tokens[3], CiscoAcl(name=tokens[3], standard=standard)
             )
+            if not acl.line_number:
+                acl.line_number = number
             for line, inner_raw in self._block_lines():
                 acl.lines.append(
                     CiscoAclLine(
@@ -417,9 +453,13 @@ class CiscoParser:
                 )
         elif len(tokens) >= 3 and tokens[1] == "prefix-list":
             name = tokens[2]
+            self._config.definition_lines.setdefault(("prefix-list", name), number)
             self._config.prefix_lists.setdefault(name, []).append(tokens[3:])
         elif len(tokens) >= 5 and tokens[1] == "community-list":
             # ip community-list standard NAME permit A:B ...
+            self._config.definition_lines.setdefault(
+                ("community-list", tokens[3]), number
+            )
             self._config.community_lists.setdefault(tokens[3], []).extend(tokens[5:])
         elif len(tokens) >= 5 and tokens[1] == "as-path" and tokens[2] == "access-list":
             self._config.as_path_lists[tokens[3]] = " ".join(tokens[5:])
@@ -461,11 +501,12 @@ class CiscoParser:
 
     # -- route maps, zone pairs ------------------------------------------
 
-    def _parse_route_map(self, tokens: List[str]) -> None:
+    def _parse_route_map(self, tokens: List[str], number: int = 0) -> None:
         name = tokens[1]
         action = tokens[2] if len(tokens) >= 3 else "permit"
         seq = int(tokens[3]) if len(tokens) >= 4 else 10
-        clause = CiscoRouteMapClause(action=action, seq=seq)
+        self._config.definition_lines.setdefault(("route-map", name), number)
+        clause = CiscoRouteMapClause(action=action, seq=seq, line_number=number)
         self._config.route_maps.setdefault(name, []).append(clause)
         for line, raw in self._block_lines():
             inner = line.split()
@@ -476,7 +517,7 @@ class CiscoParser:
             else:
                 self._warn(raw, "unrecognized route-map line")
 
-    def _parse_zone_pair(self, tokens: List[str]) -> None:
+    def _parse_zone_pair(self, tokens: List[str], number: int = 0) -> None:
         # zone-pair security NAME source Z1 destination Z2
         try:
             src = tokens[tokens.index("source") + 1]
@@ -491,7 +532,7 @@ class CiscoParser:
                 acl = inner[-1]
             else:
                 self._warn(raw, "unrecognized zone-pair line")
-        self._config.zone_pairs.append((src, dst, acl))
+        self._config.zone_pairs.append((src, dst, acl, number))
 
     def _warn(self, raw: str, comment: str) -> None:
         self._config.warnings.append(
@@ -524,7 +565,7 @@ def cisco_to_vi(config: CiscoConfig) -> Device:
     for name in config.zones:
         device.zones[name] = Zone(name=name)
     for vendor_iface in config.interfaces.values():
-        device.interfaces[vendor_iface.name] = _convert_interface(vendor_iface)
+        device.interfaces[vendor_iface.name] = _convert_interface(vendor_iface, config)
         if vendor_iface.zone_member:
             zone = device.zones.setdefault(
                 vendor_iface.zone_member, Zone(name=vendor_iface.zone_member)
@@ -533,32 +574,50 @@ def cisco_to_vi(config: CiscoConfig) -> Device:
     for name, vendor_acl in config.acls.items():
         device.acls[name] = _convert_acl(vendor_acl, device, config)
     for name, lines in config.prefix_lists.items():
-        device.prefix_lists[name] = _convert_prefix_list(name, lines)
+        plist = _convert_prefix_list(name, lines)
+        plist.source_file = config.filename
+        plist.source_line = config.definition_lines.get(("prefix-list", name), 0)
+        device.prefix_lists[name] = plist
     for name, communities in config.community_lists.items():
-        device.community_lists[name] = CommunityList(name=name, communities=communities)
+        device.community_lists[name] = CommunityList(
+            name=name,
+            communities=communities,
+            source_file=config.filename,
+            source_line=config.definition_lines.get(("community-list", name), 0),
+        )
     for name, regex in config.as_path_lists.items():
         device.as_path_lists[name] = AsPathList(name=name, regex=regex)
     for name, clauses in config.route_maps.items():
-        device.route_maps[name] = _convert_route_map(name, clauses)
-    for words in config.static_routes:
-        route = _convert_static_route(words)
+        device.route_maps[name] = _convert_route_map(name, clauses, config)
+    for words, number in config.static_routes:
+        route = _convert_static_route(words, config.filename, number)
         if route is not None:
             device.static_routes.append(route)
     if config.ospf is not None:
-        device.ospf = _convert_ospf(config.ospf, device)
+        device.ospf = _convert_ospf(config.ospf, device, config.filename)
     if config.bgp is not None:
-        device.bgp = _convert_bgp(config.bgp)
+        device.bgp = _convert_bgp(config.bgp, config)
     _convert_nat(config, device)
-    for src, dst, acl in config.zone_pairs:
-        device.zone_policies[(src, dst)] = ZonePolicy(from_zone=src, to_zone=dst, acl=acl)
+    for src, dst, acl, number in config.zone_pairs:
+        device.zone_policies[(src, dst)] = ZonePolicy(
+            from_zone=src, to_zone=dst, acl=acl,
+            source_file=config.filename, source_line=number,
+        )
     device.ntp_servers = [Ip(s) for s in config.ntp_servers]
     device.dns_servers = [Ip(s) for s in config.dns_servers]
     device.snmp_communities = list(config.snmp_communities)
+    device.lint_suppressions = [
+        (rule, config.filename, line) for rule, line in config.lint_disables
+    ]
     return device
 
 
-def _convert_interface(vendor: CiscoInterface) -> Interface:
-    iface = Interface(name=vendor.name)
+def _convert_interface(vendor: CiscoInterface, config: CiscoConfig) -> Interface:
+    iface = Interface(
+        name=vendor.name,
+        source_file=config.filename,
+        source_line=vendor.line_number,
+    )
     if vendor.address_words is not None:
         addr, mask = vendor.address_words
         if "/" in addr:
@@ -572,6 +631,8 @@ def _convert_interface(vendor: CiscoInterface) -> Interface:
     iface.description = vendor.description
     if vendor.bandwidth_kbps is not None:
         iface.bandwidth = vendor.bandwidth_kbps * 1000
+    if vendor.mtu is not None:
+        iface.mtu = vendor.mtu
     iface.incoming_acl = vendor.access_group_in
     iface.outgoing_acl = vendor.access_group_out
     if vendor.ospf_area is not None or vendor.ospf_cost is not None:
@@ -579,6 +640,13 @@ def _convert_interface(vendor: CiscoInterface) -> Interface:
         iface.ospf_area = vendor.ospf_area or 0
     iface.ospf_cost = vendor.ospf_cost
     iface.ospf_passive = vendor.ospf_passive
+    if vendor.ospf_hello_interval is not None:
+        iface.ospf_hello_interval = vendor.ospf_hello_interval
+    if vendor.ospf_dead_interval is not None:
+        iface.ospf_dead_interval = vendor.ospf_dead_interval
+    elif vendor.ospf_hello_interval is not None:
+        # Vendor default: dead interval follows hello at 4x when unset.
+        iface.ospf_dead_interval = vendor.ospf_hello_interval * 4
     iface.zone = vendor.zone_member
     return iface
 
@@ -607,7 +675,11 @@ def _wildcard_to_prefix(addr: str, wildcard: str) -> Prefix:
 
 
 def _convert_acl(vendor: CiscoAcl, device: Device, config: CiscoConfig) -> Acl:
-    acl = Acl(name=vendor.name)
+    acl = Acl(
+        name=vendor.name,
+        source_file=config.filename,
+        source_line=vendor.line_number,
+    )
     for line in vendor.lines:
         converted = _convert_acl_line(line, vendor.standard, config)
         if converted is not None:
@@ -757,12 +829,20 @@ def _convert_prefix_list(name: str, entries: List[List[str]]) -> PrefixList:
     return plist
 
 
-def _convert_route_map(name: str, clauses: List[CiscoRouteMapClause]) -> RouteMap:
-    route_map = RouteMap(name=name)
+def _convert_route_map(
+    name: str, clauses: List[CiscoRouteMapClause], config: CiscoConfig
+) -> RouteMap:
+    route_map = RouteMap(
+        name=name,
+        source_file=config.filename,
+        source_line=config.definition_lines.get(("route-map", name), 0),
+    )
     for vendor_clause in clauses:
         clause = RouteMapClause(
             seq=vendor_clause.seq,
             action=Action.PERMIT if vendor_clause.action == "permit" else Action.DENY,
+            source_file=config.filename,
+            source_line=vendor_clause.line_number,
         )
         for words in vendor_clause.matches:
             match = _convert_match(words)
@@ -811,7 +891,9 @@ def _convert_set(words: List[str]) -> List[RouteMapSet]:
     return []
 
 
-def _convert_static_route(words: List[str]) -> Optional[StaticRoute]:
+def _convert_static_route(
+    words: List[str], source_file: str = "", source_line: int = 0
+) -> Optional[StaticRoute]:
     if len(words) < 3:
         return None
     if "/" in words[0]:
@@ -844,18 +926,22 @@ def _convert_static_route(words: List[str]) -> Optional[StaticRoute]:
         next_hop_interface=next_hop_interface,
         admin_distance=admin,
         tag=tag,
+        source_file=source_file,
+        source_line=source_line,
     )
 
 
-def _convert_ospf(vendor: CiscoOspf, device: Device) -> OspfProcess:
+def _convert_ospf(
+    vendor: CiscoOspf, device: Device, filename: str = "<config>"
+) -> OspfProcess:
     ospf = OspfProcess(process_id=vendor.process_id)
     if vendor.router_id:
         ospf.router_id = Ip(vendor.router_id)
     if vendor.reference_bandwidth_mbps is not None:
         ospf.reference_bandwidth = vendor.reference_bandwidth_mbps * 1_000_000
     ospf.default_information_originate = vendor.default_information_originate
-    for words in vendor.redistributes:
-        redist = _convert_redistribution(words)
+    for words, number in vendor.redistributes:
+        redist = _convert_redistribution(words, filename, number)
         if redist is not None:
             ospf.redistributions.append(redist)
     # 'network A W area N' statements enable OSPF on matching interfaces.
@@ -871,7 +957,9 @@ def _convert_ospf(vendor: CiscoOspf, device: Device) -> OspfProcess:
     return ospf
 
 
-def _convert_redistribution(words: List[str]) -> Optional[Redistribution]:
+def _convert_redistribution(
+    words: List[str], source_file: str = "", source_line: int = 0
+) -> Optional[Redistribution]:
     if not words or words[0] not in _REDIST_SOURCES:
         return None
     source = _REDIST_SOURCES[words[0]]
@@ -887,10 +975,13 @@ def _convert_redistribution(words: List[str]) -> Optional[Redistribution]:
             rest = rest[2:]
         else:
             rest = rest[1:]
-    return Redistribution(source=source, route_map=route_map, metric=metric)
+    return Redistribution(
+        source=source, route_map=route_map, metric=metric,
+        source_file=source_file, source_line=source_line,
+    )
 
 
-def _convert_bgp(vendor: CiscoBgp) -> BgpProcess:
+def _convert_bgp(vendor: CiscoBgp, config: CiscoConfig) -> BgpProcess:
     bgp = BgpProcess(local_as=vendor.asn)
     if vendor.router_id:
         bgp.router_id = Ip(vendor.router_id)
@@ -910,6 +1001,8 @@ def _convert_bgp(vendor: CiscoBgp) -> BgpProcess:
             ebgp_multihop=vendor_neighbor.ebgp_multihop,
             update_source=vendor_neighbor.update_source,
             local_as=vendor_neighbor.local_as,
+            source_file=config.filename,
+            source_line=vendor_neighbor.line_number,
         )
         bgp.neighbors[neighbor.peer_ip] = neighbor
     for addr, mask in vendor.networks:
@@ -918,8 +1011,8 @@ def _convert_bgp(vendor: CiscoBgp) -> BgpProcess:
         else:
             length = _mask_to_length(mask) if mask else 32
             bgp.networks.append(Prefix(Ip(addr).value, length))
-    for words in vendor.redistributes:
-        redist = _convert_redistribution(words)
+    for words, number in vendor.redistributes:
+        redist = _convert_redistribution(words, config.filename, number)
         if redist is not None:
             bgp.redistributions.append(redist)
     return bgp

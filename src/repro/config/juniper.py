@@ -90,10 +90,11 @@ class JuniperConfig:
     """Vendor-specific parse result: the set-paths grouped by family."""
 
     hostname: str = ""
+    filename: str = "<config>"
     interface_lines: List[List[str]] = field(default_factory=list)
-    ospf_lines: List[List[str]] = field(default_factory=list)
+    ospf_lines: List[Tuple[List[str], int]] = field(default_factory=list)
     bgp_lines: List[List[str]] = field(default_factory=list)
-    routing_option_lines: List[List[str]] = field(default_factory=list)
+    routing_option_lines: List[Tuple[List[str], int]] = field(default_factory=list)
     prefix_lists: Dict[str, List[str]] = field(default_factory=dict)
     policy_terms: Dict[str, Dict[str, JuniperTerm]] = field(default_factory=dict)
     policy_term_order: Dict[str, List[str]] = field(default_factory=dict)
@@ -108,6 +109,12 @@ class JuniperConfig:
     dns_servers: List[str] = field(default_factory=list)
     line_count: int = 0
     warnings: List[ParseWarning] = field(default_factory=list)
+    #: First definition line of named structures, keyed (kind, name).
+    definition_lines: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: First line of each term, keyed (kind, container, term).
+    term_lines: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    #: ``# lint-disable RULE`` directives: (rule_id, line_number).
+    lint_disables: List[Tuple[str, int]] = field(default_factory=list)
 
 
 class JuniperParser:
@@ -117,13 +124,18 @@ class JuniperParser:
         self._lines = text.splitlines()
         self._filename = filename
         self._config = JuniperConfig(
-            line_count=len([l for l in self._lines if l.strip()])
+            filename=filename,
+            line_count=len([l for l in self._lines if l.strip()]),
         )
 
     def parse(self) -> JuniperConfig:
         for number, raw in enumerate(self._lines, start=1):
             line = raw.strip()
             if not line or line.startswith("#"):
+                words = line.lstrip("#").split()
+                if words[:1] == ["lint-disable"]:
+                    for rule in words[1:] or ["*"]:
+                        self._config.lint_disables.append((rule, number))
                 continue
             tokens = line.split()
             if tokens[0] != "set" or len(tokens) < 3:
@@ -137,13 +149,21 @@ class JuniperParser:
         if family == "system":
             self._parse_system(path[1:], number, raw)
         elif family == "interfaces":
+            if len(path) >= 2:
+                self._config.definition_lines.setdefault(
+                    ("interface", path[1]), number
+                )
             self._config.interface_lines.append(path[1:])
         elif family == "protocols" and len(path) >= 2 and path[1] == "ospf":
-            self._config.ospf_lines.append(path[2:])
+            self._config.ospf_lines.append((path[2:], number))
         elif family == "protocols" and len(path) >= 2 and path[1] == "bgp":
+            if len(path) >= 6 and path[2] == "group" and path[4] == "neighbor":
+                self._config.definition_lines.setdefault(
+                    ("bgp-neighbor", path[5]), number
+                )
             self._config.bgp_lines.append(path[2:])
         elif family == "routing-options":
-            self._config.routing_option_lines.append(path[1:])
+            self._config.routing_option_lines.append((path[1:], number))
         elif family == "policy-options":
             self._parse_policy_options(path[1:], number, raw)
         elif family == "firewall" and len(path) >= 3 and path[1] == "filter":
@@ -165,9 +185,12 @@ class JuniperParser:
 
     def _parse_policy_options(self, path: List[str], number: int, raw: str) -> None:
         if path[:1] == ["prefix-list"] and len(path) >= 3:
+            self._config.definition_lines.setdefault(("prefix-list", path[1]), number)
             self._config.prefix_lists.setdefault(path[1], []).append(path[2])
         elif path[:1] == ["policy-statement"] and len(path) >= 4 and path[2] == "term":
             policy, term_name = path[1], path[3]
+            self._config.definition_lines.setdefault(("route-map", policy), number)
+            self._config.term_lines.setdefault(("policy", policy, term_name), number)
             terms = self._config.policy_terms.setdefault(policy, {})
             order = self._config.policy_term_order.setdefault(policy, [])
             if term_name not in terms:
@@ -181,6 +204,9 @@ class JuniperParser:
             else:
                 self._warn(number, raw, "policy term needs from/then")
         elif path[:1] == ["community"] and len(path) >= 4 and path[2] == "members":
+            self._config.definition_lines.setdefault(
+                ("community-list", path[1]), number
+            )
             self._config.communities.setdefault(path[1], []).append(path[3])
         else:
             self._warn(number, raw, "unrecognized policy-options statement")
@@ -189,6 +215,10 @@ class JuniperParser:
         # path: NAME term T from|then ...
         if len(path) >= 4 and path[1] == "term":
             filter_name, term_name = path[0], path[2]
+            self._config.definition_lines.setdefault(("acl", filter_name), number)
+            self._config.term_lines.setdefault(
+                ("filter", filter_name, term_name), number
+            )
             terms = self._config.filter_terms.setdefault(filter_name, {})
             order = self._config.filter_term_order.setdefault(filter_name, [])
             if term_name not in terms:
@@ -210,6 +240,9 @@ class JuniperParser:
         elif path[:1] == ["policies"] and len(path) >= 7 and path[1] == "from-zone":
             # policies from-zone A to-zone B policy P (match|then) ...
             from_zone, to_zone, policy_name = path[2], path[4], path[6]
+            self._config.term_lines.setdefault(
+                ("security-policy", f"{from_zone}|{to_zone}", policy_name), number
+            )
             zone_pair = self._config.zone_policies.setdefault(
                 (from_zone, to_zone), {}
             )
@@ -259,14 +292,23 @@ def juniper_to_vi(config: JuniperConfig) -> Device:
     _convert_bgp(config, device)
     _convert_routing_options(config, device)
     for name, entries in config.prefix_lists.items():
-        plist = PrefixList(name=name)
+        plist = PrefixList(
+            name=name,
+            source_file=config.filename,
+            source_line=config.definition_lines.get(("prefix-list", name), 0),
+        )
         for entry in entries:
             plist.lines.append(
                 PrefixListLine(action=Action.PERMIT, prefix=Prefix(entry))
             )
         device.prefix_lists[name] = plist
     for name, members in config.communities.items():
-        device.community_lists[name] = CommunityList(name=name, communities=members)
+        device.community_lists[name] = CommunityList(
+            name=name,
+            communities=members,
+            source_file=config.filename,
+            source_line=config.definition_lines.get(("community-list", name), 0),
+        )
     for name in config.policy_terms:
         device.route_maps[name] = _convert_policy(config, name)
     for name in config.filter_terms:
@@ -279,18 +321,27 @@ def juniper_to_vi(config: JuniperConfig) -> Device:
     _convert_zone_policies(config, device)
     device.ntp_servers = [Ip(s) for s in config.ntp_servers]
     device.dns_servers = [Ip(s) for s in config.dns_servers]
+    device.lint_suppressions = [
+        (rule, config.filename, line) for rule, line in config.lint_disables
+    ]
     return device
 
 
-def _interface_of(device: Device, name: str) -> Interface:
-    return device.interfaces.setdefault(name, Interface(name=name))
+def _interface_of(
+    device: Device, name: str, config: Optional[JuniperConfig] = None
+) -> Interface:
+    iface = device.interfaces.setdefault(name, Interface(name=name))
+    if config is not None and not iface.source_line:
+        iface.source_file = config.filename
+        iface.source_line = config.definition_lines.get(("interface", name), 0)
+    return iface
 
 
 def _convert_interfaces(config: JuniperConfig, device: Device) -> None:
     for path in config.interface_lines:
         if not path:
             continue
-        iface = _interface_of(device, path[0])
+        iface = _interface_of(device, path[0], config)
         rest = path[1:]
         if rest[:4] == ["unit", "0", "family", "inet"] and len(rest) >= 6:
             inner = rest[4:]
@@ -309,6 +360,8 @@ def _convert_interfaces(config: JuniperConfig, device: Device) -> None:
             iface.description = " ".join(rest[1:])
         elif rest[:1] == ["bandwidth"] and len(rest) >= 2:
             iface.bandwidth = int(rest[1])
+        elif rest[:1] == ["mtu"] and len(rest) >= 2:
+            iface.mtu = int(rest[1])
         else:
             config.warnings.append(
                 ParseWarning(
@@ -323,17 +376,34 @@ def _convert_ospf(config: JuniperConfig, device: Device) -> None:
         return
     ospf = OspfProcess()
     device.ospf = ospf
-    for path in config.ospf_lines:
+    for path, number in config.ospf_lines:
         if path[:1] == ["area"] and len(path) >= 4 and path[2] == "interface":
             area = int(path[1].split(".")[-1]) if "." in path[1] else int(path[1])
-            iface = _interface_of(device, path[3])
+            iface = _interface_of(device, path[3], config)
             iface.ospf_enabled = True
             iface.ospf_area = area
             extra = path[4:]
-            if extra[:1] == ["metric"] and len(extra) >= 2:
-                iface.ospf_cost = int(extra[1])
-            elif extra[:1] == ["passive"]:
-                iface.ospf_passive = True
+            saw_hello = saw_dead = False
+            while extra:
+                if extra[:1] == ["metric"] and len(extra) >= 2:
+                    iface.ospf_cost = int(extra[1])
+                    extra = extra[2:]
+                elif extra[:1] == ["passive"]:
+                    iface.ospf_passive = True
+                    extra = extra[1:]
+                elif extra[:1] == ["hello-interval"] and len(extra) >= 2:
+                    iface.ospf_hello_interval = int(extra[1])
+                    saw_hello = True
+                    extra = extra[2:]
+                elif extra[:1] == ["dead-interval"] and len(extra) >= 2:
+                    iface.ospf_dead_interval = int(extra[1])
+                    saw_dead = True
+                    extra = extra[2:]
+                else:
+                    extra = extra[1:]
+            if saw_hello and not saw_dead and iface.ospf_dead_interval == 40:
+                # Vendor default: dead interval follows hello at 4x when unset.
+                iface.ospf_dead_interval = iface.ospf_hello_interval * 4
         elif path[:1] == ["reference-bandwidth"] and len(path) >= 2:
             ospf.reference_bandwidth = int(path[1])
         elif path[:1] == ["export"] and len(path) >= 2:
@@ -341,7 +411,12 @@ def _convert_ospf(config: JuniperConfig, device: Device) -> None:
             from repro.config.model import Protocol, Redistribution
 
             ospf.redistributions.append(
-                Redistribution(source=Protocol.STATIC, route_map=path[1])
+                Redistribution(
+                    source=Protocol.STATIC,
+                    route_map=path[1],
+                    source_file=config.filename,
+                    source_line=number,
+                )
             )
         else:
             config.warnings.append(
@@ -387,10 +462,14 @@ def _convert_bgp(config: JuniperConfig, device: Device) -> None:
         peer = Ip(path[0])
         neighbor = bgp.neighbors.get(peer)
         directive = path[1:] or ["(empty)"]
+        source_line = config.definition_lines.get(("bgp-neighbor", path[0]), 0)
         if directive[0] == "peer-as" and len(directive) >= 2:
             if neighbor is None:
                 bgp.neighbors[peer] = BgpNeighbor(
-                    peer_ip=peer, remote_as=int(directive[1])
+                    peer_ip=peer,
+                    remote_as=int(directive[1]),
+                    source_file=config.filename,
+                    source_line=source_line,
                 )
             else:
                 neighbor.remote_as = int(directive[1])
@@ -398,7 +477,12 @@ def _convert_bgp(config: JuniperConfig, device: Device) -> None:
         if neighbor is None:
             # Directive arrived before peer-as; create a placeholder that
             # conversion fixes up when peer-as arrives.
-            neighbor = BgpNeighbor(peer_ip=peer, remote_as=0)
+            neighbor = BgpNeighbor(
+                peer_ip=peer,
+                remote_as=0,
+                source_file=config.filename,
+                source_line=source_line,
+            )
             bgp.neighbors[peer] = neighbor
         if directive[0] == "import" and len(directive) >= 2:
             neighbor.import_policy = directive[1]
@@ -427,7 +511,7 @@ def _convert_bgp(config: JuniperConfig, device: Device) -> None:
 
 
 def _convert_routing_options(config: JuniperConfig, device: Device) -> None:
-    for path in config.routing_option_lines:
+    for path, number in config.routing_option_lines:
         if path[:1] == ["router-id"] and len(path) >= 2:
             router_id = Ip(path[1])
             if device.bgp is not None:
@@ -460,6 +544,8 @@ def _convert_routing_options(config: JuniperConfig, device: Device) -> None:
                     next_hop_ip=next_hop_ip,
                     next_hop_interface=next_hop_interface,
                     admin_distance=preference,
+                    source_file=config.filename,
+                    source_line=number,
                 )
             )
         else:
@@ -472,7 +558,11 @@ def _convert_routing_options(config: JuniperConfig, device: Device) -> None:
 
 
 def _convert_policy(config: JuniperConfig, name: str) -> RouteMap:
-    route_map = RouteMap(name=name)
+    route_map = RouteMap(
+        name=name,
+        source_file=config.filename,
+        source_line=config.definition_lines.get(("route-map", name), 0),
+    )
     for seq, term_name in enumerate(config.policy_term_order[name], start=1):
         term = config.policy_terms[name][term_name]
         action = Action.PERMIT
@@ -501,22 +591,43 @@ def _convert_policy(config: JuniperConfig, name: str) -> RouteMap:
             elif from_[:1] == ["protocol"] and len(from_) >= 2:
                 matches.append(RouteMapMatch(MatchKind.PROTOCOL, from_[1]))
         route_map.clauses.append(
-            RouteMapClause(seq=seq * 10, action=action, matches=matches, sets=sets)
+            RouteMapClause(
+                seq=seq * 10,
+                action=action,
+                matches=matches,
+                sets=sets,
+                source_file=config.filename,
+                source_line=config.term_lines.get(("policy", name, term_name), 0),
+            )
         )
     return route_map
 
 
 def _convert_filter(config: JuniperConfig, name: str) -> Acl:
-    acl = Acl(name=name)
+    acl = Acl(
+        name=name,
+        source_file=config.filename,
+        source_line=config.definition_lines.get(("acl", name), 0),
+    )
     for term_name in config.filter_term_order[name]:
         term = config.filter_terms[name][term_name]
-        line = _term_to_acl_line(term, f"term {term_name}")
+        line = _term_to_acl_line(
+            term,
+            f"term {term_name}",
+            source_file=config.filename,
+            source_line=config.term_lines.get(("filter", name, term_name), 0),
+        )
         if line is not None:
             acl.lines.append(line)
     return acl
 
 
-def _term_to_acl_line(term: JuniperTerm, label: str) -> Optional[AclLine]:
+def _term_to_acl_line(
+    term: JuniperTerm,
+    label: str,
+    source_file: str = "",
+    source_line: int = 0,
+) -> Optional[AclLine]:
     action = Action.PERMIT
     for then in term.thens:
         if then[:1] == ["accept"]:
@@ -550,6 +661,8 @@ def _term_to_acl_line(term: JuniperTerm, label: str) -> Optional[AclLine]:
         dst_ports=tuple(dst_ports),
         established=established,
         name=label,
+        source_file=source_file,
+        source_line=source_line,
     )
 
 
@@ -564,14 +677,24 @@ def _convert_zone_policies(config: JuniperConfig, device: Device) -> None:
     """Each zone pair becomes a synthetic ACL built from its policies."""
     for (from_zone, to_zone), policies in config.zone_policies.items():
         acl_name = f"~zone~{from_zone}~{to_zone}~"
-        acl = Acl(name=acl_name)
+        acl = Acl(name=acl_name, source_file=config.filename)
         for policy_name, term in policies.items():
-            line = _term_to_acl_line(term, f"policy {policy_name}")
+            line = _term_to_acl_line(
+                term,
+                f"policy {policy_name}",
+                source_file=config.filename,
+                source_line=config.term_lines.get(
+                    ("security-policy", f"{from_zone}|{to_zone}", policy_name), 0
+                ),
+            )
             if line is not None:
                 acl.lines.append(line)
+            if line is not None and not acl.source_line:
+                acl.source_line = line.source_line
         device.acls[acl_name] = acl
         device.zone_policies[(from_zone, to_zone)] = ZonePolicy(
-            from_zone=from_zone, to_zone=to_zone, acl=acl_name
+            from_zone=from_zone, to_zone=to_zone, acl=acl_name,
+            source_file=config.filename, source_line=acl.source_line,
         )
         for zone_name in (from_zone, to_zone):
             device.zones.setdefault(zone_name, Zone(name=zone_name))

@@ -82,6 +82,8 @@ class Acl:
 
     name: str
     lines: List[AclLine] = field(default_factory=list)
+    source_file: str = ""
+    source_line: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +116,8 @@ class PrefixListLine:
 class PrefixList:
     name: str
     lines: List[PrefixListLine] = field(default_factory=list)
+    source_file: str = ""
+    source_line: int = 0
 
     def permits(self, prefix: Prefix) -> bool:
         """First-match evaluation with implicit deny."""
@@ -130,6 +134,8 @@ class CommunityList:
 
     name: str
     communities: List[str] = field(default_factory=list)
+    source_file: str = ""
+    source_line: int = 0
 
     def permits(self, route_communities: Sequence[str]) -> bool:
         return any(c in self.communities for c in route_communities)
@@ -197,12 +203,16 @@ class RouteMapClause:
     action: Action
     matches: List[RouteMapMatch] = field(default_factory=list)
     sets: List[RouteMapSet] = field(default_factory=list)
+    source_file: str = ""
+    source_line: int = 0
 
 
 @dataclass
 class RouteMap:
     name: str
     clauses: List[RouteMapClause] = field(default_factory=list)
+    source_file: str = ""
+    source_line: int = 0
 
     def sorted_clauses(self) -> List[RouteMapClause]:
         return sorted(self.clauses, key=lambda c: c.seq)
@@ -219,6 +229,8 @@ class StaticRoute:
     next_hop_interface: Optional[str] = None  # includes null interfaces
     admin_distance: int = 1
     tag: int = 0
+    source_file: str = ""
+    source_line: int = 0
 
     @property
     def is_null_routed(self) -> bool:
@@ -234,6 +246,8 @@ class Redistribution:
     source: Protocol
     route_map: Optional[str] = None
     metric: Optional[int] = None
+    source_file: str = ""
+    source_line: int = 0
 
 
 @dataclass
@@ -259,6 +273,8 @@ class BgpNeighbor:
     ebgp_multihop: bool = False
     update_source: Optional[str] = None  # interface name
     local_as: Optional[int] = None
+    source_file: str = ""
+    source_line: int = 0
 
 
 @dataclass
@@ -311,6 +327,8 @@ class ZonePolicy:
     from_zone: str
     to_zone: str
     acl: str
+    source_file: str = ""
+    source_line: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -325,17 +343,22 @@ class Interface:
     enabled: bool = True
     description: str = ""
     bandwidth: int = 1_000_000_000  # bps
+    mtu: int = 1500
     # OSPF per-interface settings.
     ospf_enabled: bool = False
     ospf_area: int = 0
     ospf_cost: Optional[int] = None
     ospf_passive: bool = False
+    ospf_hello_interval: int = 10  # seconds (vendor default)
+    ospf_dead_interval: int = 40
     # Filters and transformations.
     incoming_acl: Optional[str] = None
     outgoing_acl: Optional[str] = None
     src_nat_rules: List[NatRule] = field(default_factory=list)
     dst_nat_rules: List[NatRule] = field(default_factory=list)
     zone: Optional[str] = None
+    source_file: str = ""
+    source_line: int = 0
 
     @property
     def prefix(self) -> Optional[Prefix]:
@@ -377,6 +400,10 @@ class Device:
     dns_servers: List[Ip] = field(default_factory=list)
     snmp_communities: List[str] = field(default_factory=list)
     config_lines: int = 0  # LoC of the original text, for reporting
+    #: In-source lint suppressions: (rule_id, source_file, source_line)
+    #: captured from ``lint-disable`` comments; rule_id "*" disables all
+    #: rules for this device.
+    lint_suppressions: List[Tuple[str, str, int]] = field(default_factory=list)
 
     def interface_ips(self) -> List[Tuple[str, Ip, int]]:
         """(interface, address, prefix-length) for all addressed

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.config.model import Device, MatchKind
 
@@ -36,55 +36,66 @@ class StructureRef:
     structure_type: StructureType
     name: str
     context: str  # human-readable description of the referencing spot
+    #: Location of the referencing configuration statement.
+    source_file: str = ""
+    source_line: int = 0
+    #: The structure *containing* the reference, when the reference is
+    #: made from inside another named structure (e.g. a route-map clause
+    #: matching a prefix-list). None for references from non-structure
+    #: sites (interfaces, routing processes, zone pairs, static routes).
+    origin: Optional[Tuple[StructureType, str]] = None
 
 
 def iter_references(device: Device) -> Iterator[StructureRef]:
     """Yield every structure reference made by a device's configuration."""
     host = device.hostname
     for iface in device.interfaces.values():
+        where = (iface.source_file, iface.source_line)
         if iface.incoming_acl:
             yield StructureRef(
                 host, StructureType.ACL, iface.incoming_acl,
-                f"interface {iface.name} incoming filter",
+                f"interface {iface.name} incoming filter", *where,
             )
         if iface.outgoing_acl:
             yield StructureRef(
                 host, StructureType.ACL, iface.outgoing_acl,
-                f"interface {iface.name} outgoing filter",
+                f"interface {iface.name} outgoing filter", *where,
             )
         if iface.zone:
             yield StructureRef(
                 host, StructureType.ZONE, iface.zone,
-                f"interface {iface.name} zone membership",
+                f"interface {iface.name} zone membership", *where,
             )
         for rule in iface.src_nat_rules + iface.dst_nat_rules:
             if rule.match_acl:
                 yield StructureRef(
                     host, StructureType.ACL, rule.match_acl,
-                    f"interface {iface.name} NAT rule match",
+                    f"interface {iface.name} NAT rule match", *where,
                 )
     if device.bgp is not None:
         for neighbor in device.bgp.neighbors.values():
+            where = (neighbor.source_file, neighbor.source_line)
             if neighbor.import_policy:
                 yield StructureRef(
                     host, StructureType.ROUTE_MAP, neighbor.import_policy,
-                    f"bgp neighbor {neighbor.peer_ip} import policy",
+                    f"bgp neighbor {neighbor.peer_ip} import policy", *where,
                 )
             if neighbor.export_policy:
                 yield StructureRef(
                     host, StructureType.ROUTE_MAP, neighbor.export_policy,
-                    f"bgp neighbor {neighbor.peer_ip} export policy",
+                    f"bgp neighbor {neighbor.peer_ip} export policy", *where,
                 )
             if neighbor.update_source:
                 yield StructureRef(
                     host, StructureType.INTERFACE, neighbor.update_source,
-                    f"bgp neighbor {neighbor.peer_ip} update-source",
+                    f"bgp neighbor {neighbor.peer_ip} update-source", *where,
                 )
         for redist in device.bgp.redistributions:
             if redist.route_map:
                 yield StructureRef(
                     host, StructureType.ROUTE_MAP, redist.route_map,
                     f"bgp redistribute {redist.source.value}",
+                    redist.source_file, redist.source_line,
                 )
     if device.ospf is not None:
         for redist in device.ospf.redistributions:
@@ -92,6 +103,7 @@ def iter_references(device: Device) -> Iterator[StructureRef]:
                 yield StructureRef(
                     host, StructureType.ROUTE_MAP, redist.route_map,
                     f"ospf redistribute {redist.source.value}",
+                    redist.source_file, redist.source_line,
                 )
     for route_map in device.route_maps.values():
         for clause in route_map.clauses:
@@ -105,22 +117,26 @@ def iter_references(device: Device) -> Iterator[StructureRef]:
                     yield StructureRef(
                         host, ref_type, match.value,
                         f"route-map {route_map.name} clause {clause.seq} match",
+                        clause.source_file, clause.source_line,
+                        origin=(StructureType.ROUTE_MAP, route_map.name),
                     )
     for policy in device.zone_policies.values():
+        where = (policy.source_file, policy.source_line)
         yield StructureRef(
             host, StructureType.ACL, policy.acl,
-            f"zone-pair {policy.from_zone} -> {policy.to_zone} policy",
+            f"zone-pair {policy.from_zone} -> {policy.to_zone} policy", *where,
         )
         for zone_name in (policy.from_zone, policy.to_zone):
             yield StructureRef(
                 host, StructureType.ZONE, zone_name,
-                f"zone-pair {policy.from_zone} -> {policy.to_zone}",
+                f"zone-pair {policy.from_zone} -> {policy.to_zone}", *where,
             )
     for static in device.static_routes:
         if static.next_hop_interface and not static.is_null_routed:
             yield StructureRef(
                 host, StructureType.INTERFACE, static.next_hop_interface,
                 f"static route {static.prefix} next-hop interface",
+                static.source_file, static.source_line,
             )
 
 
@@ -163,17 +179,36 @@ _CHECKED_FOR_UNUSED = (
 
 
 def unused_structures(device: Device) -> List[UnusedStructure]:
-    """Defined structures never referenced anywhere on the device."""
-    referenced = {
-        (ref.structure_type, ref.name) for ref in iter_references(device)
-    }
-    # A route map referenced by another route map's continuation is not
-    # modeled; route maps referenced only via redistribution/neighbors are
-    # covered by iter_references.
+    """Defined structures not reachable from any active reference site.
+
+    Transitive-aware: a reference made from *inside* another structure
+    (a route-map clause matching a prefix-list) only counts if the
+    containing structure is itself used — so a prefix-list referenced
+    only by an unused route-map is reported as unused too, instead of
+    being masked by the dead reference.
+    """
+    used: Set[Tuple[StructureType, str]] = set()
+    deps: Dict[Tuple[StructureType, str], Set[Tuple[StructureType, str]]] = {}
+    for ref in iter_references(device):
+        key = (ref.structure_type, ref.name)
+        if ref.origin is None:
+            used.add(key)
+        else:
+            deps.setdefault(ref.origin, set()).add(key)
+    # Propagate usage through structure-to-structure references until a
+    # fixpoint (route maps are currently the only containers, but the
+    # loop handles deeper chains should the model grow them).
+    changed = True
+    while changed:
+        changed = False
+        for origin, targets in deps.items():
+            if origin in used and not targets <= used:
+                used |= targets
+                changed = True
     unused: List[UnusedStructure] = []
     for structure_type in _CHECKED_FOR_UNUSED:
         for name in _definitions(device, structure_type):
-            if (structure_type, name) not in referenced:
+            if (structure_type, name) not in used:
                 unused.append(
                     UnusedStructure(device.hostname, structure_type, name)
                 )

@@ -281,6 +281,17 @@ class Session:
     def duplicate_ips(self) -> DuplicateIpsAnswer:
         return duplicate_ips_question(self.snapshot)
 
+    def lint(self, lintconfig: Optional[Dict] = None, jobs: Optional[int] = None):
+        """Run the semantic lint engine (``repro.lint``) over the
+        snapshot. ``lintconfig`` follows ``LintConfig.from_dict``:
+        ``{"rules": [...], "disable": [...], "severity": {...},
+        "suppress": [...]}``. Returns a :class:`repro.lint.LintReport`."""
+        from repro.lint import LintConfig, lint_snapshot
+
+        return lint_snapshot(
+            self.snapshot, LintConfig.from_dict(lintconfig), jobs=jobs
+        )
+
     def management_plane_consistency(
         self,
         expected_ntp: Optional[List[str]] = None,

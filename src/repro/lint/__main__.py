@@ -1,0 +1,223 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Examples::
+
+    python -m repro.lint --snapshot configs/ --format text
+    python -m repro.lint --network NET3 --format sarif --out lint.sarif
+    python -m repro.lint --network all --fail-on warning
+    python -m repro.lint --network all --format sarif \\
+        --baseline ci/lint_baseline.sarif   # exit 2 on drift
+
+Exit codes: 0 clean, 1 findings at/above ``--fail-on``, 2 baseline
+drift or usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
+from repro.lint.model import Finding, LintConfig, Location, Related
+from repro.lint.registry import all_rules
+from repro.lint.runner import LintReport, lint_snapshot
+from repro.lint.sarif import compare_to_baseline, to_sarif
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Run the semantic configuration linter.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--snapshot", metavar="DIR", help="directory of *.cfg files to lint"
+    )
+    source.add_argument(
+        "--network",
+        metavar="NAME",
+        help="synthetic network name (NET1..NET11) or 'all'",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write output to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note", "never"),
+        default="never",
+        help="exit 1 when any finding at/above this severity is active",
+    )
+    parser.add_argument(
+        "--rules", metavar="ID[,ID...]", help="run only these rules"
+    )
+    parser.add_argument(
+        "--disable", metavar="ID[,ID...]", help="skip these rules"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="parallel rule workers"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="SARIF baseline to diff against; exit 2 on any drift",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="include per-rule wall-clock in text output",
+    )
+    return parser.parse_args(argv)
+
+
+def _prefix_files(findings: List[Finding], prefix: str) -> List[Finding]:
+    """Namespace finding locations with the network name so multi-network
+    SARIF logs keep distinct, stable URIs."""
+
+    def reroot(location: Location) -> Location:
+        if not location.file:
+            return location
+        return Location(f"{prefix}/{location.file}", location.line)
+
+    out = []
+    for finding in findings:
+        out.append(
+            replace(
+                finding,
+                location=reroot(finding.location),
+                related=tuple(
+                    Related(reroot(rel.location), rel.message)
+                    for rel in finding.related
+                ),
+            )
+        )
+    return out
+
+
+def _network_configs(name: str) -> Dict[str, str]:
+    from repro.synth.networks import network_by_name
+
+    return network_by_name(name).generate(1)
+
+
+def _collect_report(args: argparse.Namespace, config: LintConfig) -> LintReport:
+    if args.snapshot:
+        snapshot = load_snapshot_from_dir(args.snapshot)
+        return lint_snapshot(snapshot, config, jobs=args.jobs)
+    if args.network and args.network.lower() != "all":
+        snapshot = load_snapshot_from_texts(_network_configs(args.network))
+        return lint_snapshot(snapshot, config, jobs=args.jobs)
+    # All synthetic networks: one merged report, URIs namespaced by
+    # network name so the baseline stays unambiguous.
+    from repro.synth.networks import NETWORKS
+
+    merged = LintReport()
+    for spec in NETWORKS:
+        snapshot = load_snapshot_from_texts(spec.generate(1))
+        report = lint_snapshot(snapshot, config, jobs=args.jobs)
+        merged.findings.extend(_prefix_files(report.findings, spec.name))
+        merged.total_seconds += report.total_seconds
+        for rule_id, seconds in report.rule_seconds.items():
+            merged.rule_seconds[rule_id] = (
+                merged.rule_seconds.get(rule_id, 0.0) + seconds
+            )
+        for rule_id in report.rules_run:
+            if rule_id not in merged.rules_run:
+                merged.rules_run.append(rule_id)
+    return merged
+
+
+def _render_text(report: LintReport, timings: bool) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        mark = " (suppressed)" if finding.suppressed else ""
+        lines.append(
+            f"{finding.severity.label:7s} {finding.rule_id:28s} "
+            f"{finding.hostname:12s} {finding.location}  "
+            f"{finding.message}{mark}"
+        )
+        for rel in finding.related:
+            lines.append(f"        ^ {rel.location}  {rel.message}")
+    counts = report.counts_by_severity()
+    summary = ", ".join(
+        f"{counts.get(label, 0)} {label}"
+        for label in ("error", "warning", "note")
+    )
+    suppressed = len(report.findings) - len(report.active())
+    lines.append(
+        f"{len(report.active())} findings ({summary}); "
+        f"{suppressed} suppressed"
+    )
+    if timings:
+        for rule_id, seconds in sorted(report.rule_seconds.items()):
+            lines.append(f"  {rule_id:30s} {seconds * 1000:8.1f} ms")
+        lines.append(f"  {'total':30s} {report.total_seconds * 1000:8.1f} ms")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.rule_id:30s} {rule.severity.label:8s} "
+                f"{rule.category:12s} {rule.description}"
+            )
+        return 0
+    if not args.snapshot and not args.network:
+        print(
+            "error: one of --snapshot or --network is required",
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig.from_dict(
+        {
+            "rules": args.rules.split(",") if args.rules else None,
+            "disable": args.disable.split(",") if args.disable else [],
+        }
+    )
+    report = _collect_report(args, config)
+
+    rules = all_rules()
+    if args.format == "sarif":
+        output = json.dumps(to_sarif(report.findings, rules), indent=2) + "\n"
+    elif args.format == "json":
+        output = json.dumps(report.to_json(), indent=2) + "\n"
+    else:
+        output = _render_text(report, args.timings)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+    else:
+        sys.stdout.write(output)
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        current = to_sarif(report.findings, rules)
+        new, resolved = compare_to_baseline(current, baseline)
+        if new or resolved:
+            for key in new:
+                print(f"baseline drift: new finding {key}", file=sys.stderr)
+            for key in resolved:
+                print(
+                    f"baseline drift: resolved finding {key}", file=sys.stderr
+                )
+            return 2
+        print("baseline: no drift", file=sys.stderr)
+    return report.exit_code(args.fail_on)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Core data model for the lint framework.
+
+Lesson 5: the most-used Batfish analyses are the simple, local ones —
+undefined references, unreachable ACL lines, incompatible BGP sessions —
+because their findings localize to a file and line the operator can fix
+immediately. Everything in this package therefore carries *provenance*:
+a :class:`Finding` points at the configuration line that produced it,
+plus related locations (witnesses) explaining *why*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Ordered so that comparisons implement ``--fail-on`` thresholds."""
+
+    NOTE = 1
+    WARNING = 2
+    ERROR = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{', '.join(s.label for s in cls)}"
+            )
+
+
+@dataclass(frozen=True)
+class Location:
+    """A (file, line) provenance pointer. ``line == 0`` means the
+    structure has no recorded source position (synthetic or vendor
+    structures without line tracking)."""
+
+    file: str = ""
+    line: int = 0
+
+    def __str__(self) -> str:
+        if not self.file:
+            return "<unknown>"
+        return f"{self.file}:{self.line}" if self.line else self.file
+
+    def to_json(self) -> Dict:
+        return {"file": self.file, "line": self.line}
+
+
+@dataclass(frozen=True)
+class Related:
+    """A witness location: a second configuration line that explains the
+    finding (e.g. the earlier ACL line shadowing this one)."""
+
+    location: Location
+    message: str
+
+    def to_json(self) -> Dict:
+        return {"location": self.location.to_json(), "message": self.message}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint result, with provenance and optional witnesses."""
+
+    rule_id: str
+    severity: Severity
+    category: str
+    hostname: str
+    message: str
+    location: Location = Location()
+    related: Tuple[Related, ...] = ()
+    suppressed: bool = False
+    #: Why the finding is suppressed ("" when not suppressed), e.g.
+    #: "lint-disable at r1.cfg:3" or "lintconfig suppression".
+    suppression: str = ""
+
+    def to_json(self) -> Dict:
+        row = {
+            "rule": self.rule_id,
+            "severity": self.severity.label,
+            "category": self.category,
+            "node": self.hostname,
+            "message": self.message,
+            "location": self.location.to_json(),
+        }
+        if self.related:
+            row["related"] = [r.to_json() for r in self.related]
+        if self.suppressed:
+            row["suppressed"] = True
+            row["suppression"] = self.suppression
+        return row
+
+
+_CONFIG_KEYS = {"rules", "disable", "severity", "suppress"}
+
+
+@dataclass
+class LintConfig:
+    """Per-run rule configuration (the ``lintconfig`` dict of the API).
+
+    * ``rules`` — when non-None, only these rule ids run.
+    * ``disable`` — rule ids excluded from the run.
+    * ``severity`` — per-rule severity overrides.
+    * ``suppress`` — (rule-or-*, hostname-or-*) pairs; matching findings
+      are kept but marked suppressed (SARIF ``suppressions``).
+    """
+
+    rules: Optional[Set[str]] = None
+    disable: Set[str] = field(default_factory=set)
+    severity: Dict[str, Severity] = field(default_factory=dict)
+    suppress: List[Tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, raw: Optional[Dict]) -> "LintConfig":
+        if not raw:
+            return cls()
+        unknown = set(raw) - _CONFIG_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown lintconfig keys: {sorted(unknown)}; "
+                f"expected {sorted(_CONFIG_KEYS)}"
+            )
+        rules = raw.get("rules")
+        severity = {
+            rule: Severity.from_name(level)
+            for rule, level in (raw.get("severity") or {}).items()
+        }
+        suppress: List[Tuple[str, str]] = []
+        for entry in raw.get("suppress") or []:
+            if isinstance(entry, str):
+                suppress.append((entry, "*"))
+            else:
+                suppress.append(
+                    (entry.get("rule", "*"), entry.get("node", "*"))
+                )
+        return cls(
+            rules=set(rules) if rules is not None else None,
+            disable=set(raw.get("disable") or ()),
+            severity=severity,
+            suppress=suppress,
+        )
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.disable:
+            return False
+        return self.rules is None or rule_id in self.rules
+
+    def effective_severity(self, rule_id: str, default: Severity) -> Severity:
+        return self.severity.get(rule_id, default)
+
+    def suppresses(self, finding: Finding) -> bool:
+        for rule, node in self.suppress:
+            if rule in ("*", finding.rule_id) and node in ("*", finding.hostname):
+                return True
+        return False
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic presentation order: severity first, then rule,
+    then location."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            -int(f.severity),
+            f.rule_id,
+            f.hostname,
+            f.location.file,
+            f.location.line,
+            f.message,
+        ),
+    )

@@ -1,0 +1,166 @@
+"""A small BDD encoding of *route* space for policy reachability.
+
+The packet-space encoder (`repro.hdr`) models packets; route maps match
+on route attributes instead — the announced prefix (address + length)
+and the community set. This module builds a per-device BDD over:
+
+* 32 variables for the prefix network address (MSB first),
+* 6 variables for the prefix length (0..32 in a 6-bit field),
+* one variable per distinct community string named by the device's
+  community lists ("does the route carry community C").
+
+That is enough to encode prefix-list and community-list matches
+*exactly*, mirroring the concrete first-match semantics of
+``PrefixList.permits`` / ``CommunityList.permits``. Matches the engine
+cannot encode (as-path regexes, tag/metric/protocol) are treated as
+"unknown": the clause's space becomes an over-approximation, which
+keeps unreachability findings sound — a clause is only flagged when
+even the over-approximation has no route left to match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bdd.engine import FALSE, TRUE, BddEngine
+from repro.config.model import (
+    Action,
+    Device,
+    MatchKind,
+    PrefixList,
+    PrefixListLine,
+    RouteMapClause,
+)
+
+ADDR_BITS = 32
+LEN_BITS = 6  # values 0..63; only 0..32 are produced by parsers
+
+
+class RouteSpaceEncoder:
+    """Per-device symbolic encoder for route-map match spaces."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        communities = sorted(
+            {
+                community
+                for clist in device.community_lists.values()
+                for community in clist.communities
+            }
+        )
+        self._community_var: Dict[str, int] = {
+            community: ADDR_BITS + LEN_BITS + index
+            for index, community in enumerate(communities)
+        }
+        self.engine = BddEngine(ADDR_BITS + LEN_BITS + len(communities))
+
+    # -- field primitives --------------------------------------------------
+
+    def _length_eq(self, value: int) -> int:
+        engine = self.engine
+        bdd = TRUE
+        for bit in range(LEN_BITS):
+            level = ADDR_BITS + bit
+            if (value >> (LEN_BITS - 1 - bit)) & 1:
+                bdd = engine.and_(bdd, engine.var(level))
+            else:
+                bdd = engine.and_(bdd, engine.nvar(level))
+        return bdd
+
+    def length_in_range(self, low: int, high: int) -> int:
+        if low > high:
+            return FALSE
+        return self.engine.or_all(
+            [self._length_eq(value) for value in range(low, high + 1)]
+        )
+
+    def address_under(self, prefix) -> int:
+        """Routes whose network address lies inside ``prefix`` (the
+        containment half of ``Prefix.contains_prefix``)."""
+        engine = self.engine
+        bdd = TRUE
+        network = prefix.network
+        for bit in range(prefix.length):
+            if network.bit(bit):
+                bdd = engine.and_(bdd, engine.var(bit))
+            else:
+                bdd = engine.and_(bdd, engine.nvar(bit))
+        return bdd
+
+    def community(self, name: str) -> int:
+        level = self._community_var.get(name)
+        if level is None:
+            return FALSE
+        return self.engine.var(level)
+
+    # -- structure spaces --------------------------------------------------
+
+    def prefix_list_line_space(self, line: PrefixListLine) -> int:
+        """Exact encoding of ``PrefixListLine.matches``."""
+        if line.ge is None and line.le is None:
+            band = self._length_eq(line.prefix.length)
+        else:
+            low = line.ge if line.ge is not None else line.prefix.length
+            high = line.le if line.le is not None else 32
+            # contains_prefix additionally requires the matched prefix to
+            # be at least as long as the list entry's.
+            low = max(low, line.prefix.length)
+            band = self.length_in_range(low, high)
+        return self.engine.and_(self.address_under(line.prefix), band)
+
+    def prefix_list_space(self, plist: PrefixList) -> int:
+        """First-match permit space with implicit deny."""
+        engine = self.engine
+        remaining = TRUE
+        permitted = FALSE
+        for line in plist.lines:
+            space = self.prefix_list_line_space(line)
+            effective = engine.and_(space, remaining)
+            if line.action is Action.PERMIT:
+                permitted = engine.or_(permitted, effective)
+            remaining = engine.diff(remaining, space)
+        return permitted
+
+    def community_list_space(self, name: str) -> int:
+        clist = self.device.community_lists.get(name)
+        if clist is None:
+            return FALSE
+        return self.engine.or_all(
+            [self.community(c) for c in clist.communities]
+        )
+
+    def clause_space(self, clause: RouteMapClause) -> Tuple[int, bool]:
+        """The set of routes a clause's match conditions accept.
+
+        Returns ``(space, exact)``. When ``exact`` is False the space is
+        an over-approximation (some match kind was not encodable), safe
+        for proving *unreachability* but not for subtracting from the
+        residual of later clauses.
+        """
+        engine = self.engine
+        space = TRUE
+        exact = True
+        for match in clause.matches:
+            if match.kind is MatchKind.PREFIX_LIST:
+                plist = self.device.prefix_lists.get(match.value)
+                if plist is None:
+                    # Mirrors DEFAULT_SEMANTICS.undefined_prefix_list_
+                    # fails_match: the match never holds.
+                    space = FALSE
+                else:
+                    space = engine.and_(space, self.prefix_list_space(plist))
+            elif match.kind is MatchKind.COMMUNITY:
+                space = engine.and_(
+                    space, self.community_list_space(match.value)
+                )
+            else:
+                # as-path regexes, tag/metric/protocol: not encoded.
+                exact = False
+        return space, exact
+
+    def route_map_clause_spaces(
+        self, clauses: List[RouteMapClause]
+    ) -> List[Tuple[RouteMapClause, int, bool]]:
+        return [
+            (clause, *self.clause_space(clause)) for clause in clauses
+        ]

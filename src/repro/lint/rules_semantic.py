@@ -1,0 +1,292 @@
+"""Semantic (BDD-backed) lint rules.
+
+These go beyond syntax: each rule asks a satisfiability question about
+packet or route space. `acl-line-unreachable` is this codebase's
+``filterLineReachability`` — per Lesson 5 one of the most-used Batfish
+analyses because an unreachable line is almost always a bug and the
+finding names the exact lines involved.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import obs
+from repro.bdd.engine import FALSE, TRUE
+from repro.config.model import Acl, Device, Snapshot
+from repro.dataplane.acl import line_space
+from repro.hdr.headerspace import PacketEncoder
+from repro.lint.model import Finding, Location, Related, Severity
+from repro.lint.registry import rule
+from repro.lint.routespace import RouteSpaceEncoder
+
+
+def _acl_location(device: Device, acl: Acl, index: int) -> Location:
+    line = acl.lines[index]
+    if line.source_line:
+        return Location(line.source_file, line.source_line)
+    return Location(acl.source_file, acl.source_line)
+
+
+def _blocking_witnesses(
+    engine, spaces: List[int], index: int, covered: int, device: Device, acl: Acl
+) -> Tuple[Related, ...]:
+    """The minimal prefix-walk of earlier lines that jointly absorb
+    ``covered`` packet space (same witness discipline as
+    ``unreachable_filter_lines``)."""
+    related: List[Related] = []
+    remaining = covered
+    for earlier in range(index):
+        if remaining == FALSE:
+            break
+        overlap = engine.and_(spaces[earlier], remaining)
+        if overlap == FALSE:
+            continue
+        earlier_line = acl.lines[earlier]
+        related.append(
+            Related(
+                _acl_location(device, acl, earlier),
+                f"line {earlier} ({earlier_line.name or earlier_line.action.value})"
+                " matches part of this line's space first",
+            )
+        )
+        remaining = engine.diff(remaining, spaces[earlier])
+    return tuple(related)
+
+
+def _acl_line_findings(snapshot: Snapshot, want_unreachable: bool) -> List[Finding]:
+    encoder = PacketEncoder()
+    engine = encoder.engine
+    findings: List[Finding] = []
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        for acl_name in sorted(device.acls):
+            acl = device.acls[acl_name]
+            spaces = [line_space(line, encoder) for line in acl.lines]
+            remaining = TRUE
+            for index, space in enumerate(spaces):
+                if obs.enabled():
+                    obs.touch("acl_line", hostname, acl.name, index)
+                acl_line = acl.lines[index]
+                label = acl_line.name or f"line {index}"
+                effective = engine.and_(space, remaining)
+                if want_unreachable and effective == FALSE:
+                    if space == FALSE:
+                        findings.append(
+                            Finding(
+                                "acl-line-unreachable",
+                                Severity.ERROR,
+                                "semantic",
+                                hostname,
+                                f"ACL {acl.name} {label} is unsatisfiable: "
+                                "no packet can match it regardless of position",
+                                _acl_location(device, acl, index),
+                            )
+                        )
+                    else:
+                        findings.append(
+                            Finding(
+                                "acl-line-unreachable",
+                                Severity.ERROR,
+                                "semantic",
+                                hostname,
+                                f"ACL {acl.name} {label} is unreachable: "
+                                "every packet it matches is taken by earlier lines",
+                                _acl_location(device, acl, index),
+                                _blocking_witnesses(
+                                    engine, spaces, index, space, device, acl
+                                ),
+                            )
+                        )
+                elif (
+                    not want_unreachable
+                    and effective != FALSE
+                    and effective != space
+                ):
+                    stolen = engine.diff(space, effective)
+                    findings.append(
+                        Finding(
+                            "acl-line-partially-shadowed",
+                            Severity.WARNING,
+                            "semantic",
+                            hostname,
+                            f"ACL {acl.name} {label} is partially shadowed: "
+                            "earlier lines already match some of its packets",
+                            _acl_location(device, acl, index),
+                            _blocking_witnesses(
+                                engine, spaces, index, stolen, device, acl
+                            ),
+                        )
+                    )
+                remaining = engine.diff(remaining, space)
+    return findings
+
+
+@rule(
+    "acl-line-unreachable",
+    Severity.ERROR,
+    "semantic",
+    "ACL line that no packet can ever reach (fully shadowed by earlier "
+    "lines, or unsatisfiable on its own) — the filterLineReachability check.",
+)
+def acl_line_unreachable(snapshot: Snapshot) -> List[Finding]:
+    return _acl_line_findings(snapshot, want_unreachable=True)
+
+
+@rule(
+    "acl-line-partially-shadowed",
+    Severity.WARNING,
+    "semantic",
+    "ACL line whose match space partially overlaps earlier lines: it still "
+    "fires, but not for all packets it names — often an ordering mistake.",
+)
+def acl_line_partially_shadowed(snapshot: Snapshot) -> List[Finding]:
+    return _acl_line_findings(snapshot, want_unreachable=False)
+
+
+@rule(
+    "route-map-clause-unreachable",
+    Severity.WARNING,
+    "semantic",
+    "Route-map clause that can never fire: its match space is empty or "
+    "fully absorbed by earlier clauses (residual route-space analysis; "
+    "over-approximates unencodable matches, so findings are sound).",
+)
+def route_map_clause_unreachable(snapshot: Snapshot) -> List[Finding]:
+    findings: List[Finding] = []
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        if not device.route_maps:
+            continue
+        encoder = RouteSpaceEncoder(device)
+        engine = encoder.engine
+        for map_name in sorted(device.route_maps):
+            route_map = device.route_maps[map_name]
+            residual = TRUE
+            earlier_exact: List[Tuple[int, int, Location]] = []
+            for clause in route_map.sorted_clauses():
+                if obs.enabled():
+                    obs.touch(
+                        "route_map_clause", hostname, route_map.name, clause.seq
+                    )
+                space, exact = encoder.clause_space(clause)
+                location = Location(clause.source_file, clause.source_line)
+                if engine.and_(space, residual) == FALSE:
+                    if space == FALSE:
+                        message = (
+                            f"route-map {route_map.name} clause {clause.seq} "
+                            "matches no route (its match conditions are "
+                            "unsatisfiable)"
+                        )
+                        related: Tuple[Related, ...] = ()
+                    else:
+                        message = (
+                            f"route-map {route_map.name} clause {clause.seq} "
+                            "is unreachable: earlier clauses match every "
+                            "route it could match"
+                        )
+                        witnesses: List[Related] = []
+                        remaining = space
+                        for seq, espace, elocation in earlier_exact:
+                            if remaining == FALSE:
+                                break
+                            if engine.and_(espace, remaining) == FALSE:
+                                continue
+                            witnesses.append(
+                                Related(
+                                    elocation,
+                                    f"clause {seq} matches part of this "
+                                    "clause's route space first",
+                                )
+                            )
+                            remaining = engine.diff(remaining, espace)
+                        related = tuple(witnesses)
+                    findings.append(
+                        Finding(
+                            "route-map-clause-unreachable",
+                            Severity.WARNING,
+                            "semantic",
+                            hostname,
+                            message,
+                            location,
+                            related,
+                        )
+                    )
+                if exact:
+                    earlier_exact.append((clause.seq, space, location))
+                    residual = engine.diff(residual, space)
+    return findings
+
+
+@rule(
+    "vacuous-match",
+    Severity.WARNING,
+    "semantic",
+    "Prefix list or community list whose match space is empty (matches "
+    "nothing): dead configuration that silently denies everything.",
+)
+def vacuous_match(snapshot: Snapshot) -> List[Finding]:
+    findings: List[Finding] = []
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        needs_engine = device.prefix_lists or device.community_lists
+        if not needs_engine:
+            continue
+        encoder = RouteSpaceEncoder(device)
+        engine = encoder.engine
+        for name in sorted(device.prefix_lists):
+            plist = device.prefix_lists[name]
+            location = Location(plist.source_file, plist.source_line)
+            if not plist.lines:
+                findings.append(
+                    Finding(
+                        "vacuous-match",
+                        Severity.WARNING,
+                        "semantic",
+                        hostname,
+                        f"prefix-list {name} has no lines: with the "
+                        "implicit deny it matches nothing",
+                        location,
+                    )
+                )
+                continue
+            for index, line in enumerate(plist.lines):
+                if encoder.prefix_list_line_space(line) == FALSE:
+                    findings.append(
+                        Finding(
+                            "vacuous-match",
+                            Severity.WARNING,
+                            "semantic",
+                            hostname,
+                            f"prefix-list {name} line {index} can never "
+                            "match (empty length band)",
+                            location,
+                        )
+                    )
+            if encoder.prefix_list_space(plist) == FALSE:
+                findings.append(
+                    Finding(
+                        "vacuous-match",
+                        Severity.WARNING,
+                        "semantic",
+                        hostname,
+                        f"prefix-list {name} permits nothing: every line "
+                        "denies or is unsatisfiable",
+                        location,
+                    )
+                )
+        for name in sorted(device.community_lists):
+            clist = device.community_lists[name]
+            if not clist.communities:
+                findings.append(
+                    Finding(
+                        "vacuous-match",
+                        Severity.WARNING,
+                        "semantic",
+                        hostname,
+                        f"community-list {name} lists no communities: it "
+                        "matches no route",
+                        Location(clist.source_file, clist.source_line),
+                    )
+                )
+    return findings

@@ -1,0 +1,149 @@
+"""SARIF 2.1.0 output and baseline comparison.
+
+SARIF (Static Analysis Results Interchange Format) is what lets the
+lint findings ride existing tooling — code-review annotation, CI result
+viewers — instead of inventing another report format. We emit one run
+with full rule metadata, physical locations, witness
+``relatedLocations``, and ``suppressions`` for findings disabled
+in-source.
+
+The baseline helpers implement drift checking for CI: normalize a SARIF
+log to a set of result keys and diff two logs. New findings *and*
+resolved findings both count as drift, so the committed baseline stays
+an exact description of the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.model import Finding, Severity
+from repro.lint.registry import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.NOTE: "note",
+}
+
+
+def _location_json(location, message: str = "") -> Dict:
+    physical: Dict = {
+        "artifactLocation": {"uri": location.file or "<unknown>"}
+    }
+    if location.line:
+        physical["region"] = {"startLine": location.line}
+    entry: Dict = {"physicalLocation": physical}
+    if message:
+        entry["message"] = {"text": message}
+    return entry
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence[Rule]) -> Dict:
+    """Render findings as a single-run SARIF 2.1.0 log."""
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    rule_metadata = [
+        {
+            "id": rule.rule_id,
+            "name": rule.rule_id.replace("-", " ").title().replace(" ", ""),
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+            "properties": {"category": rule.category},
+        }
+        for rule in rules
+    ]
+    results: List[Dict] = []
+    for finding in findings:
+        result: Dict = {
+            "ruleId": finding.rule_id,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [_location_json(finding.location)],
+            "properties": {
+                "node": finding.hostname,
+                "category": finding.category,
+            },
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        if finding.related:
+            result["relatedLocations"] = [
+                _location_json(rel.location, rel.message)
+                for rel in finding.related
+            ]
+        if finding.suppressed:
+            kind = (
+                "inSource"
+                if finding.suppression.startswith("lint-disable")
+                else "external"
+            )
+            result["suppressions"] = [
+                {"kind": kind, "justification": finding.suppression}
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": (
+                            "https://github.com/batfish/batfish"
+                        ),
+                        "rules": rule_metadata,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+ResultKey = Tuple[str, str, int, str]
+
+
+def result_keys(sarif_log: Dict) -> Set[ResultKey]:
+    """Normalize a SARIF log to comparable result keys. Suppressed
+    results are excluded — suppressing a finding in-source resolves it
+    from the baseline's point of view."""
+    keys: Set[ResultKey] = set()
+    for run in sarif_log.get("runs", []):
+        for result in run.get("results", []):
+            if result.get("suppressions"):
+                continue
+            locations = result.get("locations") or [{}]
+            physical = locations[0].get("physicalLocation", {})
+            uri = physical.get("artifactLocation", {}).get("uri", "")
+            line = physical.get("region", {}).get("startLine", 0)
+            keys.add(
+                (
+                    result.get("ruleId", ""),
+                    uri,
+                    line,
+                    result.get("message", {}).get("text", ""),
+                )
+            )
+    return keys
+
+
+def compare_to_baseline(
+    current: Dict, baseline: Dict
+) -> Tuple[List[ResultKey], List[ResultKey]]:
+    """Return (new, resolved) result keys, each sorted."""
+    current_keys = result_keys(current)
+    baseline_keys = result_keys(baseline)
+    return (
+        sorted(current_keys - baseline_keys),
+        sorted(baseline_keys - current_keys),
+    )

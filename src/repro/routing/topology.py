@@ -106,13 +106,27 @@ def build_layer3_topology(snapshot: Snapshot) -> Layer3Topology:
     return topology
 
 
-def duplicate_ips(snapshot: Snapshot) -> List[Tuple[Ip, List[InterfaceId]]]:
-    """Addresses assigned to more than one interface (a Lesson 5 check)."""
+def duplicate_ips(
+    snapshot: Snapshot, include_inactive: bool = False
+) -> List[Tuple[Ip, List[InterfaceId]]]:
+    """Addresses assigned to more than one interface (a Lesson 5 check).
+
+    Administratively-shutdown interfaces are ignored by default: an
+    address shared between a disabled interface and its replacement is
+    routine (staged migration), not a conflict. Pass
+    ``include_inactive=True`` to audit disabled interfaces too.
+    """
     owners: Dict[Ip, List[InterfaceId]] = {}
     for hostname in snapshot.hostnames():
         device = snapshot.device(hostname)
-        for iface_name, address, _length in device.interface_ips():
-            owners.setdefault(address, []).append(InterfaceId(hostname, iface_name))
+        for iface_name, iface in sorted(device.interfaces.items()):
+            if iface.address is None:
+                continue
+            if not iface.enabled and not include_inactive:
+                continue
+            owners.setdefault(iface.address, []).append(
+                InterfaceId(hostname, iface_name)
+            )
     return sorted(
         (ip, ifaces) for ip, ifaces in owners.items() if len(ifaces) > 1
     )

@@ -362,6 +362,25 @@ def _q_duplicate_ips(store, snapshot: str, params: Dict) -> Dict:
     }
 
 
+def _q_lint(store, snapshot: str, params: Dict) -> Dict:
+    """The lint question: run the ``repro.lint`` rule framework.
+
+    ``params["lintconfig"]`` (optional) follows
+    ``LintConfig.from_dict``; malformed configs become structured 400s.
+    """
+    _reject_unknown(params, {"lintconfig", "jobs"}, "params")
+    session = store.get(snapshot)
+    try:
+        jobs = params.get("jobs")
+        report = session.lint(
+            params.get("lintconfig"),
+            jobs=int(jobs) if jobs is not None else None,
+        )
+    except ValueError as error:
+        raise InvalidRequestError("lintconfig", str(error))
+    return report.to_json()
+
+
 def _q_parse_warnings(store, snapshot: str, params: Dict) -> Dict:
     warnings = store.get(snapshot).parse_warnings
     return {"rows": [warning.describe() for warning in warnings]}
@@ -387,6 +406,7 @@ QUESTIONS: Dict[str, Callable] = {
     "undefined_references": _q_undefined_references,
     "unused_structures": _q_unused_structures,
     "duplicate_ips": _q_duplicate_ips,
+    "lint": _q_lint,
     "parse_warnings": _q_parse_warnings,
 }
 

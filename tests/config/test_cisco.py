@@ -311,9 +311,23 @@ class TestWarnings:
 
     def test_unrecognized_interface_line(self):
         _, warnings = parse_cisco(
-            "hostname r1\ninterface Ethernet0\n mtu 9000\n"
+            "hostname r1\ninterface Ethernet0\n duplex full\n"
         )
         assert any("unrecognized interface line" in w.comment for w in warnings)
+
+    def test_mtu_and_ospf_timers_parsed(self):
+        device, warnings = parse_cisco(
+            "hostname r1\n"
+            "interface Ethernet0\n"
+            " ip address 10.0.0.1 255.255.255.0\n"
+            " mtu 9000\n"
+            " ip ospf hello-interval 5\n"
+        )
+        iface = device.interfaces["Ethernet0"]
+        assert iface.mtu == 9000
+        assert iface.ospf_hello_interval == 5
+        assert iface.ospf_dead_interval == 20  # 4x hello when unset
+        assert not warnings
 
     def test_numbered_acl_warns(self):
         _, warnings = parse_cisco("hostname r1\naccess-list 101 permit ip any any\n")

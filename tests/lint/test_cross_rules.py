@@ -1,0 +1,134 @@
+"""Cross-device rules: BGP session compatibility, OSPF adjacency, MTU."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.lint import get_rule
+
+# r1--r2 on 10.0.12.0/24. Deliberate faults:
+#  * r1's AS-65003 neighbor 10.0.12.9 points nowhere (unknown peer)
+#  * r1 sets ebgp-multihop toward r2; r2 does not (one-sided)
+#  * r1 pins update-source Loopback0 (1.1.1.1) but r2 peers with
+#    10.0.12.1 (inconsistent update-source)
+#  * OSPF hello-interval 5 on r1's link vs default 10 on r2's
+#  * mtu 9000 on r1's link vs default 1500 on r2's
+BROKEN_PAIR = {
+    "r1": """
+hostname r1
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf area 0
+ ip ospf hello-interval 5
+ mtu 9000
+router ospf 1
+router bgp 65001
+ neighbor 10.0.12.2 remote-as 65002
+ neighbor 10.0.12.2 ebgp-multihop
+ neighbor 10.0.12.2 update-source Loopback0
+ neighbor 10.0.12.9 remote-as 65003
+""",
+    "r2": """
+hostname r2
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip ospf area 0
+router ospf 1
+router bgp 65002
+ neighbor 10.0.12.1 remote-as 65001
+""",
+}
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return load_snapshot_from_texts(BROKEN_PAIR)
+
+
+class TestBgpSessionCompat:
+    @pytest.fixture(scope="class")
+    def findings(self, snapshot):
+        return get_rule("bgp-session-compat").run(snapshot)
+
+    def test_unknown_peer_reported(self, findings):
+        assert any(
+            "10.0.12.9" in f.message and "not present" in f.message
+            for f in findings
+        )
+
+    def test_one_sided_ebgp_multihop(self, findings):
+        assert any(
+            "ebgp-multihop is set on r1 but not on r2" in f.message
+            for f in findings
+        )
+
+    def test_update_source_inconsistency(self, findings):
+        target = [f for f in findings if "update-source" in f.message]
+        assert len(target) == 1
+        assert "Loopback0" in target[0].message
+        assert "1.1.1.1" in target[0].message
+        # Witness: the remote neighbor statement.
+        assert target[0].related
+
+    def test_finding_locations_resolve(self, findings):
+        for finding in findings:
+            assert finding.location.file == "r1"
+            assert finding.location.line > 0
+
+
+class TestOspfAdjacency:
+    def test_hello_mismatch(self, snapshot):
+        findings = get_rule("ospf-adjacency-mismatch").run(snapshot)
+        assert any(
+            "hello-interval 5 vs 10" in f.message for f in findings
+        )
+        # dead-interval follows hello at 4x on r1 (20) vs default 40.
+        assert any(
+            "dead-interval 20 vs 40" in f.message for f in findings
+        )
+
+    def test_area_mismatch(self):
+        configs = {
+            name: text.replace("ip ospf hello-interval 5\n mtu 9000\n", "")
+            for name, text in BROKEN_PAIR.items()
+        }
+        configs["r2"] = configs["r2"].replace(
+            "ip ospf area 0", "ip ospf area 7"
+        )
+        findings = get_rule("ospf-adjacency-mismatch").run(
+            load_snapshot_from_texts(configs)
+        )
+        assert any("area 0 vs 7" in f.message for f in findings)
+
+    def test_one_sided_ospf(self):
+        configs = dict(BROKEN_PAIR)
+        configs["r2"] = configs["r2"].replace(" ip ospf area 0\n", "")
+        findings = get_rule("ospf-adjacency-mismatch").run(
+            load_snapshot_from_texts(configs)
+        )
+        assert any(
+            "not on the adjacent" in f.message and "r2" in f.message
+            for f in findings
+        )
+
+    def test_matched_pair_is_clean(self):
+        configs = {
+            "a": BROKEN_PAIR["r2"].replace("r2", "a").replace(
+                "10.0.12.2", "10.0.12.7"
+            ),
+            "b": BROKEN_PAIR["r2"].replace("r2", "b").replace(
+                "10.0.12.2", "10.0.12.8"
+            ),
+        }
+        snapshot = load_snapshot_from_texts(configs)
+        assert get_rule("ospf-adjacency-mismatch").run(snapshot) == []
+        assert get_rule("mtu-mismatch").run(snapshot) == []
+
+
+class TestMtuMismatch:
+    def test_mismatch_reported_once_per_link(self, snapshot):
+        findings = get_rule("mtu-mismatch").run(snapshot)
+        assert len(findings) == 1
+        assert "9000 vs 1500" in findings[0].message
+        assert findings[0].related

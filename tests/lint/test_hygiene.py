@@ -1,0 +1,90 @@
+"""Hygiene rules, plus regression coverage for the satellite fixes:
+shutdown interfaces in duplicate-ip, and transitive unused-structure
+propagation."""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.lint import get_rule
+from repro.routing.topology import duplicate_ips
+
+
+class TestDuplicateIpShutdown:
+    CONFIGS = {
+        "r1": """
+hostname r1
+interface e0
+ ip address 10.0.0.1 255.255.255.0
+interface e1
+ ip address 10.0.0.1 255.255.255.0
+ shutdown
+""",
+        "r2": """
+hostname r2
+interface e0
+ ip address 10.0.0.9 255.255.255.0
+ shutdown
+interface e1
+ ip address 10.0.0.9 255.255.255.0
+ shutdown
+""",
+    }
+
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return load_snapshot_from_texts(self.CONFIGS)
+
+    def test_shutdown_interfaces_ignored(self, snapshot):
+        # The only duplicates involve a shutdown interface (a staged
+        # migration), so nothing is reported.
+        assert get_rule("duplicate-ip").run(snapshot) == []
+        assert duplicate_ips(snapshot) == []
+
+    def test_include_inactive_audits_everything(self, snapshot):
+        duplicated = duplicate_ips(snapshot, include_inactive=True)
+        assert {str(ip) for ip, _ in duplicated} == {"10.0.0.1", "10.0.0.9"}
+
+    def test_enabled_duplicates_still_reported(self):
+        configs = {
+            name: text.replace(" shutdown\n", "")
+            for name, text in self.CONFIGS.items()
+        }
+        findings = get_rule("duplicate-ip").run(
+            load_snapshot_from_texts(configs)
+        )
+        assert len(findings) == 2
+        assert all(f.related for f in findings)
+
+
+class TestTransitiveUnused:
+    CONFIGS = {
+        "r1": """
+hostname r1
+ip prefix-list LIVE_PL seq 5 permit 10.0.0.0/8
+ip prefix-list DEAD_PL seq 5 permit 10.9.0.0/16
+route-map LIVE permit 10
+ match ip address prefix-list LIVE_PL
+route-map DEAD permit 10
+ match ip address prefix-list DEAD_PL
+router bgp 65000
+ neighbor 10.0.0.2 remote-as 65001
+ neighbor 10.0.0.2 route-map LIVE in
+""",
+    }
+
+    def test_structures_behind_unused_maps_are_unused(self):
+        findings = get_rule("unused-structure").run(
+            load_snapshot_from_texts(self.CONFIGS)
+        )
+        named = {f.message.split()[1] for f in findings}
+        # DEAD is unreferenced; DEAD_PL is only referenced *by* DEAD, so
+        # the fixpoint marks it unused as well. LIVE/LIVE_PL stay used.
+        assert named == {"DEAD", "DEAD_PL"}
+
+    def test_unused_findings_have_definition_locations(self):
+        findings = get_rule("unused-structure").run(
+            load_snapshot_from_texts(self.CONFIGS)
+        )
+        for finding in findings:
+            assert finding.location.file == "r1"
+            assert finding.location.line > 0

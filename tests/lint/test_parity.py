@@ -1,0 +1,99 @@
+"""Cross-vendor parity: equivalent ciscoish and juniperish configs must
+produce the same lint findings (same rules, same counts).
+
+This is the Lesson-2 discipline applied to the linter — rules operate on
+the vendor-independent model, so vendor syntax must not leak into
+results.
+"""
+
+import pytest
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.lint import LintConfig, lint_snapshot
+
+CISCO = {
+    "c1": """
+hostname c1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ ip access-group SHADOW in
+ ip access-group PARTIAL out
+interface Ethernet1
+ ip address 10.0.1.1 255.255.255.0
+ ip access-group MISSING in
+ip access-list extended SHADOW
+ permit ip any any
+ deny tcp any any eq 80
+ip access-list extended PARTIAL
+ permit tcp any any eq 80
+ deny tcp any any
+ip access-list extended UNUSED
+ permit ip any any
+""",
+}
+
+JUNIPER = {
+    "j1": """\
+set system host-name j1
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/24
+set interfaces ge-0/0/0 unit 0 family inet filter input SHADOW
+set interfaces ge-0/0/0 unit 0 family inet filter output PARTIAL
+set interfaces ge-0/0/1 unit 0 family inet address 10.0.1.1/24
+set interfaces ge-0/0/1 unit 0 family inet filter input MISSING
+set firewall filter SHADOW term all then accept
+set firewall filter SHADOW term web from protocol tcp
+set firewall filter SHADOW term web from destination-port 80
+set firewall filter SHADOW term web then discard
+set firewall filter PARTIAL term web from protocol tcp
+set firewall filter PARTIAL term web from destination-port 80
+set firewall filter PARTIAL term web then accept
+set firewall filter PARTIAL term rest from protocol tcp
+set firewall filter PARTIAL term rest then discard
+set firewall filter UNUSED term all then accept
+""",
+}
+
+#: Rules with identical expected behavior on the two renditions.
+PARITY_RULES = [
+    "acl-line-unreachable",
+    "acl-line-partially-shadowed",
+    "undefined-reference",
+    "unused-structure",
+]
+
+
+def _counts(configs):
+    report = lint_snapshot(
+        load_snapshot_from_texts(configs),
+        LintConfig.from_dict({"rules": PARITY_RULES}),
+    )
+    return report.counts_by_rule(), report
+
+
+@pytest.fixture(scope="module")
+def cisco():
+    return _counts(CISCO)
+
+
+@pytest.fixture(scope="module")
+def juniper():
+    return _counts(JUNIPER)
+
+
+class TestVendorParity:
+    def test_same_counts_per_rule(self, cisco, juniper):
+        assert cisco[0] == juniper[0]
+
+    def test_expected_findings_present(self, cisco):
+        counts, _ = cisco
+        assert counts["acl-line-unreachable"] == 1
+        assert counts["acl-line-partially-shadowed"] == 1
+        assert counts["undefined-reference"] == 1
+        assert counts["unused-structure"] == 1
+
+    @pytest.mark.parametrize("vendor", ["cisco", "juniper"])
+    def test_all_locations_resolve(self, vendor, cisco, juniper):
+        _, report = cisco if vendor == "cisco" else juniper
+        for finding in report.findings:
+            assert finding.location.file, finding
+            assert finding.location.line > 0, finding

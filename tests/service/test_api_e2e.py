@@ -69,6 +69,36 @@ class TestQuestions:
         assert body["result"]["success"]
         assert body["result"]["dispositions"]
 
+    def test_lint_question(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.post("/snapshots/lab/questions/lint")
+        assert status == 200
+        result = body["result"]
+        assert set(result) >= {"findings", "summary", "rule_seconds"}
+        assert result["summary"]["total"] == len(
+            [f for f in result["findings"] if not f.get("suppressed")]
+        )
+        # Rule filtering through lintconfig params.
+        status, body = client.post(
+            "/snapshots/lab/questions/lint",
+            {"params": {"lintconfig": {"rules": ["duplicate-ip"]}}},
+        )
+        assert status == 200
+        assert set(body["result"]["rule_seconds"]) == {"duplicate-ip"}
+        # Malformed lintconfig becomes a structured 400.
+        status, body = client.post(
+            "/snapshots/lab/questions/lint",
+            {"params": {"lintconfig": {"bogus": 1}}},
+        )
+        assert status == 400
+        # Lint runs register per-rule counters on /metrics.
+        status, metrics = client.get("/metrics")
+        assert status == 200
+        counters = metrics["obs"]["counters"]
+        assert counters.get("lint.runs", 0) >= 2
+        assert "lint.findings.duplicate-ip" in counters
+
     def test_unknown_question_and_snapshot(self, make_service):
         _, client = make_service()
         client.post("/snapshots", {"name": "lab", "configs": net1(2)})
