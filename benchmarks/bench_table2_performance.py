@@ -36,6 +36,7 @@ except ImportError:  # running as `python benchmarks/bench_*.py`
 from benchmarks.benchlib import cached_pipeline, print_table, timed
 from repro.config.loader import load_snapshot_from_texts
 from repro.core.session import Session
+from repro.delta.edits import irrelevant_edit, relevant_edit
 from repro.lint import lint_snapshot
 from repro.routing.engine import ConvergenceSettings, compute_dataplane
 from repro.synth.networks import NETWORKS
@@ -125,6 +126,38 @@ def measure_network(name: str) -> Dict[str, object]:
         warm_session.dataplane
         warm_seconds = time.perf_counter() - started
         warm_hits = (warm_session.cache_stats or {}).get("hits", 0)
+
+        # Incremental phase: one-line edit, delta engine vs cold full
+        # recompute of the edited snapshot (both timed through to FIBs).
+        # The inert edit (NTP) is the paper's review workload — most
+        # config review diffs can't move a route; the routing edit
+        # (static route) forces actual re-simulation of its protocol
+        # component.
+        cold_session.fibs  # base FIBs outside the timed region
+        target = sorted(pipeline.configs)[0]
+        delta_results = {}
+        for label, edit in (
+            ("inert", irrelevant_edit), ("routing", relevant_edit)
+        ):
+            edited = edit(pipeline.configs[target])
+            started = time.perf_counter()
+            full_session = Session.from_texts(
+                {**pipeline.configs, target: edited}
+            )
+            full_session.fibs
+            full_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            delta_session = cold_session.delta({target: edited})
+            delta_session.fibs
+            delta_seconds = time.perf_counter() - started
+            delta_results[label] = {
+                "full_seconds": round(full_seconds, 4),
+                "delta_seconds": round(delta_seconds, 4),
+                "speedup": round(full_seconds / max(delta_seconds, 1e-9), 2),
+                "dirty_devices": len(delta_session.delta_info.dirty_devices),
+                "reused_devices": delta_session.delta_info.reused_devices,
+                "fallback": delta_session.delta_info.fallback,
+            }
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
@@ -143,7 +176,10 @@ def measure_network(name: str) -> Dict[str, object]:
             "lint": round(lint_seconds, 4),
             "cache_cold": round(cold_seconds, 4),
             "cache_warm": round(warm_seconds, 4),
+            "delta": delta_results["inert"]["delta_seconds"],
+            "delta_full": delta_results["inert"]["full_seconds"],
         },
+        "delta": delta_results,
         "lint_findings": len(lint_report.active()),
         "cache_warm_hits": warm_hits,
         "peak_rss_kb": benchlib.peak_rss_kb(),
@@ -174,6 +210,7 @@ def table2_rows(measurements: List[Dict[str, object]]) -> List[List[str]]:
                 str(m["violations"]),
                 f"{seconds['cache_cold']:.2f}s",
                 f"{seconds['cache_warm']:.2f}s",
+                f"{seconds['delta']:.2f}s",
                 f"{m['peak_rss_kb'] / 1024:.0f}MB",
             ]
         )
@@ -189,7 +226,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         "Table 2: performance of the current pipeline",
         [
             "network", "nodes", "parse", "DP gen", "graph", "dest reach",
-            "multipath", "violations", "cold", "warm", "peak RSS",
+            "multipath", "violations", "cold", "warm", "delta", "peak RSS",
         ],
         table2_rows(measurements),
     )
@@ -210,6 +247,15 @@ def main(argv: Optional[List[str]] = None) -> None:
         f"{slowest['seconds']['cache_cold']:.2f}s -> warm "
         f"{slowest['seconds']['cache_warm']:.2f}s ({ratio:.1f}x)"
     )
+    largest = max(measurements, key=lambda m: m["devices"])
+    for label in ("inert", "routing"):
+        d = largest["delta"][label]
+        print(
+            f"delta speedup ({largest['network']}, {label} 1-line edit): "
+            f"full {d['full_seconds']:.2f}s -> delta "
+            f"{d['delta_seconds']:.2f}s ({d['speedup']:.1f}x, "
+            f"{d['dirty_devices']} dirty / {d['reused_devices']} reused)"
+        )
 
 
 if __name__ == "__main__":

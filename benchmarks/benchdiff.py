@@ -118,6 +118,49 @@ class Comparison:
                 ]
             )
 
+    def compare_delta(self, network: str, baseline: Dict, current: Dict) -> None:
+        """Gate on the incremental engine's speedup collapsing.
+
+        The ``delta`` phase seconds are already gated like any other
+        phase; this additionally tracks the full/delta *ratio* per edit
+        kind, so a change that slows delta and full analysis equally
+        (invisible to the ratio) or speeds full analysis up (ratio
+        shrinks legitimately) is distinguishable in the table. Gates
+        only when the baseline full run is above the noise floor.
+        """
+        base_delta = baseline.get("delta", {})
+        cur_delta = current.get("delta", {})
+        for label in sorted(set(base_delta) & set(cur_delta)):
+            base = float(base_delta[label].get("speedup", 0.0))
+            cur = float(cur_delta[label].get("speedup", 0.0))
+            if base == 0:
+                continue
+            shrink = (base - cur) / base
+            gated = (
+                float(base_delta[label].get("full_seconds", 0.0))
+                >= self.min_seconds
+            )
+            verdict = "ok"
+            if shrink > self.threshold:
+                if gated:
+                    verdict = "REGRESSION"
+                    self.regressions.append(
+                        f"{network} delta.{label}.speedup: {base:.1f}x -> "
+                        f"{cur:.1f}x (-{shrink * 100:.1f}%)"
+                    )
+                else:
+                    verdict = "noise"
+            self.rows.append(
+                [
+                    network,
+                    f"delta.{label}.speedup",
+                    f"{base:.1f}x",
+                    f"{cur:.1f}x",
+                    format_change(ratio(base, cur)),
+                    verdict,
+                ]
+            )
+
     def compare_rss(self, network: str, baseline: Dict, current: Dict) -> None:
         base = float(baseline.get("peak_rss_kb", 0))
         cur = float(current.get("peak_rss_kb", 0))
@@ -191,6 +234,9 @@ def compare(
     cur_networks = networks_by_name(current)
     for network in sorted(set(base_networks) & set(cur_networks)):
         comparison.compare_seconds(
+            network, base_networks[network], cur_networks[network]
+        )
+        comparison.compare_delta(
             network, base_networks[network], cur_networks[network]
         )
         comparison.compare_rss(

@@ -10,12 +10,12 @@ already have").
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.config.cisco import parse_cisco
 from repro.config.juniper import parse_juniper
-from repro.config.model import ParseWarning, Snapshot
+from repro.config.model import Device, ParseWarning, Snapshot
 from repro.parallel import pmap
 
 #: Snapshots smaller than this parse inline; the pool only pays off
@@ -76,14 +76,67 @@ def _parse_one(item: Tuple[str, str]):
     return device, warnings
 
 
+def _parse_all(
+    configs: Dict[str, str],
+    filenames: List[str],
+    jobs: Optional[int],
+    cache,
+) -> List[Tuple[Device, List[ParseWarning]]]:
+    """Parse every file, consulting the per-device memo when a cache is
+    supplied.
+
+    Each file's parse result is content-addressed independently
+    (:func:`repro.core.cache.device_key`), so editing one file of a
+    large snapshot reparses only that file — the unit of reuse the
+    incremental delta engine is built on. Entries are pinned via
+    ``cache.protect`` for the duration so concurrent stores can't evict
+    a file we are about to load.
+    """
+    if cache is None:
+        return pmap(
+            _parse_one,
+            [(filename, configs[filename]) for filename in filenames],
+            jobs=jobs,
+            min_items=_MIN_PARALLEL_FILES,
+        )
+    from repro.core.cache import device_key
+
+    keys = {f: device_key(f, configs[f]) for f in filenames}
+    results: Dict[str, Tuple[Device, List[ParseWarning]]] = {}
+    with cache.protect(("device", keys[f]) for f in filenames):
+        missed = []
+        for filename in filenames:
+            entry = cache.load("device", keys[filename])
+            if entry is not None:
+                results[filename] = entry
+                if obs.enabled():
+                    obs.add("delta.parse_memo_hits")
+            else:
+                missed.append(filename)
+        if missed:
+            parsed = pmap(
+                _parse_one,
+                [(filename, configs[filename]) for filename in missed],
+                jobs=jobs,
+                min_items=_MIN_PARALLEL_FILES,
+            )
+            for filename, result in zip(missed, parsed):
+                cache.store("device", keys[filename], result)
+                results[filename] = result
+    return [results[filename] for filename in filenames]
+
+
 def load_snapshot_from_texts(
-    configs: Dict[str, str], jobs: Optional[int] = None
+    configs: Dict[str, str], jobs: Optional[int] = None, cache=None
 ) -> Snapshot:
     """Build a snapshot from ``{filename_or_hostname: config_text}``.
 
     Per-file parsing fans out over a process pool (``REPRO_JOBS`` /
     ``jobs``); files are parsed independently and reassembled in sorted
-    filename order, so the result is identical to a serial run.
+    filename order, so the result is identical to a serial run. With a
+    :class:`~repro.core.cache.SnapshotCache`, each file's parse is also
+    memoized on its content hash, so re-loading a snapshot with a few
+    edited files reparses only those files.
 
     Duplicate hostnames are flagged (the later file wins), mirroring the
     tool's behaviour on misassembled snapshot directories.
@@ -91,12 +144,7 @@ def load_snapshot_from_texts(
     snapshot = Snapshot()
     filenames = sorted(configs)
     with obs.span("parse", files=len(filenames)):
-        parsed = pmap(
-            _parse_one,
-            [(filename, configs[filename]) for filename in filenames],
-            jobs=jobs,
-            min_items=_MIN_PARALLEL_FILES,
-        )
+        parsed = _parse_all(configs, filenames, jobs, cache)
         for filename, (device, warnings) in zip(filenames, parsed):
             snapshot.warnings.extend(warnings)
             if device.hostname in snapshot.devices:
@@ -112,6 +160,7 @@ def load_snapshot_from_texts(
                 if obs.enabled():
                     obs.add("parse.warnings")
             snapshot.devices[device.hostname] = device
+            snapshot.sources[filename] = device.hostname
     return snapshot
 
 
@@ -134,8 +183,11 @@ def read_config_dir(path: str, suffix: Optional[str] = ".cfg") -> Dict[str, str]
 
 
 def load_snapshot_from_dir(
-    path: str, suffix: Optional[str] = ".cfg", jobs: Optional[int] = None
+    path: str, suffix: Optional[str] = ".cfg", jobs: Optional[int] = None,
+    cache=None,
 ) -> Snapshot:
     """Load every ``*.cfg`` (by default) file under ``path`` as a device
     configuration."""
-    return load_snapshot_from_texts(read_config_dir(path, suffix), jobs=jobs)
+    return load_snapshot_from_texts(
+        read_config_dir(path, suffix), jobs=jobs, cache=cache
+    )

@@ -473,6 +473,12 @@ class Snapshot:
 
     devices: Dict[str, Device] = field(default_factory=dict)
     warnings: List[ParseWarning] = field(default_factory=list)
+    #: filename -> hostname for each input file, in the order files were
+    #: assembled. The delta engine uses this to map edited files onto
+    #: devices; duplicate hostnames make it non-injective (the later
+    #: file wins in :attr:`devices`), which delta treats as a full-
+    #: recompute signal.
+    sources: Dict[str, str] = field(default_factory=dict)
 
     def device(self, hostname: str) -> Device:
         return self.devices[hostname]

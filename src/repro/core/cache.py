@@ -11,11 +11,15 @@ repeats from O(full pipeline) into O(hash lookup):
   (a hash of every source file of the ``repro`` package). Editing one
   byte of any config, or of any analysis code, changes the key and
   invalidates the entry; nothing is ever invalidated by time.
-* **Two artifact kinds.** ``snapshot`` entries hold the parsed
-  vendor-independent model (Stage 1 output); ``dataplane`` entries hold
-  the computed :class:`~repro.routing.engine.DataPlane` (Stage 2
-  output), keyed additionally by the convergence settings and policy
-  semantics that shaped the simulation.
+* **Four artifact kinds.** ``snapshot`` entries hold the parsed
+  vendor-independent model (Stage 1 output); ``device`` entries hold
+  one parsed device config (keyed on the per-file content hash, the
+  unit the incremental delta engine reuses when only some files of a
+  snapshot changed); ``dataplane`` entries hold the computed
+  :class:`~repro.routing.engine.DataPlane` (Stage 2 output), keyed
+  additionally by the convergence settings and policy semantics that
+  shaped the simulation; ``lint`` entries hold one device-scoped lint
+  rule's findings for one device (see ``repro.lint.runner``).
 * **Location.** ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
   Writes are atomic (temp file + rename), so concurrent processes — the
   parallel benchmark drivers — can share one cache directory.
@@ -31,11 +35,13 @@ implementation detail, not an interchange format.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import tempfile
-from typing import Dict, Optional
+import threading
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from repro import obs
 
@@ -87,6 +93,18 @@ def snapshot_key(configs: Dict[str, str], salt: str = "") -> str:
     return digest.hexdigest()
 
 
+def device_key(filename: str, text: str) -> str:
+    """Content address of one parsed device config: filename + bytes +
+    engine version. The unit of parse memoization — editing one file of
+    a snapshot invalidates only that file's entry."""
+    digest = hashlib.sha256(engine_version().encode())
+    digest.update(b"\x00device\x00")
+    digest.update(filename.encode())
+    digest.update(b"\x00")
+    digest.update(text.encode())
+    return digest.hexdigest()
+
+
 def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", "").strip() or ".repro_cache"
 
@@ -114,9 +132,44 @@ class SnapshotCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Paths pinned against eviction (see protect()): while a delta
+        # analysis is reusing a snapshot's per-device parse entries,
+        # budget pressure from concurrent stores must not delete them
+        # out from under it.
+        self._keep_lock = threading.Lock()
+        self._protected: Dict[str, int] = {}
 
     def _path(self, kind: str, key: str) -> str:
         return os.path.join(self.root, f"{kind}-{key}.pkl")
+
+    @contextlib.contextmanager
+    def protect(self, entries: Iterable[Tuple[str, str]]) -> Iterator[None]:
+        """Pin ``(kind, key)`` entries against LRU eviction for the
+        duration of the context.
+
+        Protection is reference-counted, so nested/concurrent analyses
+        of overlapping snapshots compose; entries unpin when the last
+        protector exits. Pinned entries still count toward the budget —
+        the evictor just skips them and sheds unpinned entries instead.
+        """
+        paths = [self._path(kind, key) for kind, key in entries]
+        with self._keep_lock:
+            for path in paths:
+                self._protected[path] = self._protected.get(path, 0) + 1
+        try:
+            yield
+        finally:
+            with self._keep_lock:
+                for path in paths:
+                    remaining = self._protected.get(path, 0) - 1
+                    if remaining <= 0:
+                        self._protected.pop(path, None)
+                    else:
+                        self._protected[path] = remaining
+
+    def _keep_set(self) -> Set[str]:
+        with self._keep_lock:
+            return set(self._protected)
 
     def load(self, kind: str, key: str):
         """The cached object, or ``None`` on a miss (absent entry, or an
@@ -174,10 +227,14 @@ class SnapshotCache:
 
         The just-written entry (``keep``) is never evicted, so a single
         oversized artifact still caches — the budget then empties the
-        rest of the directory around it.
+        rest of the directory around it. Entries pinned via
+        :meth:`protect` are likewise skipped: a delta analysis midway
+        through reusing a base snapshot's per-device parse entries must
+        not lose them to budget pressure from concurrent stores.
         """
         if self.max_bytes is None:
             return
+        protected = self._keep_set()
         entries = []
         total = 0
         for name in os.listdir(self.root):
@@ -194,7 +251,7 @@ class SnapshotCache:
         for mtime, size, path in entries:
             if total <= self.max_bytes:
                 break
-            if path == keep:
+            if path == keep or path in protected:
                 continue
             try:
                 os.unlink(path)

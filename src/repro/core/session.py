@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.config.loader import load_snapshot_from_dir, load_snapshot_from_texts
+from repro.config.loader import load_snapshot_from_texts
 from repro.config.model import ParseWarning, Snapshot
 from repro.core.cache import (
     SnapshotCache,
@@ -122,6 +122,13 @@ class Session:
         #: Content-addressed cache backing this session (see from_texts).
         self._cache: Optional[SnapshotCache] = None
         self._cache_key: Optional[str] = None
+        #: Raw config texts, kept when constructed via from_texts /
+        #: from_dir — the base the incremental delta engine diffs new
+        #: snapshots against.
+        self._configs: Optional[Dict[str, str]] = None
+        #: Populated on sessions produced by :meth:`delta`: a
+        #: :class:`repro.delta.DeltaInfo` describing what was reused.
+        self.delta_info = None
 
     # -- construction -----------------------------------------------------
 
@@ -140,24 +147,47 @@ class Session:
         if resolved is None:
             session = cls(load_snapshot_from_texts(configs), **kwargs)
             session._cache_key = key
+            session._configs = dict(configs)
             return session
         snapshot = resolved.load("snapshot", key)
         if snapshot is None:
-            snapshot = load_snapshot_from_texts(configs)
+            # Snapshot-level miss: parse with the per-device memo, so
+            # only files whose bytes actually changed get reparsed.
+            snapshot = load_snapshot_from_texts(configs, cache=resolved)
             resolved.store("snapshot", key, snapshot)
         session = cls(snapshot, **kwargs)
         session._cache = resolved
         session._cache_key = key
+        session._configs = dict(configs)
         return session
 
     @classmethod
     def from_dir(cls, path: str, cache=None, **kwargs) -> "Session":
         """Build a session from a snapshot directory of ``*.cfg`` files."""
-        if cache is not None:
-            from repro.config.loader import read_config_dir
+        from repro.config.loader import read_config_dir
 
-            return cls.from_texts(read_config_dir(path), cache=cache, **kwargs)
-        return cls(load_snapshot_from_dir(path), **kwargs)
+        return cls.from_texts(read_config_dir(path), cache=cache, **kwargs)
+
+    def delta(self, changed_configs: Dict[str, str], validate: Optional[bool] = None) -> "Session":
+        """Incrementally analyze this snapshot with some files changed.
+
+        ``changed_configs`` maps filenames to new config text (or
+        ``None`` to delete the file; unnamed files carry over from this
+        session unchanged). Returns a new :class:`Session` whose data
+        plane is produced by the delta engine: only devices whose
+        routing state could have changed are re-simulated, everything
+        else is spliced through from this session's converged state.
+        The result is bit-identical to a from-scratch analysis — the
+        delta engine falls back to a full recompute whenever it cannot
+        prove that (see :mod:`repro.delta`).
+
+        ``validate`` forces the :envvar:`REPRO_DELTA_VALIDATE` check
+        (full recompute + byte-identical FIB comparison) on or off for
+        this call.
+        """
+        from repro.delta import delta_session
+
+        return delta_session(self, changed_configs, validate=validate)
 
     @property
     def cache_stats(self) -> Optional[Dict[str, int]]:
@@ -289,7 +319,10 @@ class Session:
         from repro.lint import LintConfig, lint_snapshot
 
         return lint_snapshot(
-            self.snapshot, LintConfig.from_dict(lintconfig), jobs=jobs
+            self.snapshot,
+            LintConfig.from_dict(lintconfig),
+            jobs=jobs,
+            cache=self._cache,
         )
 
     def management_plane_consistency(

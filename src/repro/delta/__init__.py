@@ -1,0 +1,35 @@
+"""Incremental snapshot analysis: delta engine with dirty-set
+propagation and selective re-simulation.
+
+Entry point: :meth:`repro.core.session.Session.delta`, or directly
+:func:`delta_session`. Differential validation against a full recompute
+is forced via ``REPRO_DELTA_VALIDATE=1`` (or ``validate=True``);
+``python -m repro.delta`` sweeps the synthetic network registry with
+validation on.
+"""
+
+from repro.delta.dirty import (
+    DirtyComputation,
+    compute_dirty_set,
+    protocol_edges,
+    routing_fingerprint,
+)
+from repro.delta.engine import (
+    DeltaInfo,
+    DeltaValidationError,
+    delta_session,
+    fib_lines,
+    validate_enabled,
+)
+
+__all__ = [
+    "DeltaInfo",
+    "DeltaValidationError",
+    "DirtyComputation",
+    "compute_dirty_set",
+    "delta_session",
+    "fib_lines",
+    "protocol_edges",
+    "routing_fingerprint",
+    "validate_enabled",
+]

@@ -1,0 +1,189 @@
+"""Dirty-set computation: which devices could route differently?
+
+The delta engine diffs a new snapshot against an analyzed base and
+re-simulates only the devices whose routing state could have changed.
+Two ideas from the literature meet here:
+
+* **Equivalence pruning** (Plankton, Prabhu et al.): a device whose
+  *routing-relevant* configuration projection is unchanged contributes
+  no seed, even if its file bytes changed. Editing an NTP server, an
+  SNMP community, an interface description — none of it can move a
+  route, so a snapshot differing only in such lines has an *empty*
+  dirty set and reuses the base data plane wholesale.
+* **Selective re-simulation** (Yang et al., "Diagnosing and Repairing
+  Distributed Routing Configurations"): seeds propagate through the
+  protocol topology to a conservative fixed point. Propagation follows
+  the union of the base and new snapshots' protocol adjacencies — an
+  edge that exists in either world can carry a changed announcement.
+
+The fixed point here is component closure: OSPF is link-state (any
+change inside a connected OSPF domain is flooded to every member), and
+BGP announcements traverse candidate sessions transitively, so the
+dirty set grows to the full protocol-connected component of each seed.
+That over-approximates (a changed device dirties peers even when its
+exports happen to be identical) but can never under-approximate: a
+clean device has an unchanged routing projection, and every path an
+announcement could take to reach it from any changed device crosses
+only protocol edges — all of which lie inside dirty components. See
+DESIGN.md ("Dirty-set soundness") for the full argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.model import Device, Snapshot
+from repro.routing.bgp import compute_bgp_sessions
+from repro.routing.ospf import ospf_neighbors
+from repro.routing.topology import build_layer3_topology
+
+#: Fields that can never influence routing: pure annotations. Stripped
+#: recursively so an edit that only *shifts* later lines of a file (and
+#: thus their source_line attribution) does not poison the fingerprint.
+_ANNOTATION_FIELDS = frozenset({"source_file", "source_line", "description"})
+
+
+def _canon(value) -> object:
+    """A canonical, hashable rendering of (nested) model objects."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _canon(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+                if f.name not in _ANNOTATION_FIELDS
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _canon(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(str(v) for v in value))
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    return repr(value)
+
+
+def routing_fingerprint(device: Device) -> str:
+    """Hash of the device's routing-relevant configuration projection.
+
+    Includes: interfaces (addresses, state, OSPF parameters, attached
+    filters), static routes, the OSPF and BGP processes, and — only when
+    the device participates in a routing protocol — the policy
+    structures those protocols evaluate (route maps and the lists they
+    reference) plus, for BGP speakers, ACLs (which gate TCP/179 session
+    viability, §4.1.1). Excludes management-plane configuration (NTP,
+    DNS, SNMP), zones/zone policies (forwarding-time only, re-evaluated
+    against the new snapshot), roles, raw config lines, and all
+    source-location annotations.
+    """
+    has_bgp = device.bgp is not None
+    policy_relevant = has_bgp or device.ospf is not None
+    projection = (
+        ("hostname", device.hostname),
+        ("interfaces", _canon(device.interfaces)),
+        ("static_routes", _canon(device.static_routes)),
+        ("ospf", _canon(device.ospf)),
+        ("bgp", _canon(device.bgp)),
+        # ACLs reach routing only through BGP session viability.
+        ("acls", _canon(device.acls) if has_bgp else None),
+        ("route_maps", _canon(device.route_maps) if policy_relevant else None),
+        ("prefix_lists", _canon(device.prefix_lists) if policy_relevant else None),
+        (
+            "community_lists",
+            _canon(device.community_lists) if policy_relevant else None,
+        ),
+        (
+            "as_path_lists",
+            _canon(device.as_path_lists) if policy_relevant else None,
+        ),
+    )
+    return hashlib.sha256(repr(projection).encode()).hexdigest()
+
+
+def protocol_edges(snapshot: Snapshot) -> Set[Tuple[str, str]]:
+    """Undirected edges along which routing information can flow:
+    OSPF adjacencies and candidate BGP sessions (candidate, not
+    established — a config change can flip establishment itself)."""
+    edges: Set[Tuple[str, str]] = set()
+    topology = build_layer3_topology(snapshot)
+    for neighbor in ospf_neighbors(snapshot, topology):
+        a, b = neighbor.edge.tail.node, neighbor.edge.head.node
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    sessions, _issues = compute_bgp_sessions(snapshot)
+    for session in sessions:
+        a, b = session.local_node, session.remote_node
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return edges
+
+
+@dataclass
+class DirtyComputation:
+    """The result of diffing two snapshots for selective re-simulation."""
+
+    #: Devices whose routing projection changed, or that exist in only
+    #: one of the two snapshots.
+    seeds: List[str]
+    #: Seeds closed over the union protocol topology. May include
+    #: hostnames absent from the new snapshot (removed devices) — the
+    #: engine intersects with the new snapshot before re-simulating.
+    dirty: Set[str]
+    #: The union-of-both-worlds propagation edges used for the closure.
+    edges: Set[Tuple[str, str]]
+
+    def dirty_in(self, snapshot: Snapshot) -> Set[str]:
+        return self.dirty & set(snapshot.devices)
+
+
+def compute_dirty_set(
+    base: Snapshot,
+    new: Snapshot,
+    candidate_hosts: Optional[Set[str]] = None,
+) -> DirtyComputation:
+    """Seed with changed/added/removed devices, then close over the
+    union of both snapshots' protocol adjacencies.
+
+    ``candidate_hosts`` restricts the fingerprint comparison to hosts
+    that could possibly have changed — the delta engine passes the
+    devices whose config *files* changed bytes, since an unchanged file
+    parses to an identical device. Hosts outside the set are assumed
+    clean without hashing them, which keeps the diff O(edit), not
+    O(network). The caller must ensure the set covers every host whose
+    definition changed; ``None`` compares everything.
+    """
+    base_hosts = set(base.devices)
+    new_hosts = set(new.devices)
+    seeds: Set[str] = (base_hosts ^ new_hosts)
+    compare = base_hosts & new_hosts
+    if candidate_hosts is not None:
+        compare &= candidate_hosts
+    for hostname in compare:
+        if routing_fingerprint(base.devices[hostname]) != routing_fingerprint(
+            new.devices[hostname]
+        ):
+            seeds.add(hostname)
+    if not seeds:
+        # Nothing changed routing-wise: no need to build either
+        # snapshot's protocol topology just to close over zero seeds.
+        return DirtyComputation(seeds=[], dirty=set(), edges=set())
+    edges = protocol_edges(base) | protocol_edges(new)
+    adjacency: Dict[str, Set[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    dirty: Set[str] = set(seeds)
+    frontier: List[str] = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in dirty:
+                dirty.add(neighbor)
+                frontier.append(neighbor)
+    return DirtyComputation(seeds=sorted(seeds), dirty=dirty, edges=edges)

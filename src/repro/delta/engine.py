@@ -1,0 +1,462 @@
+"""Selective re-simulation: warm-start a new snapshot from a base.
+
+The production workload the paper centers on (§5.1) is reviewing one
+small change against a large network, thousands of times a day. The
+content-addressed cache only helps when snapshots are *identical*; this
+engine makes the common almost-identical case fast:
+
+1. Parse only changed files (per-device memo in the snapshot cache).
+2. Diff routing fingerprints and propagate a dirty set
+   (:mod:`repro.delta.dirty`).
+3. Re-run the routing pipeline restricted to dirty devices; splice the
+   base data plane's converged per-node state (RIBs, BGP RIBs, FIBs)
+   through for every clean device.
+4. Optionally validate: recompute from scratch and require
+   byte-identical FIBs (``REPRO_DELTA_VALIDATE=1``).
+
+Splicing is exact, not approximate. Clean devices' state is identical
+to what a full run would produce because (a) their routing projection
+is unchanged, (b) no protocol edge connects a clean device to a dirty
+one (the dirty set is closed over protocol components), and (c) the
+engine's deterministic schedule (coloring + logical clocks, §4.1.2) is
+component-local, so a restricted run replays exactly the events a full
+run would generate for those components. Whenever one of those
+guarantees cannot be established — non-convergence, arrival-order-
+sensitive best routes, candidate sessions shifting between clean
+devices — the engine *falls back to a full recompute* rather than
+splice questionable state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.dataplane.fib import build_fib, compute_fibs
+from repro.delta.dirty import DirtyComputation, compute_dirty_set
+from repro.provenance import DerivationNode, DerivationTree, first_divergence
+from repro.routing.bgp import compute_bgp_sessions
+from repro.routing.engine import (
+    DataPlane,
+    DataPlaneStats,
+    NodeState,
+    _evaluate_session_viability,
+    _igp_cost_fn,
+    _install_connected,
+    _install_static,
+    _merge_bgp_into_main,
+    _run_bgp,
+    _run_ospf,
+    compute_dataplane,
+)
+from repro.routing.rib import Rib
+from repro.routing.topology import build_layer3_topology
+
+
+class DeltaValidationError(AssertionError):
+    """Differential validation found a FIB mismatch between the delta
+    engine's spliced result and a from-scratch recompute."""
+
+
+@dataclass
+class DeltaInfo:
+    """What one :meth:`Session.delta` call changed and reused."""
+
+    changed_files: List[str]
+    seeds: List[str] = field(default_factory=list)
+    dirty_devices: List[str] = field(default_factory=list)
+    reused_devices: int = 0
+    #: Files whose bytes were carried over unchanged from the base (the
+    #: per-device parse memo serves these without reparsing).
+    parse_memo_hits: int = 0
+    fallback: bool = False
+    fallback_reason: str = ""
+    validated: bool = False
+
+    def to_json(self) -> Dict:
+        return {
+            "changed_files": list(self.changed_files),
+            "seeds": list(self.seeds),
+            "dirty_devices": list(self.dirty_devices),
+            "reused_devices": self.reused_devices,
+            "parse_memo_hits": self.parse_memo_hits,
+            "fallback": self.fallback,
+            "fallback_reason": self.fallback_reason,
+            "validated": self.validated,
+        }
+
+
+def validate_enabled() -> bool:
+    """Whether ``REPRO_DELTA_VALIDATE`` requests differential checking."""
+    value = os.environ.get("REPRO_DELTA_VALIDATE", "").strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None):
+    """Implementation behind :meth:`repro.core.session.Session.delta`."""
+    from repro.core.session import Session
+
+    if base._configs is None:
+        raise ValueError(
+            "delta requires a base session built via Session.from_texts or "
+            "Session.from_dir (the engine diffs raw config texts)"
+        )
+    new_configs = dict(base._configs)
+    for filename, text in changed_configs.items():
+        if text is None:
+            new_configs.pop(filename, None)
+        elif not isinstance(text, str):
+            raise TypeError(f"config text for {filename!r} must be str or None")
+        else:
+            new_configs[filename] = text
+    if not new_configs:
+        raise ValueError("delta removed every config file")
+
+    # Files whose bytes actually differ between base and new — an edit
+    # that rewrites a file with identical text is not a change.
+    changed_files = {
+        filename
+        for filename in set(base._configs) | set(new_configs)
+        if base._configs.get(filename) != new_configs.get(filename)
+    }
+    info = DeltaInfo(changed_files=sorted(changed_files))
+    info.parse_memo_hits = sum(
+        1
+        for filename, text in new_configs.items()
+        if base._configs.get(filename) == text
+    )
+    with obs.span("delta", changed=len(changed_files)):
+        new_session = Session.from_texts(
+            new_configs,
+            cache=base._cache,
+            settings=base.settings,
+            semantics=base.semantics,
+        )
+        new_session.delta_info = info
+        reason = _try_splice(base, new_session, info)
+        if reason is not None:
+            info.fallback = True
+            info.fallback_reason = reason
+            obs.metrics().inc("delta.fallback_full")
+        _record_metrics(info)
+        should_validate = (
+            validate if validate is not None else validate_enabled()
+        )
+        # A fallback result IS a full recompute; only spliced data
+        # planes need the differential check.
+        if should_validate and not info.fallback:
+            _validate(base, new_session)
+            info.validated = True
+    return new_session
+
+
+def _record_metrics(info: DeltaInfo) -> None:
+    metrics = obs.metrics()
+    metrics.inc("delta.runs")
+    metrics.inc("delta.dirty_devices", len(info.dirty_devices))
+    metrics.inc("delta.reused_devices", info.reused_devices)
+    # Parse memo hits are also counted at the loader (cache hits); this
+    # counter attributes the reuse to the delta path specifically.
+    metrics.inc("delta.parse_memo_hits", info.parse_memo_hits)
+
+
+def _try_splice(base, new_session, info: DeltaInfo) -> Optional[str]:
+    """Attempt the selective re-simulation; on success install the
+    spliced data plane and FIBs on ``new_session`` and return None, else
+    return the fallback reason (the session then computes lazily from
+    scratch, which is always correct)."""
+    base_snapshot = base.snapshot
+    new_snapshot = new_session.snapshot
+    for snapshot, label in ((base_snapshot, "base"), (new_snapshot, "new")):
+        sources = snapshot.sources
+        if not sources:
+            return f"{label} snapshot has no filename->hostname map"
+        if len(set(sources.values())) != len(sources):
+            return f"duplicate hostnames in {label} snapshot"
+    base_dp = base.dataplane
+    if not base_dp.converged:
+        return "base data plane did not converge"
+
+    # Only devices whose config file changed bytes can have a changed
+    # fingerprint (sources are injective here, checked above), so the
+    # diff is O(edit) rather than O(network).
+    candidates = {
+        hostname
+        for filename in info.changed_files
+        for hostname in (
+            base_snapshot.sources.get(filename),
+            new_snapshot.sources.get(filename),
+        )
+        if hostname is not None
+    }
+    dirty_comp = compute_dirty_set(
+        base_snapshot, new_snapshot, candidate_hosts=candidates
+    )
+    info.seeds = dirty_comp.seeds
+    dirty = dirty_comp.dirty_in(new_snapshot)
+    info.dirty_devices = sorted(dirty)
+    info.reused_devices = len(new_snapshot.devices) - len(dirty)
+    if dirty and dirty == set(new_snapshot.devices):
+        # The whole network is dirty: a restricted run would redo all
+        # the work of a full run and add splice bookkeeping on top.
+        return "every device dirty; full recompute is optimal"
+
+    if not dirty_comp.seeds:
+        # Routing-inert edit on an identical host set (empty seeds, not
+        # merely empty dirty: a *removed* isolated device also yields an
+        # empty dirty set but invalidates the base topology). The
+        # routing engine consumes only fingerprint-covered fields, and
+        # every fingerprint matched, so a full run of the new snapshot
+        # is input-identical to the base run and — the schedule being
+        # deterministic — would reproduce it byte for byte,
+        # order-sensitive tie-breaks included. Reuse the base data
+        # plane wholesale; no re-simulation, no order-sensitivity scan.
+        dataplane = _reused_dataplane(base_dp, new_snapshot)
+    else:
+        # Clean devices' BGP state must be attribute-determined: if any
+        # best route on a clean device was chosen by the arrival-clock
+        # tie-break, a full run of the new snapshot could legitimately
+        # pick another winner there, and splicing would not be
+        # byte-identical.
+        clean = set(new_snapshot.devices) - dirty
+        for hostname in sorted(clean):
+            state = base_dp.nodes.get(hostname)
+            if state is None:
+                return f"clean device {hostname} missing from base data plane"
+            if state.bgp_rib is not None:
+                # Cached RIBs drop their IGP-cost closure on pickling;
+                # rewire it before re-running the decision filters.
+                state.bgp_rib._igp_cost = _igp_cost_fn(state)
+                if state.bgp_rib.order_sensitive_prefixes():
+                    return f"order-sensitive BGP best routes on {hostname}"
+
+        dataplane, reason = _restricted_dataplane(
+            base_dp, new_snapshot, dirty, base.settings, base.semantics
+        )
+        if dataplane is None:
+            return reason
+
+    new_session._dataplane = dataplane
+    # Persist re-simulated planes so future processes warm-start from
+    # them. The wholesale-reuse plane is deliberately NOT stored:
+    # pickling it costs more than everything else on this path combined,
+    # and the base plane it aliases is already cached under the base
+    # key — a later process re-derives the splice with one cheap delta.
+    if dirty_comp.seeds and new_session._cache is not None:
+        new_session._cache.store(
+            "dataplane", new_session.snapshot_key, dataplane
+        )
+    # FIB splice: clean nodes keep the base Fib objects (FIBs derive
+    # only from the node's own main RIB, which is unchanged).
+    base_fibs = base.fibs
+    with obs.span("delta.fib", dirty=len(dirty)):
+        fibs = {}
+        for hostname, state in dataplane.nodes.items():
+            if hostname in dirty:
+                fibs[hostname] = build_fib(state)
+            else:
+                fibs[hostname] = base_fibs[hostname]
+    new_session._fibs = fibs
+    # Derived state keyed by device: coverage touches recorded against
+    # dirty devices describe structures that may no longer exist.
+    obs.coverage().invalidate_hosts(dirty)
+    return None
+
+
+def _reused_dataplane(base_dp: DataPlane, new_snapshot) -> DataPlane:
+    """Empty seed set: rewrap the base data plane around the new
+    snapshot. Node states alias the base's converged RIBs (never mutated
+    after compute); only the ``device`` reference is swapped so
+    forwarding-time queries — which do read non-routing fields like
+    zones — evaluate against the new snapshot's objects. The host sets
+    are identical (empty seeds), so the base topology and sessions
+    describe the new snapshot exactly."""
+    nodes = {
+        hostname: NodeState(
+            device=new_snapshot.device(hostname),
+            main_rib=base_dp.nodes[hostname].main_rib,
+            bgp_rib=base_dp.nodes[hostname].bgp_rib,
+            connected_routes=base_dp.nodes[hostname].connected_routes,
+            bgp_in_main=base_dp.nodes[hostname].bgp_in_main,
+        )
+        for hostname in new_snapshot.hostnames()
+    }
+    return DataPlane(
+        snapshot=new_snapshot,
+        topology=base_dp.topology,
+        nodes=nodes,
+        sessions=base_dp.sessions,
+        session_issues=base_dp.session_issues,
+        converged=True,
+        oscillating_prefixes=list(base_dp.oscillating_prefixes),
+        stats=base_dp.stats,
+    )
+
+
+def _restricted_dataplane(
+    base_dp: DataPlane,
+    new_snapshot,
+    dirty: Set[str],
+    settings,
+    semantics,
+) -> Tuple[Optional[DataPlane], Optional[str]]:
+    """Run the routing pipeline for dirty devices only, splicing base
+    node state through for clean ones. Returns (dataplane, None) or
+    (None, fallback_reason)."""
+    started = time.perf_counter()
+    topology = build_layer3_topology(new_snapshot)
+    sessions, issues = compute_bgp_sessions(new_snapshot)
+    for session in sessions:
+        if (session.local_node in dirty) != (session.remote_node in dirty):
+            # Cannot happen when the dirty set is closed over protocol
+            # edges; guard anyway — splicing across it would be unsound.
+            return None, (
+                f"candidate session {session.local_node}->"
+                f"{session.remote_node} crosses the dirty boundary"
+            )
+    dirty_sessions = [s for s in sessions if s.local_node in dirty]
+    # Clean-to-clean sessions must match the base exactly (IP-ownership
+    # races between devices can re-target a session even when both
+    # endpoints' configs are unchanged).
+    base_by_key = {s.key: s for s in base_dp.sessions}
+    clean_keys = {s.key for s in sessions if s.local_node not in dirty}
+    base_clean_keys = {
+        key for key, s in base_by_key.items()
+        if s.local_node not in dirty and s.remote_node not in dirty
+    }
+    if clean_keys != base_clean_keys:
+        return None, "candidate sessions between clean devices changed"
+    for session in sessions:
+        if session.local_node not in dirty:
+            previous = base_by_key[session.key]
+            session.established = previous.established
+            session.failure_reason = previous.failure_reason
+
+    nodes: Dict[str, NodeState] = {}
+    for hostname in new_snapshot.hostnames():
+        device = new_snapshot.device(hostname)
+        if hostname in dirty:
+            nodes[hostname] = NodeState(device=device, main_rib=Rib(owner=hostname))
+        else:
+            base_state = base_dp.nodes[hostname]
+            # Structural sharing: converged RIB/FIB objects are never
+            # mutated after compute, so clean nodes alias them. Only the
+            # Device reference is updated to the new snapshot's object
+            # (it may differ in routing-irrelevant fields like NTP).
+            nodes[hostname] = NodeState(
+                device=device,
+                main_rib=base_state.main_rib,
+                bgp_rib=base_state.bgp_rib,
+                connected_routes=base_state.connected_routes,
+                bgp_in_main=base_state.bgp_in_main,
+            )
+    dirty_nodes = {h: nodes[h] for h in sorted(dirty) if h in nodes}
+
+    stats = DataPlaneStats()
+    with obs.span("delta.dataplane", dirty=len(dirty_nodes)):
+        _install_connected(dirty_nodes)
+        _install_static(dirty_nodes)
+        _run_ospf(
+            new_snapshot, topology, dirty_nodes, semantics,
+            restrict=set(dirty_nodes),
+        )
+        converged = True
+        established_keys: Set[Tuple[str, str, str]] = set()
+        for round_number in range(settings.max_session_rounds):
+            stats.session_rounds = round_number + 1
+            _evaluate_session_viability(new_snapshot, nodes, dirty_sessions)
+            new_keys = {s.key for s in dirty_sessions if s.established}
+            if round_number > 0 and new_keys == established_keys:
+                break
+            established_keys = new_keys
+            converged, _oscillating = _run_bgp(
+                new_snapshot, dirty_nodes, dirty_sessions, settings,
+                semantics, stats,
+            )
+            _merge_bgp_into_main(dirty_nodes)
+            if not converged:
+                break
+    if not converged:
+        return None, "restricted BGP run did not converge"
+    for hostname, state in dirty_nodes.items():
+        if state.bgp_rib is not None and state.bgp_rib.order_sensitive_prefixes():
+            return None, f"order-sensitive BGP best routes on {hostname}"
+    stats.elapsed_seconds = time.perf_counter() - started
+    stats.total_routes = sum(len(s.main_rib) for s in nodes.values())
+    return (
+        DataPlane(
+            snapshot=new_snapshot,
+            topology=topology,
+            nodes=nodes,
+            sessions=sessions,
+            session_issues=issues,
+            converged=True,
+            oscillating_prefixes=[],
+            stats=stats,
+        ),
+        None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential validation (REPRO_DELTA_VALIDATE)
+
+
+def fib_lines(fibs) -> Dict[str, List[str]]:
+    """Canonical per-host FIB rendering used for byte-identity checks."""
+    return {
+        hostname: sorted(
+            entry.describe()
+            for _prefix, entries in fib.entries()
+            for entry in entries
+        )
+        for hostname, fib in sorted(fibs.items())
+    }
+
+
+def _fib_tree(label: str, hostname: str, lines: List[str]) -> DerivationTree:
+    root = DerivationNode(label=f"{label} fib[{hostname}]", kind="fib")
+    for line in lines:
+        root.add(DerivationNode(label=line, kind="fib"))
+    return DerivationTree(node=hostname, prefix="*", root=root)
+
+
+def _validate(base, new_session) -> None:
+    """Recompute the new snapshot from scratch and require byte-identical
+    FIBs; locate any mismatch with the first-divergence machinery."""
+    with obs.span("delta.validate"):
+        full_dp = compute_dataplane(
+            new_session.snapshot, new_session.settings, new_session.semantics
+        )
+        full_fibs = compute_fibs(full_dp)
+        delta_lines = fib_lines(new_session.fibs)
+        full_lines = fib_lines(full_fibs)
+    if delta_lines == full_lines:
+        obs.metrics().inc("delta.validate.ok")
+        return
+    obs.metrics().inc("delta.validate.mismatch")
+    mismatched = sorted(
+        set(delta_lines) ^ set(full_lines)
+        | {
+            hostname
+            for hostname in set(delta_lines) & set(full_lines)
+            if delta_lines[hostname] != full_lines[hostname]
+        }
+    )
+    details = []
+    for hostname in mismatched[:5]:
+        divergence = first_divergence(
+            _fib_tree("delta", hostname, delta_lines.get(hostname, [])),
+            _fib_tree("full", hostname, full_lines.get(hostname, [])),
+        )
+        if divergence is not None:
+            details.append(f"{hostname}: {divergence.describe()}")
+        else:
+            details.append(f"{hostname}: host present on one side only")
+    raise DeltaValidationError(
+        "delta engine produced FIBs that differ from a full recompute on "
+        f"{len(mismatched)} device(s):\n" + "\n".join(details)
+    )

@@ -27,6 +27,12 @@ class Rule:
     category: str
     description: str
     fn: RuleFn
+    #: ``"device"`` when the rule inspects one device at a time (its
+    #: findings for a device depend only on that device's configuration)
+    #: — the runner can then memoize per device and re-lint only devices
+    #: that changed. ``"snapshot"`` (the default) for rules that relate
+    #: multiple devices (duplicate IPs, session compatibility, ...).
+    scope: str = "snapshot"
 
     def run(self, snapshot: Snapshot) -> List[Finding]:
         return self.fn(snapshot)
@@ -36,16 +42,27 @@ _REGISTRY: Dict[str, Rule] = {}
 
 
 def rule(
-    rule_id: str, severity: Severity, category: str, description: str
+    rule_id: str,
+    severity: Severity,
+    category: str,
+    description: str,
+    scope: str = "snapshot",
 ) -> Callable[[RuleFn], RuleFn]:
     """Register a rule function. The function receives a snapshot and
     returns findings; it should build each finding through the
-    :func:`finding` helper so rule metadata stays consistent."""
+    :func:`finding` helper so rule metadata stays consistent. Rules
+    whose findings are per-device functions of that device alone should
+    declare ``scope="device"`` to opt into per-device memoization."""
+
+    if scope not in ("snapshot", "device"):
+        raise ValueError(f"unknown lint rule scope: {scope!r}")
 
     def decorate(fn: RuleFn) -> RuleFn:
         if rule_id in _REGISTRY:
             raise ValueError(f"duplicate lint rule id: {rule_id}")
-        _REGISTRY[rule_id] = Rule(rule_id, severity, category, description, fn)
+        _REGISTRY[rule_id] = Rule(
+            rule_id, severity, category, description, fn, scope
+        )
         return fn
 
     return decorate

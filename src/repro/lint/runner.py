@@ -11,12 +11,15 @@ unconditionally — the service ``/metrics`` endpoint then shows
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.config.model import Snapshot
+from repro.config.model import Device, Snapshot
+from repro.core.cache import engine_version
 from repro.lint.model import Finding, LintConfig, Severity, sort_findings
 from repro.lint.registry import Rule, all_rules
 from repro.parallel import pmap
@@ -104,40 +107,105 @@ def _apply_suppressions(
     return out
 
 
+def _device_lint_key(rule: Rule, device: Device) -> str:
+    """Content address of one device-scoped rule evaluation: code
+    version + rule + the device model's bytes. An unchanged file parses
+    to an identical Device, so its key (and memoized findings) survive
+    edits elsewhere in the snapshot."""
+    digest = hashlib.sha256(engine_version().encode())
+    digest.update(b"\x00lint\x00")
+    digest.update(rule.rule_id.encode())
+    digest.update(b"\x00")
+    digest.update(pickle.dumps(device, protocol=pickle.HIGHEST_PROTOCOL))
+    return digest.hexdigest()
+
+
 def lint_snapshot(
     snapshot: Snapshot,
     config: Optional[LintConfig] = None,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> LintReport:
     """Run every enabled rule against ``snapshot`` and assemble a report.
 
     ``jobs`` follows the ``pmap`` convention (None = auto). Rules run in
     parallel; results come back in registry order so reports are
     deterministic regardless of scheduling.
+
+    ``cache`` (a :class:`repro.core.cache.SnapshotCache`) memoizes
+    device-scoped rules per device: when an incremental update touches
+    two files out of two hundred, only those two devices' semantic
+    checks (the expensive BDD ones) re-run. Snapshot-scoped rules —
+    which relate devices to each other — always run in full. Findings
+    are memoized *pre*-suppression and *pre*-severity-override, so
+    lintconfig changes apply to memoized findings too.
     """
     config = config or LintConfig()
     rules = [r for r in all_rules() if config.rule_enabled(r.rule_id)]
 
-    def run_one(rule: Rule):
+    # Work items: one per snapshot-scoped rule, one per (device rule,
+    # device) pair not served from the memo. hostname None = whole
+    # snapshot.
+    items: List[Tuple[Rule, Optional[str]]] = []
+    memoized: List[Tuple[str, List[Finding]]] = []
+    memo_keys: Dict[Tuple[str, str], str] = {}
+    for rule in rules:
+        if rule.scope != "device" or cache is None:
+            items.append((rule, None))
+            continue
+        for hostname in snapshot.hostnames():
+            key = _device_lint_key(rule, snapshot.device(hostname))
+            memo_keys[(rule.rule_id, hostname)] = key
+            hit = cache.load("lint", key)
+            if hit is not None:
+                memoized.append((rule.rule_id, hit))
+                obs.metrics().inc("lint.device_memo_hits")
+            else:
+                items.append((rule, hostname))
+                obs.metrics().inc("lint.device_memo_misses")
+
+    def run_one(item: Tuple[Rule, Optional[str]]):
+        rule, hostname = item
         start = time.perf_counter()
-        findings = rule.run(snapshot)
-        return rule.rule_id, findings, time.perf_counter() - start
+        if hostname is None:
+            findings = rule.run(snapshot)
+        else:
+            # Device-scoped rules see a single-device snapshot; by the
+            # scope contract this yields exactly the findings the full
+            # snapshot would produce for that device.
+            findings = rule.run(
+                Snapshot(devices={hostname: snapshot.device(hostname)})
+            )
+        return rule.rule_id, hostname, findings, time.perf_counter() - start
 
     started = time.perf_counter()
-    results = pmap(run_one, rules, jobs=jobs, min_items=2)
+    results = pmap(run_one, items, jobs=jobs, min_items=2)
     total_seconds = time.perf_counter() - started
 
     report = LintReport(total_seconds=total_seconds)
     metrics = obs.metrics()
+    raw: Dict[str, List[Finding]] = {rule.rule_id: [] for rule in rules}
+    seconds_by_rule: Dict[str, float] = {rule.rule_id: 0.0 for rule in rules}
+    for rule_id, hostname, findings, seconds in results:
+        raw[rule_id].extend(findings)
+        seconds_by_rule[rule_id] += seconds
+        if hostname is not None and cache is not None:
+            cache.store("lint", memo_keys[(rule_id, hostname)], findings)
+    for rule_id, findings in memoized:
+        raw[rule_id].extend(findings)
+
     collected: List[Finding] = []
-    for (rule_id, findings, seconds), rule in zip(results, rules):
-        report.rules_run.append(rule_id)
-        report.rule_seconds[rule_id] = seconds
-        override = config.severity.get(rule_id)
+    for rule in rules:
+        findings = raw[rule.rule_id]
+        report.rules_run.append(rule.rule_id)
+        report.rule_seconds[rule.rule_id] = seconds_by_rule[rule.rule_id]
+        override = config.severity.get(rule.rule_id)
         if override is not None:
             findings = [replace(f, severity=override) for f in findings]
         collected.extend(findings)
-        metrics.observe(f"lint.rule_seconds.{rule_id}", seconds)
+        metrics.observe(
+            f"lint.rule_seconds.{rule.rule_id}", seconds_by_rule[rule.rule_id]
+        )
     collected = _apply_suppressions(collected, snapshot, config)
     report.findings = sort_findings(collected)
     for rule_id, count in report.counts_by_rule().items():

@@ -58,6 +58,23 @@ class CoverageTracker:
             self._touched.clear()
             self._by_query.clear()
 
+    def invalidate_hosts(self, hostnames) -> int:
+        """Drop all touches attributed to the given devices.
+
+        The incremental delta engine calls this for dirty devices: their
+        structures changed (or their routing context did), so previous
+        touches no longer describe the current configuration. Touches on
+        clean devices — and the per-query tallies, which describe past
+        query executions rather than current structures — are kept.
+        Returns the number of entries dropped.
+        """
+        hosts = set(hostnames)
+        with self._lock:
+            stale = [key for key in self._touched if key[1] in hosts]
+            for key in stale:
+                del self._touched[key]
+        return len(stale)
+
     def touched_keys(self) -> List[CoverageKey]:
         with self._lock:
             return sorted(self._touched, key=_key_order)

@@ -196,6 +196,28 @@ class TraceReport:
             lines.append("  (no counters)")
         for name, value in counters:
             lines.append(f"  {name:<44} {value:>12}")
+        delta = {
+            name: value
+            for name, value in dump["counters"].items()
+            if name.startswith("delta.")
+        }
+        if delta:
+            lines.append("")
+            lines.append("== incremental (delta) engine ==")
+            runs = delta.get("delta.runs", 0)
+            dirty = delta.get("delta.dirty_devices", 0)
+            reused = delta.get("delta.reused_devices", 0)
+            total = dirty + reused
+            lines.append(f"  runs: {runs}, fallbacks to full recompute: "
+                         f"{delta.get('delta.fallback_full', 0)}")
+            if total:
+                lines.append(
+                    f"  devices re-simulated: {dirty}/{total} "
+                    f"({100.0 * reused / total:.0f}% spliced through)"
+                )
+            lines.append(
+                f"  parse memo hits: {delta.get('delta.parse_memo_hits', 0)}"
+            )
         if dump["gauges"]:
             lines.append("")
             lines.append("== gauges ==")

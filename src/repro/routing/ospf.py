@@ -180,8 +180,20 @@ class OspfComputation:
     databases: Dict[int, _AreaDatabase]
 
 
-def compute_ospf(snapshot: Snapshot, topology: Layer3Topology) -> OspfComputation:
-    """Run OSPF to convergence for the whole snapshot."""
+def compute_ospf(
+    snapshot: Snapshot,
+    topology: Layer3Topology,
+    restrict: Optional[Set[str]] = None,
+) -> OspfComputation:
+    """Run OSPF to convergence for the whole snapshot.
+
+    ``restrict`` limits the per-source SPF work to the given routers —
+    the delta engine's selective re-simulation. Soundness requires the
+    set to be closed under OSPF adjacency components (link-state
+    flooding makes every router of a connected OSPF domain see any
+    change inside it), which the dirty-set propagation guarantees;
+    routers outside the set get empty route lists.
+    """
     databases = _build_area_databases(snapshot, topology)
     routes: Dict[str, List[OspfRoute]] = {
         hostname: [] for hostname in snapshot.hostnames()
@@ -191,6 +203,8 @@ def compute_ospf(snapshot: Snapshot, topology: Layer3Topology) -> OspfComputatio
 
     for area, db in sorted(databases.items()):
         for source in sorted(db.members):
+            if restrict is not None and source not in restrict:
+                continue
             dist, first_hops = _dijkstra(db, source)
             distances[(area, source)] = dist
             all_first_hops[(area, source)] = first_hops
@@ -226,7 +240,9 @@ def compute_ospf(snapshot: Snapshot, topology: Layer3Topology) -> OspfComputatio
                             )
                         )
 
-    _add_inter_area_routes(snapshot, databases, distances, all_first_hops, routes)
+    _add_inter_area_routes(
+        snapshot, databases, distances, all_first_hops, routes, restrict
+    )
     return OspfComputation(
         routes=routes,
         distances=distances,
@@ -247,7 +263,9 @@ def _area_border_routers(databases: Dict[int, _AreaDatabase]) -> Set[str]:
     return backbone & others
 
 
-def _add_inter_area_routes(snapshot, databases, distances, first_hops, routes):
+def _add_inter_area_routes(
+    snapshot, databases, distances, first_hops, routes, restrict=None
+):
     """Propagate prefixes between areas through area-0 ABRs.
 
     For a router R in area A and a prefix P known in area B (≠ A), the
@@ -259,11 +277,16 @@ def _add_inter_area_routes(snapshot, databases, distances, first_hops, routes):
     if not abrs:
         return
     # Best known cost from each ABR to each prefix (intra-area costs,
-    # through any area the ABR participates in).
+    # through any area the ABR participates in). Under a restricted run,
+    # ABRs outside the restricted components have no SPF results — and
+    # no restricted router can route through them (different component),
+    # so skipping them loses nothing.
     abr_prefix_cost: Dict[str, Dict[Prefix, int]] = {abr: {} for abr in abrs}
     for area, db in databases.items():
         for abr in abrs & db.members:
-            dist = distances[(area, abr)]
+            dist = distances.get((area, abr))
+            if dist is None:
+                continue
             for advertiser, prefix_list in db.prefixes.items():
                 if advertiser == abr:
                     base = 0
@@ -297,6 +320,8 @@ def _add_inter_area_routes(snapshot, databases, distances, first_hops, routes):
     # Each router reaches remote prefixes via ABRs of its own areas.
     for area, db in sorted(databases.items()):
         for source in sorted(db.members):
+            if restrict is not None and source not in restrict:
+                continue
             device = snapshot.device(source)
             dist = distances[(area, source)]
             hops = first_hops[(area, source)]

@@ -13,6 +13,7 @@ Surface (all bodies JSON)::
     GET    /snapshots                            list snapshot records
     POST   /snapshots                            {name, configs, settings?, force?}
     GET    /snapshots/{name}                     one record
+    PATCH  /snapshots/{name}                     {configs} incremental update
     DELETE /snapshots/{name}
     POST   /snapshots/{name}/questions/{q}       {params?, timeout_s?, wait?}
     GET    /jobs/{id}                            job status / result / error
@@ -327,6 +328,30 @@ def _make_handler(service: AnalysisService):
                         timeout_s=timeout_s,
                     )
                     self._respond_job(job, coalesced, wait)
+                    return
+                raise NotFoundError(f"no such path {path!r}")
+            except ServiceError as error:
+                self._send_error(error)
+
+        def do_PATCH(self):  # noqa: N802
+            try:
+                path, _query = self._path_and_query()
+                match = _SNAPSHOT_PATH.match(path)
+                if match:
+                    body = self._body()
+                    if "configs" not in body:
+                        raise InvalidRequestError(
+                            "body must include 'configs' "
+                            "({filename: text-or-null})"
+                        )
+                    record = service.store.patch(
+                        match.group(1), body["configs"]
+                    )
+                    payload = record.to_json()
+                    session = service.store.get(match.group(1))
+                    if session.delta_info is not None:
+                        payload["delta"] = session.delta_info.to_json()
+                    self._send(200, payload)
                     return
                 raise NotFoundError(f"no such path {path!r}")
             except ServiceError as error:

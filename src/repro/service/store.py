@@ -114,6 +114,52 @@ class SnapshotStore:
         obs.add("service.snapshots.init")
         return record
 
+    def patch(
+        self, name: str, changed_configs: Dict[str, Optional[str]]
+    ) -> SnapshotRecord:
+        """Incrementally update snapshot ``name`` with some files
+        changed (``null`` text deletes a file). The delta engine
+        re-simulates only devices whose routing could have changed and
+        splices everything else through from the existing session's
+        converged state (:mod:`repro.delta`). Replaces the named
+        session in place and returns the updated record.
+        """
+        if not isinstance(changed_configs, dict) or not changed_configs:
+            raise InvalidRequestError(
+                "configs must be a non-empty {filename: text-or-null} object"
+            )
+        for filename, text in changed_configs.items():
+            if not isinstance(filename, str) or not (
+                text is None or isinstance(text, str)
+            ):
+                raise InvalidRequestError(
+                    "configs keys must be strings; values strings or null "
+                    "(null deletes the file)"
+                )
+        base = self.get(name)
+        # The delta itself runs outside the store lock, like init().
+        try:
+            session = base.delta(changed_configs)
+        except ValueError as exc:
+            raise InvalidRequestError(str(exc))
+        record = SnapshotRecord(
+            name=name,
+            key=session.snapshot_key,
+            device_count=len(session.snapshot.devices),
+            warning_count=len(session.snapshot.warnings),
+            created_ts=time.time(),
+        )
+        with self._lock:
+            if name not in self._sessions:
+                # Deleted while we were computing: treat as gone.
+                raise SnapshotNotFoundError(
+                    f"no snapshot named {name!r}", name=name
+                )
+            self._sessions[name] = session
+            self._records[name] = record
+        obs.add("service.snapshots.patch")
+        return record
+
     def get(self, name: str) -> Session:
         """The live session for ``name`` (404 when absent)."""
         with self._lock:

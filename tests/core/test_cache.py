@@ -110,7 +110,10 @@ class TestRoundTrip:
         name = sorted(edited)[0]
         edited[name] = edited[name] + "\n! trailing comment\n"
         Session.from_texts(edited, cache=cache).dataplane
-        assert cache.stats()["hits"] == hits_before  # no false sharing
+        # Snapshot-level and dataplane entries must miss (no false
+        # sharing of results); only the per-device parse memo may hit,
+        # and exactly for the files whose bytes did not change.
+        assert cache.stats()["hits"] == hits_before + len(configs) - 1
 
     def test_settings_change_misses_dataplane(self, tmp_path, configs):
         from repro.routing.engine import ConvergenceSettings
@@ -212,3 +215,59 @@ class TestEviction:
         monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "not-a-number")
         with pytest.raises(ValueError):
             SnapshotCache(str(tmp_path))
+
+
+class TestProtect:
+    """protect() pins entries a live delta still needs (the base
+    snapshot's devices and data plane) against LRU eviction."""
+
+    def _sized_cache(self, tmp_path, entries=2):
+        probe = SnapshotCache(str(tmp_path / "probe"))
+        probe.store("blob", "0" * 64, b"x" * 1024)
+        (path,) = (tmp_path / "probe").glob("*.pkl")
+        return SnapshotCache(
+            str(tmp_path / "c"), max_bytes=path.stat().st_size * entries
+        )
+
+    def test_protected_entry_survives_eviction_pressure(self, tmp_path):
+        import time as _time
+
+        cache = self._sized_cache(tmp_path, entries=2)
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        with cache.protect([("blob", "a" * 64)]):
+            for i in range(3):
+                _time.sleep(0.01)
+                cache.store("blob", f"{i:064d}", b"x" * 1024)
+            # 'a' is the LRU entry yet still present; pressure fell on
+            # the unpinned entries instead.
+            assert cache.load("blob", "a" * 64) is not None
+        assert cache.stats()["evictions"] > 0
+
+    def test_unprotected_entry_evicts_after_exit(self, tmp_path):
+        import time as _time
+
+        cache = self._sized_cache(tmp_path, entries=2)
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        with cache.protect([("blob", "a" * 64)]):
+            pass
+        for i in range(3):
+            _time.sleep(0.01)
+            cache.store("blob", f"{i:064d}", b"x" * 1024)
+        assert cache.load("blob", "a" * 64) is None
+
+    def test_protection_is_refcounted(self, tmp_path):
+        import time as _time
+
+        cache = self._sized_cache(tmp_path, entries=2)
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        outer = cache.protect([("blob", "a" * 64)])
+        inner = cache.protect([("blob", "a" * 64)])
+        outer.__enter__()
+        inner.__enter__()
+        inner.__exit__(None, None, None)
+        # Still pinned by the outer protector.
+        for i in range(3):
+            _time.sleep(0.01)
+            cache.store("blob", f"{i:064d}", b"x" * 1024)
+        assert cache.load("blob", "a" * 64) is not None
+        outer.__exit__(None, None, None)

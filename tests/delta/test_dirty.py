@@ -1,0 +1,162 @@
+"""Dirty-set computation: routing fingerprints, protocol-edge closure,
+and the candidate-host restriction contract."""
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.delta import compute_dirty_set, protocol_edges, routing_fingerprint
+
+OSPF_PAIR = {
+    "r1": """
+hostname r1
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf area 0
+router ospf 1
+ router-id 1.1.1.1
+""",
+    "r2": """
+hostname r2
+interface Loopback0
+ ip address 2.2.2.2 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip ospf area 0
+router ospf 1
+ router-id 2.2.2.2
+""",
+}
+
+
+def _device(text, hostname="r1"):
+    return load_snapshot_from_texts({hostname: text}).device(hostname)
+
+
+class TestRoutingFingerprint:
+    BASE = OSPF_PAIR["r1"]
+
+    def test_stable_across_reparses(self):
+        assert routing_fingerprint(_device(self.BASE)) == routing_fingerprint(
+            _device(self.BASE)
+        )
+
+    def test_management_plane_edits_are_inert(self):
+        for inert_line in (
+            "ntp server 203.0.113.250\n",
+            "snmp-server community letmein RO\n",
+        ):
+            edited = _device(self.BASE + inert_line)
+            assert routing_fingerprint(edited) == routing_fingerprint(
+                _device(self.BASE)
+            ), inert_line
+
+    def test_interface_description_is_inert(self):
+        edited = self.BASE.replace(
+            "interface Ethernet0\n",
+            "interface Ethernet0\n description uplink to r2\n",
+        )
+        assert routing_fingerprint(_device(edited)) == routing_fingerprint(
+            _device(self.BASE)
+        )
+
+    def test_static_route_changes_fingerprint(self):
+        edited = self.BASE + "ip route 203.0.113.0 255.255.255.0 Null0\n"
+        assert routing_fingerprint(_device(edited)) != routing_fingerprint(
+            _device(self.BASE)
+        )
+
+    def test_interface_address_changes_fingerprint(self):
+        edited = self.BASE.replace("10.0.12.1", "10.0.12.9")
+        assert routing_fingerprint(_device(edited)) != routing_fingerprint(
+            _device(self.BASE)
+        )
+
+    def test_acl_relevant_only_for_bgp_speakers(self):
+        acl = "ip access-list extended MGMT\n permit tcp any any eq 22\n"
+        # No BGP: ACLs cannot influence routing, fingerprint unchanged.
+        assert routing_fingerprint(_device(self.BASE + acl)) == (
+            routing_fingerprint(_device(self.BASE))
+        )
+        # With BGP the same ACL participates (session viability, §4.1.1).
+        bgp = (
+            "router bgp 65001\n"
+            " bgp router-id 1.1.1.1\n"
+            " neighbor 10.0.12.2 remote-as 65002\n"
+        )
+        assert routing_fingerprint(_device(self.BASE + bgp + acl)) != (
+            routing_fingerprint(_device(self.BASE + bgp))
+        )
+
+
+class TestDirtyClosure:
+    def test_identical_snapshots_have_empty_dirty_set(self):
+        base = load_snapshot_from_texts(OSPF_PAIR)
+        new = load_snapshot_from_texts(dict(OSPF_PAIR))
+        computation = compute_dirty_set(base, new)
+        assert computation.seeds == []
+        assert computation.dirty == set()
+        # The empty-seed early return never builds protocol topologies.
+        assert computation.edges == set()
+
+    def test_routing_edit_dirties_ospf_neighbor(self):
+        edited = dict(OSPF_PAIR)
+        edited["r1"] = (
+            OSPF_PAIR["r1"] + "ip route 203.0.113.0 255.255.255.0 Null0\n"
+        )
+        computation = compute_dirty_set(
+            load_snapshot_from_texts(OSPF_PAIR),
+            load_snapshot_from_texts(edited),
+        )
+        assert computation.seeds == ["r1"]
+        assert computation.dirty == {"r1", "r2"}
+
+    def test_severing_edit_dirties_both_sides(self):
+        # Removing OSPF from r1's link tears down the adjacency; the
+        # closure must follow the *base* world's edge so r2 (whose
+        # routes through r1 vanish) is re-simulated too.
+        severed = dict(OSPF_PAIR)
+        severed["r1"] = OSPF_PAIR["r1"].replace(
+            "interface Ethernet0\n ip address 10.0.12.1 255.255.255.0\n"
+            " ip ospf area 0\n",
+            "interface Ethernet0\n ip address 10.0.12.1 255.255.255.0\n",
+        )
+        assert severed["r1"] != OSPF_PAIR["r1"]
+        base = load_snapshot_from_texts(OSPF_PAIR)
+        new = load_snapshot_from_texts(severed)
+        # The new world alone has no r1<->r2 protocol edge...
+        assert protocol_edges(new) == set()
+        # ...yet both sides are dirty via the union of worlds.
+        computation = compute_dirty_set(base, new)
+        assert computation.seeds == ["r1"]
+        assert computation.dirty == {"r1", "r2"}
+
+    def test_added_and_removed_devices_seed(self):
+        grown = dict(OSPF_PAIR)
+        grown["r3"] = "hostname r3\ninterface e0\n ip address 10.9.0.1 255.255.255.0\n"
+        base = load_snapshot_from_texts(OSPF_PAIR)
+        new = load_snapshot_from_texts(grown)
+        assert "r3" in compute_dirty_set(base, new).dirty
+        removal = compute_dirty_set(new, base)
+        assert "r3" in removal.dirty
+        # Removed devices are excluded by the new-snapshot projection.
+        assert removal.dirty_in(base) == set()
+
+    def test_candidate_hosts_restricts_comparison(self):
+        edited = dict(OSPF_PAIR)
+        edited["r1"] = (
+            OSPF_PAIR["r1"] + "ip route 203.0.113.0 255.255.255.0 Null0\n"
+        )
+        base = load_snapshot_from_texts(OSPF_PAIR)
+        new = load_snapshot_from_texts(edited)
+        assert compute_dirty_set(
+            base, new, candidate_hosts={"r1"}
+        ).dirty == {"r1", "r2"}
+        # The contract is the caller's: a candidate set that misses the
+        # changed host makes the diff (wrongly) report it clean. This
+        # documents why the engine derives candidates from changed
+        # *files* via the injective filename->hostname map.
+        assert compute_dirty_set(
+            base, new, candidate_hosts={"r2"}
+        ).dirty == set()

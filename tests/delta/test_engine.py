@@ -1,0 +1,201 @@
+"""Incremental delta engine: splice exactness against full recomputes,
+fallback behavior, and the differential validator itself."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import Session
+from repro.delta import DeltaValidationError, fib_lines
+from repro.delta.engine import _validate
+from repro.synth.special import net1
+
+#: Two protocol components: an OSPF pair (a, b) and a standalone
+#: static-only device (c) — edits to one component must never
+#: re-simulate the other.
+THREE_ISLANDS = {
+    "a": """
+hostname a
+interface Loopback0
+ ip address 1.1.1.1 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ ip ospf area 0
+router ospf 1
+ router-id 1.1.1.1
+""",
+    "b": """
+hostname b
+interface Loopback0
+ ip address 2.2.2.2 255.255.255.255
+ ip ospf area 0
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ ip ospf area 0
+router ospf 1
+ router-id 2.2.2.2
+""",
+    "c": """
+hostname c
+interface Ethernet0
+ ip address 10.9.0.1 255.255.255.0
+ip route 198.51.100.0 255.255.255.0 Null0
+""",
+}
+
+INERT_LINE = "ntp server 203.0.113.250\n"
+ROUTE_LINE = "ip route 203.0.113.0 255.255.255.0 Null0\n"
+
+
+def full_fib_lines(configs):
+    return fib_lines(Session.from_texts(configs).fibs)
+
+
+class TestSplice:
+    def test_partial_dirty_resimulates_one_component(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        new = base.delta(
+            {"a": THREE_ISLANDS["a"] + ROUTE_LINE}, validate=True
+        )
+        info = new.delta_info
+        assert not info.fallback
+        assert info.validated
+        assert info.seeds == ["a"]
+        assert set(info.dirty_devices) == {"a", "b"}
+        assert info.reused_devices == 1
+        # The clean island's FIB is the base object, not a copy.
+        assert new.fibs["c"] is base.fibs["c"]
+        # The edit actually landed in the spliced result.
+        assert any(
+            "203.0.113.0/24" in line for line in fib_lines(new.fibs)["a"]
+        )
+
+    def test_inert_edit_reuses_base_dataplane_wholesale(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        new = base.delta({"c": THREE_ISLANDS["c"] + INERT_LINE}, validate=True)
+        info = new.delta_info
+        assert not info.fallback
+        assert info.dirty_devices == []
+        assert info.reused_devices == 3
+        assert info.parse_memo_hits == 2
+        # Converged state is aliased, never copied...
+        assert (
+            new.dataplane.nodes["a"].main_rib
+            is base.dataplane.nodes["a"].main_rib
+        )
+        # ...but device references follow the new snapshot.
+        assert new.dataplane.nodes["c"].device is new.snapshot.device("c")
+
+    def test_rewriting_file_with_identical_bytes_is_no_change(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        new = base.delta({"a": THREE_ISLANDS["a"]}, validate=True)
+        assert new.delta_info.changed_files == []
+        assert new.delta_info.dirty_devices == []
+
+    def test_chained_deltas(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        first = base.delta({"c": THREE_ISLANDS["c"] + INERT_LINE})
+        second = first.delta(
+            {"a": THREE_ISLANDS["a"] + ROUTE_LINE}, validate=True
+        )
+        assert second.delta_info.validated
+        assert set(second.delta_info.dirty_devices) == {"a", "b"}
+
+    def test_device_removal(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        new = base.delta({"c": None}, validate=True)
+        assert not new.delta_info.fallback
+        assert new.delta_info.seeds == ["c"]
+        assert "c" not in new.fibs
+        assert set(new.fibs) == {"a", "b"}
+
+    def test_device_addition(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        extra = (
+            "hostname d\n"
+            "interface Ethernet0\n"
+            " ip address 10.8.0.1 255.255.255.0\n"
+        )
+        new = base.delta({"d": extra}, validate=True)
+        assert not new.delta_info.fallback
+        assert new.delta_info.dirty_devices == ["d"]
+        assert new.delta_info.reused_devices == 3
+
+
+class TestFallback:
+    PAIR = {name: THREE_ISLANDS[name] for name in ("a", "b")}
+
+    def test_all_dirty_falls_back_to_full_recompute(self):
+        base = Session.from_texts(self.PAIR)
+        base.fibs
+        new = base.delta({"a": self.PAIR["a"] + ROUTE_LINE})
+        info = new.delta_info
+        assert info.fallback
+        assert "full recompute" in info.fallback_reason
+        # Fallback results ARE full recomputes: no validation needed,
+        # and the lazy pipeline must still produce the edited route.
+        assert not info.validated
+        assert any(
+            "203.0.113.0/24" in line for line in fib_lines(new.fibs)["a"]
+        )
+
+    def test_base_without_configs_is_rejected(self):
+        from repro.config.loader import load_snapshot_from_texts
+
+        session = Session(load_snapshot_from_texts(self.PAIR))
+        with pytest.raises(ValueError, match="from_texts"):
+            session.delta({"a": self.PAIR["a"] + INERT_LINE})
+
+    def test_non_string_text_is_rejected(self):
+        base = Session.from_texts(self.PAIR)
+        with pytest.raises(TypeError, match="str or None"):
+            base.delta({"a": 42})
+
+    def test_deleting_every_file_is_rejected(self):
+        base = Session.from_texts(self.PAIR)
+        with pytest.raises(ValueError, match="every config"):
+            base.delta({"a": None, "b": None})
+
+
+class TestValidator:
+    def test_validator_catches_corrupted_splice(self):
+        base = Session.from_texts(THREE_ISLANDS)
+        base.fibs
+        new = base.delta({"c": THREE_ISLANDS["c"] + INERT_LINE})
+        assert not new.delta_info.fallback
+        # Sabotage the spliced FIBs; the differential check must fail
+        # and localize the divergence to the mangled host.
+        del new._fibs["c"]
+        with pytest.raises(DeltaValidationError, match="c"):
+            _validate(base, new)
+
+
+class TestPropertyRandomEdits:
+    """Property-style check: ANY single-device edit, inert or not,
+    yields FIBs byte-identical to a from-scratch recompute."""
+
+    CONFIGS = net1(2)
+    EDITS = (
+        INERT_LINE,
+        "snmp-server community public RO\n",
+        ROUTE_LINE,
+        "ip route 203.0.113.64 255.255.255.192 Null0\n",
+    )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        target=st.sampled_from(sorted(CONFIGS)),
+        edit=st.sampled_from(EDITS),
+    )
+    def test_single_device_edit_matches_full_recompute(self, target, edit):
+        base = Session.from_texts(self.CONFIGS)
+        edited = {**self.CONFIGS, target: self.CONFIGS[target] + edit}
+        new = base.delta({target: self.CONFIGS[target] + edit})
+        assert fib_lines(new.fibs) == full_fib_lines(edited)

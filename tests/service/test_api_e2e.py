@@ -252,3 +252,50 @@ class TestShutdown:
         assert service.queue.get(running["id"]).status is JobStatus.DONE
         assert service.queue.get(queued["id"]).status is JobStatus.DONE
         assert not service.queue.accepting
+
+
+class TestPatchSnapshot:
+    def test_patch_applies_incremental_update(self, make_service):
+        _, client = make_service()
+        configs = net1(2)
+        status, record = client.post(
+            "/snapshots", {"name": "lab", "configs": configs}
+        )
+        assert status == 201
+        target = sorted(configs)[0]
+        inert = configs[target] + "ntp server 203.0.113.250\n"
+        status, patched = client.request(
+            "PATCH", "/snapshots/lab", {"configs": {target: inert}}
+        )
+        assert status == 200
+        assert patched["key"] != record["key"]
+        assert patched["devices"] == record["devices"]
+        delta = patched["delta"]
+        assert delta["changed_files"] == [target]
+        assert delta["dirty_devices"] == []
+        assert delta["reused_devices"] == record["devices"]
+        assert delta["parse_memo_hits"] == record["devices"] - 1
+        # The replaced session answers questions and GET reflects it.
+        status, one = client.get("/snapshots/lab")
+        assert status == 200 and one["key"] == patched["key"]
+        status, job = client.post("/snapshots/lab/questions/routes", {})
+        assert status == 200 and job["result"]["count"] > 0
+        # Delta counters surface in /metrics.
+        status, metrics = client.get("/metrics")
+        assert status == 200
+        assert metrics["obs"]["counters"].get("delta.runs", 0) >= 1
+
+    def test_patch_error_shapes(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, body = client.request(
+            "PATCH", "/snapshots/nope", {"configs": {"x": "hostname x\n"}}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "snapshot_not_found"
+        status, body = client.request(
+            "PATCH", "/snapshots/lab", {"configs": {}}
+        )
+        assert status == 400
+        status, body = client.request("PATCH", "/snapshots/lab", {})
+        assert status == 400
