@@ -183,6 +183,45 @@ class Comparison:
             ]
         )
 
+    def compare_percentiles(self, baseline: Dict, current: Dict) -> None:
+        """Gate on tail-latency (p95) regressions.
+
+        ``obs_percentiles`` keys are labeled histogram series
+        (``phase.seconds{phase="parse"}``, ...); the p95 estimate is
+        bucket-interpolated, so compare only when both sides have
+        samples and the baseline sits above the noise floor.
+        """
+        base_pcts = baseline.get("obs_percentiles", {})
+        cur_pcts = current.get("obs_percentiles", {})
+        for key in sorted(set(base_pcts) & set(cur_pcts)):
+            base_entry, cur_entry = base_pcts[key], cur_pcts[key]
+            if not base_entry.get("count") or not cur_entry.get("count"):
+                continue
+            base = float(base_entry.get("p95", 0.0))
+            cur = float(cur_entry.get("p95", 0.0))
+            change = ratio(base, cur)
+            gated = base >= self.min_seconds
+            verdict = "ok"
+            if change is not None and change > self.threshold:
+                if gated:
+                    verdict = "REGRESSION"
+                    self.regressions.append(
+                        f"p95 {key}: {base:.4f}s -> {cur:.4f}s "
+                        f"({format_change(change)})"
+                    )
+                else:
+                    verdict = "noise"
+            self.rows.append(
+                [
+                    "-",
+                    f"p95.{key}",
+                    f"{base:.4f}",
+                    f"{cur:.4f}",
+                    format_change(change),
+                    verdict,
+                ]
+            )
+
     def compare_counters(self, baseline: Dict, current: Dict) -> None:
         base_counters = baseline.get("obs_metrics", {}).get("counters", {})
         cur_counters = current.get("obs_metrics", {}).get("counters", {})
@@ -246,6 +285,7 @@ def compare(
         comparison.rows.append([network, "(network)", "present", "missing", "n/a", "info"])
     for network in sorted(set(cur_networks) - set(base_networks)):
         comparison.rows.append([network, "(network)", "missing", "present", "n/a", "info"])
+    comparison.compare_percentiles(baseline, current)
     comparison.compare_counters(baseline, current)
     return comparison
 

@@ -224,8 +224,13 @@ def write_bench_json(name: str, payload: Dict) -> str:
             "python": sys.version.split()[0],
         },
     )
-    if obs.enabled():
+    if obs.active():
         payload.setdefault("obs_metrics", obs.metrics_dump())
+        # p50/p95/p99 per labeled bucket histogram (phase.seconds,
+        # service.request.seconds, ...) — benchdiff gates on p95.
+        percentiles = obs.metrics().percentiles()
+        if percentiles:
+            payload.setdefault("obs_percentiles", percentiles)
     out_dir = bench_output_dir()
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{name}.json")

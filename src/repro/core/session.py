@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import time
 import warnings as _warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -145,7 +146,10 @@ class Session:
         resolved = resolve_cache(cache)
         key = snapshot_key(configs)
         if resolved is None:
-            session = cls(load_snapshot_from_texts(configs), **kwargs)
+            started = time.perf_counter()
+            snapshot = load_snapshot_from_texts(configs)
+            obs.observe_phase("parse", time.perf_counter() - started)
+            session = cls(snapshot, **kwargs)
             session._cache_key = key
             session._configs = dict(configs)
             return session
@@ -153,7 +157,9 @@ class Session:
         if snapshot is None:
             # Snapshot-level miss: parse with the per-device memo, so
             # only files whose bytes actually changed get reparsed.
+            started = time.perf_counter()
             snapshot = load_snapshot_from_texts(configs, cache=resolved)
+            obs.observe_phase("parse", time.perf_counter() - started)
             resolved.store("snapshot", key, snapshot)
         session = cls(snapshot, **kwargs)
         session._cache = resolved
@@ -219,8 +225,12 @@ class Session:
             if cached is not None:
                 self._dataplane = cached
             else:
+                started = time.perf_counter()
                 self._dataplane = compute_dataplane(
                     self.snapshot, self.settings, self.semantics
+                )
+                obs.observe_phase(
+                    "dataplane", time.perf_counter() - started
                 )
                 if self._cache is not None:
                     self._cache.store(
@@ -272,7 +282,9 @@ class Session:
     def analyzer(self) -> NetworkAnalyzer:
         """Stage 3: the BDD verification engine (lazily built)."""
         if self._analyzer is None:
+            started = time.perf_counter()
             self._analyzer = NetworkAnalyzer(self.dataplane, fibs=self.fibs)
+            obs.observe_phase("bdd", time.perf_counter() - started)
         return self._analyzer
 
     def coverage_report(self) -> CoverageReport:

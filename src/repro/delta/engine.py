@@ -128,6 +128,7 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
         for filename, text in new_configs.items()
         if base._configs.get(filename) == text
     )
+    started = time.perf_counter()
     with obs.span("delta", changed=len(changed_files)):
         new_session = Session.from_texts(
             new_configs,
@@ -141,6 +142,11 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
             info.fallback = True
             info.fallback_reason = reason
             obs.metrics().inc("delta.fallback_full")
+            # Always-on flight event: fallbacks are exactly the "why was
+            # this request slow" evidence a postmortem bundle needs.
+            obs.flight.record(
+                "delta_fallback", reason, changed=len(changed_files)
+            )
         _record_metrics(info)
         should_validate = (
             validate if validate is not None else validate_enabled()
@@ -150,6 +156,7 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
         if should_validate and not info.fallback:
             _validate(base, new_session)
             info.validated = True
+    obs.observe_phase("delta", time.perf_counter() - started)
     return new_session
 
 

@@ -176,7 +176,16 @@ def lint_snapshot(
             findings = rule.run(
                 Snapshot(devices={hostname: snapshot.device(hostname)})
             )
-        return rule.rule_id, hostname, findings, time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        # Lands in the pmap worker's flight ring and ships back to the
+        # parent with the originating request id — the per-rule trail a
+        # postmortem of a slow or crashed lint job needs.
+        obs.flight.record(
+            "lint.rule", rule.rule_id,
+            device=hostname or "", findings=len(findings),
+            wall_s=round(elapsed, 6),
+        )
+        return rule.rule_id, hostname, findings, elapsed
 
     started = time.perf_counter()
     results = pmap(run_one, items, jobs=jobs, min_items=2)
@@ -212,4 +221,5 @@ def lint_snapshot(
         metrics.inc(f"lint.findings.{rule_id}", count)
     metrics.inc("lint.runs")
     metrics.observe("lint.seconds", total_seconds)
+    obs.observe_phase("lint", total_seconds)
     return report

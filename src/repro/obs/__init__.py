@@ -22,15 +22,20 @@ All instrumentation is zero-cost when disabled: one module-level flag
 guard per call site, no formatting or allocation off the hot path.
 """
 
+from repro.obs import context, flight, profiler
+from repro.obs.context import RequestContext, current_request_id, request_context
 from repro.obs.coverage import CoverageReport, CoverageTracker, coverage_report
-from repro.obs.metrics import Histogram, Metrics
+from repro.obs.metrics import BucketHistogram, Histogram, Metrics
+from repro.obs.slo import SloTracker
 from repro.obs.trace import (
     Span,
+    active,
     add,
     coverage,
     current_span_name,
     disable,
     enable,
+    enable_metrics,
     enabled,
     events,
     flush,
@@ -38,7 +43,10 @@ from repro.obs.trace import (
     merge_worker_dump,
     metrics,
     metrics_dump,
+    metrics_enabled,
     observe,
+    observe_bucket,
+    observe_phase,
     reset,
     span,
     touch,
@@ -48,25 +56,38 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BucketHistogram",
     "CoverageReport",
     "CoverageTracker",
     "Histogram",
     "Metrics",
+    "RequestContext",
+    "SloTracker",
     "Span",
+    "active",
     "add",
+    "context",
     "coverage",
     "coverage_report",
+    "current_request_id",
     "current_span_name",
     "disable",
     "enable",
+    "enable_metrics",
     "enabled",
     "events",
+    "flight",
     "flush",
     "gauge",
     "merge_worker_dump",
     "metrics",
     "metrics_dump",
+    "metrics_enabled",
     "observe",
+    "observe_bucket",
+    "observe_phase",
+    "profiler",
+    "request_context",
     "reset",
     "span",
     "touch",

@@ -1,0 +1,147 @@
+"""Request-scoped trace context: who asked for this work, and until when.
+
+Every piece of telemetry the pipeline emits — spans, metric exemplars,
+flight-recorder events, postmortem bundles — should be attributable to
+the *request* that caused it, even when the work happens three layers
+down (an HTTP handler thread enqueues a job, a queue worker thread runs
+it, and a ``pmap`` pool worker process parses one config file of it).
+This module is the propagation mechanism:
+
+* a :class:`RequestContext` is minted once, at the outermost entry
+  point (the HTTP handler; CLI entry points may mint their own);
+* it rides a :mod:`contextvars` variable, so it follows the logical
+  flow of control within a thread and is cheap to read on hot paths
+  (one ``ContextVar.get`` — no locks, no dict lookups);
+* across *thread* boundaries it is carried explicitly (the
+  :class:`repro.service.jobs.Job` stores it; the worker activates it);
+* across *process* boundaries it is serialized into the worker payload
+  (:func:`to_wire` / :func:`from_wire` — see
+  :func:`repro.parallel.pmap`), so events emitted inside pool workers
+  carry the same ``request_id`` as the parent's.
+
+The context is intentionally tiny and immutable: a request id, an
+optional tenant/client tag, and an optional absolute deadline. Anything
+bigger belongs in span attributes, not in the ambient context.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Immutable per-request attribution carried through the pipeline."""
+
+    request_id: str
+    #: Client/tenant tag (free-form; the service fills it from the
+    #: ``X-Tenant`` header). Empty string = unattributed.
+    tenant: str = ""
+    #: Absolute deadline (``time.time()`` epoch seconds); None = none.
+    deadline_ts: Optional[float] = None
+
+    def remaining_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the deadline (negative = expired); None when
+        the request carries no deadline."""
+        if self.deadline_ts is None:
+            return None
+        return self.deadline_ts - (time.time() if now is None else now)
+
+    @property
+    def expired(self) -> bool:
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+
+_CURRENT: contextvars.ContextVar[Optional[RequestContext]] = (
+    contextvars.ContextVar("repro_request_context", default=None)
+)
+
+
+def new_request_id() -> str:
+    """A fresh request id (``req-`` + 12 hex chars; unique enough for
+    correlating telemetry, short enough for log lines)."""
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+def current() -> Optional[RequestContext]:
+    """The active request context on this thread, or None."""
+    return _CURRENT.get()
+
+
+def current_request_id() -> Optional[str]:
+    """The active request id (the one hot paths stamp on events)."""
+    context = _CURRENT.get()
+    return context.request_id if context is not None else None
+
+
+def activate(context: Optional[RequestContext]) -> contextvars.Token:
+    """Install ``context`` as current; returns the token for
+    :func:`deactivate`. Used where a ``with`` block doesn't fit (the
+    job-queue worker loop)."""
+    return _CURRENT.set(context)
+
+
+def deactivate(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def request_context(
+    request_id: Optional[str] = None,
+    tenant: str = "",
+    deadline_ts: Optional[float] = None,
+) -> Iterator[RequestContext]:
+    """Scope a request context over a block::
+
+        with request_context(tenant="ci") as ctx:
+            session.reachability(...)   # telemetry carries ctx.request_id
+    """
+    context = RequestContext(
+        request_id=request_id or new_request_id(),
+        tenant=tenant,
+        deadline_ts=deadline_ts,
+    )
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Process-boundary serialization (pmap worker payloads)
+
+
+def to_wire(context: Optional[RequestContext]) -> Optional[Dict]:
+    """JSON/pickle-ready form of a context (None stays None)."""
+    if context is None:
+        return None
+    wire: Dict = {"request_id": context.request_id}
+    if context.tenant:
+        wire["tenant"] = context.tenant
+    if context.deadline_ts is not None:
+        wire["deadline_ts"] = context.deadline_ts
+    return wire
+
+
+def from_wire(wire: Optional[Dict]) -> Optional[RequestContext]:
+    """Rebuild a context shipped via :func:`to_wire` (tolerant of
+    missing/extra keys — a version-skewed parent must not kill a
+    worker)."""
+    if not wire or not isinstance(wire, dict):
+        return None
+    request_id = wire.get("request_id")
+    if not request_id:
+        return None
+    deadline = wire.get("deadline_ts")
+    return RequestContext(
+        request_id=str(request_id),
+        tenant=str(wire.get("tenant", "") or ""),
+        deadline_ts=float(deadline) if deadline is not None else None,
+    )

@@ -1,0 +1,214 @@
+"""Always-on flight recorder: the last N telemetry events, cheaply.
+
+The paper's operational lesson (§5) is that failures in production are
+mysterious precisely because nobody was tracing *at the time*: the
+interesting request 504s once a day, and turning ``REPRO_TRACE`` on
+after the fact records everything except the incident. The flight
+recorder closes that gap the way an aircraft's does: a bounded ring
+buffer of recent events that is **always running**, costing one dict
+build and one ``deque.append`` per event (appends on a bounded deque
+are O(1) and atomic under the GIL — no lock on the write path), and a
+**postmortem bundle** snapshot taken at the moment something goes wrong
+(job error, deadline expiry, delta fallback, SIGTERM) so the events
+leading up to the failure are preserved even as the ring keeps rolling.
+
+Two kinds of producers feed the ring:
+
+* low-frequency *always-on* call sites (job lifecycle, pipeline phase
+  boundaries, delta fallbacks, cache evictions) call :func:`record`
+  directly — these run whether or not :mod:`repro.obs` tracing is
+  enabled;
+* when tracing *is* enabled, every span/metric trace event is mirrored
+  into the ring by :mod:`repro.obs.trace`, so the recorder shows full
+  detail during traced runs and coarse detail otherwise.
+
+Every event carries the originating ``request_id`` (read from
+:mod:`repro.obs.context` unless given explicitly), which is what makes
+a bundle *attributable*: "the events of the request that died", not
+"whatever the process was doing".
+
+``REPRO_FLIGHT_EVENTS`` sizes the ring (default 4096 events);
+``REPRO_FLIGHT_DUMP=/path.json`` dumps ring + bundles at interpreter
+exit (the traced-pytest CI job uploads that file as an artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs import context as _context
+
+#: Default ring capacity; override with REPRO_FLIGHT_EVENTS.
+DEFAULT_RING_EVENTS = 4096
+
+#: Postmortem bundles retained in memory (oldest evicted first).
+MAX_BUNDLES = 32
+
+
+def _ring_limit() -> int:
+    raw = os.environ.get("REPRO_FLIGHT_EVENTS", "").strip()
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_RING_EVENTS
+
+
+class FlightRecorder:
+    """The ring buffer plus its postmortem bundles."""
+
+    def __init__(self, limit: Optional[int] = None):
+        self._ring: deque = deque(maxlen=limit or _ring_limit())
+        self._bundles: deque = deque(maxlen=MAX_BUNDLES)
+        self._lock = threading.Lock()  # snapshots only, never the append path
+        self._seq = 0
+        self._dropped = 0
+        #: Overhead-measurement escape hatch (benchmarks only).
+        self.enabled = True
+
+    # -- write path (hot, lock-free) -----------------------------------
+
+    def record(self, kind: str, name: str, rid: Optional[str] = None, **fields) -> None:
+        """Append one event. ``rid`` defaults to the active request id."""
+        if not self.enabled:
+            return
+        event = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+        }
+        if rid is None:
+            rid = _context.current_request_id()
+        if rid is not None:
+            event["rid"] = rid
+        if fields:
+            event.update(fields)
+        # seq is advisory (event ordering across threads); a lost
+        # increment under contention is harmless, a lock here is not.
+        self._seq += 1
+        event["seq"] = self._seq
+        if len(self._ring) == self._ring.maxlen:
+            self._dropped += 1
+        self._ring.append(event)
+
+    def extend(self, events: Iterable[Dict]) -> None:
+        """Fold in events shipped back from a pmap worker's ring."""
+        if not self.enabled:
+            return
+        for event in events:
+            if isinstance(event, dict):
+                self._ring.append(event)
+
+    # -- read path ------------------------------------------------------
+
+    def recent(self, limit: Optional[int] = None) -> List[Dict]:
+        with self._lock:
+            events = list(self._ring)
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def stats(self) -> Dict:
+        return {
+            "events": len(self._ring),
+            "capacity": self._ring.maxlen,
+            "dropped": self._dropped,
+            "bundles": len(self._bundles),
+        }
+
+    # -- postmortems ----------------------------------------------------
+
+    def snapshot_bundle(self, reason: str, **extra) -> Dict:
+        """Freeze the current ring into a postmortem bundle.
+
+        ``extra`` carries the failure-specific facts (the failed job's
+        JSON, the delta fallback reason, cache stats, a profiler
+        report). Returns the bundle; it is also retained (bounded) for
+        ``GET /debug/flightrecorder`` and the drain-time disk dump.
+        """
+        with self._lock:
+            bundle: Dict = {
+                "reason": reason,
+                "ts": time.time(),
+                "rid": _context.current_request_id(),
+                "events": list(self._ring),
+            }
+            if extra:
+                bundle.update(extra)
+            self._bundles.append(bundle)
+        return bundle
+
+    def bundles(self) -> List[Dict]:
+        with self._lock:
+            return list(self._bundles)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._bundles.clear()
+            self._seq = 0
+            self._dropped = 0
+
+    def dump(self) -> Dict:
+        """JSON-ready snapshot of ring + bundles (the disk format)."""
+        with self._lock:
+            return {
+                "schema": "repro-flightrecorder/v1",
+                "pid": os.getpid(),
+                "stats": self.stats(),
+                "events": list(self._ring),
+                "bundles": list(self._bundles),
+            }
+
+    def dump_to(self, path: str) -> None:
+        """Write :meth:`dump` to ``path`` (best-effort: a failing dump
+        must never mask the error that triggered it)."""
+        try:
+            with open(path, "w") as handle:
+                json.dump(self.dump(), handle, indent=2, sort_keys=True, default=str)
+                handle.write("\n")
+        except OSError:
+            pass
+
+
+_RECORDER = FlightRecorder()
+
+
+def recorder() -> FlightRecorder:
+    return _RECORDER
+
+
+def record(kind: str, name: str, rid: Optional[str] = None, **fields) -> None:
+    """Module-level shorthand for :meth:`FlightRecorder.record`."""
+    _RECORDER.record(kind, name, rid=rid, **fields)
+
+
+def recent(limit: Optional[int] = None) -> List[Dict]:
+    return _RECORDER.recent(limit)
+
+
+def snapshot_bundle(reason: str, **extra) -> Dict:
+    return _RECORDER.snapshot_bundle(reason, **extra)
+
+
+def bundles() -> List[Dict]:
+    return _RECORDER.bundles()
+
+
+def reset() -> None:
+    _RECORDER.reset()
+
+
+def dump_path_from_env() -> Optional[str]:
+    path = os.environ.get("REPRO_FLIGHT_DUMP", "").strip()
+    return path or None

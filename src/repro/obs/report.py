@@ -319,10 +319,57 @@ def _explain_main(argv: List[str]) -> int:
     return 0
 
 
+def _profile_main(argv: List[str]) -> int:
+    """The ``profile`` subcommand: render a sampling-profiler report.
+
+    Accepts either a raw ``repro-profile/v1`` JSON file or a
+    flight-recorder dump (``repro-flightrecorder/v1`` — the
+    ``REPRO_FLIGHT_DUMP`` / drain-time artifact), in which case every
+    postmortem bundle carrying an attached profile is rendered.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report profile",
+        description="Render a repro.obs sampling-profiler report.",
+    )
+    parser.add_argument(
+        "path", help="profile JSON or flight-recorder dump JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.profiler import render_report
+
+    with open(args.path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") == "repro-profile/v1":
+        print(render_report(payload))
+        return 0
+    rendered = 0
+    for bundle in payload.get("bundles", []):
+        profile = bundle.get("profile")
+        if not profile:
+            continue
+        header = f"postmortem: {bundle.get('reason', '?')}"
+        if bundle.get("rid"):
+            header += f" rid={bundle['rid']}"
+        print(header)
+        print(render_report(profile))
+        rendered += 1
+    if not rendered:
+        print(
+            "no profile found (enable REPRO_PROFILE_HZ to attach profiles "
+            "to postmortem bundles)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "explain":
         return _explain_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Render a repro.obs JSONL trace (or `explain` a "

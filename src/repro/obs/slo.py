@@ -1,0 +1,144 @@
+"""Declarative latency SLOs with error-budget accounting.
+
+An SLO here is the operator's contract per question: "99% of ``routes``
+requests finish within 2 seconds". The tracker turns each completed
+job into a pass/breach verdict against the matching objective and keeps
+the error-budget arithmetic any on-call page needs:
+
+* ``requests`` / ``breaches`` counters per question (mirrored into the
+  metrics registry as ``slo.requests``/``slo.breaches`` with a
+  ``question`` label, so Prometheus alerting can burn-rate over them);
+* ``budget_consumed`` — the fraction of the allowed breach budget
+  already spent (1.0 = the SLO is blown for the current window);
+* ``burn_rate`` — breach rate divided by allowed breach rate (the
+  multi-window burn-rate alerting convention: >1 means the budget is
+  being consumed faster than it accrues).
+
+Objectives are plain data (question name → seconds, ``"*"`` as the
+default), so they can come from :class:`ServiceConfig`, CLI flags
+(``--slo routes=2.0``), or the ``REPRO_SLO`` environment variable
+(``REPRO_SLO="*=30,routes=2"``). Errors always breach: a 500 inside
+the objective is not a met objective.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+from repro.obs.metrics import Metrics
+
+#: Fallback objective when neither config nor env names one (seconds).
+DEFAULT_OBJECTIVE_S = 30.0
+
+#: Fallback success-ratio target (0.99 = 1% error budget).
+DEFAULT_TARGET = 0.99
+
+
+def objectives_from_env(raw: Optional[str] = None) -> Dict[str, float]:
+    """Parse ``REPRO_SLO``-style ``"q=seconds,q2=seconds"`` strings.
+
+    Malformed entries are skipped (a typo in an env var must not keep
+    the service from booting); an empty result means "defaults only".
+    """
+    if raw is None:
+        raw = os.environ.get("REPRO_SLO", "")
+    objectives: Dict[str, float] = {}
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk or "=" not in chunk:
+            continue
+        question, _, seconds = chunk.partition("=")
+        try:
+            value = float(seconds)
+        except ValueError:
+            continue
+        if value > 0:
+            objectives[question.strip()] = value
+    return objectives
+
+
+class SloTracker:
+    """Evaluates completed requests against per-question objectives."""
+
+    def __init__(
+        self,
+        objectives: Optional[Dict[str, float]] = None,
+        target: float = DEFAULT_TARGET,
+        metrics: Optional[Metrics] = None,
+    ):
+        if not 0.0 < target < 1.0:
+            raise ValueError("SLO target must be in (0, 1)")
+        self.objectives = dict(objectives or {})
+        self.target = target
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._requests: Dict[str, int] = {}
+        self._breaches: Dict[str, int] = {}
+
+    def objective_for(self, question: str) -> float:
+        return self.objectives.get(
+            question, self.objectives.get("*", DEFAULT_OBJECTIVE_S)
+        )
+
+    def record(self, question: str, seconds: float, error: bool = False) -> bool:
+        """Score one completed request; returns True when it breached."""
+        objective = self.objective_for(question)
+        breached = error or seconds > objective
+        with self._lock:
+            self._requests[question] = self._requests.get(question, 0) + 1
+            if breached:
+                self._breaches[question] = self._breaches.get(question, 0) + 1
+        if self._metrics is not None:
+            self._metrics.observe_bucket(
+                "slo.request.seconds", seconds, question=question,
+                breached="true" if breached else "false",
+            )
+            self._metrics.inc(f"slo.requests.{question}")
+            if breached:
+                self._metrics.inc(f"slo.breaches.{question}")
+        return breached
+
+    def payload(self) -> Dict[str, Dict]:
+        """Per-question SLO status for ``/metrics`` (JSON mode)."""
+        with self._lock:
+            questions = sorted(self._requests)
+            requests = dict(self._requests)
+            breaches = dict(self._breaches)
+        out: Dict[str, Dict] = {}
+        for question in questions:
+            total = requests.get(question, 0)
+            breached = breaches.get(question, 0)
+            allowed = total * (1.0 - self.target)
+            out[question] = {
+                "objective_seconds": self.objective_for(question),
+                "target": self.target,
+                "requests": total,
+                "breaches": breached,
+                "budget_consumed": (
+                    round(breached / allowed, 4) if allowed > 0 else
+                    (0.0 if breached == 0 else float("inf"))
+                ),
+                "burn_rate": (
+                    round((breached / total) / (1.0 - self.target), 4)
+                    if total else 0.0
+                ),
+            }
+        return out
+
+    def gauges(self) -> Dict[str, float]:
+        """Gauge-shaped view for the Prometheus exposition."""
+        out: Dict[str, float] = {}
+        for question, status in self.payload().items():
+            consumed = status["budget_consumed"]
+            if consumed == float("inf"):
+                consumed = -1.0  # exposition-friendly sentinel
+            out[f"slo.budget_consumed.{question}"] = consumed
+            out[f"slo.objective_seconds.{question}"] = status["objective_seconds"]
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._requests.clear()
+            self._breaches.clear()

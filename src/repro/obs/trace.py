@@ -40,6 +40,8 @@ import time
 from collections import deque
 from typing import Dict, List, Optional
 
+from repro.obs import flight as _flight
+from repro.obs.context import current_request_id
 from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics
 
@@ -50,6 +52,10 @@ _BUFFER_LIMIT = 200_000
 class _ObsState:
     def __init__(self):
         self.enabled = False
+        #: Metrics-only switch: the service flips this at boot so
+        #: counters/histograms populate without span tracing (spans stay
+        #: zero-cost; metric updates are one dict op behind a lock).
+        self.metrics_enabled = False
         self.trace_path: Optional[str] = None
         self.sink: Optional[io.TextIOBase] = None
         self.lock = threading.Lock()
@@ -70,9 +76,51 @@ class _ObsState:
 _STATE = _ObsState()
 
 
+def _reinit_locks_after_fork() -> None:
+    """Replace every obs lock with a fresh one in fork children.
+
+    A ``pmap`` fork can happen while other threads (HTTP handlers, the
+    job-queue workers) hold the metrics/flight/trace locks; the child
+    inherits those locks *in their held state* with no thread left to
+    release them, so its first instrumented call would deadlock. The
+    child is single-threaded at this point, so swapping in new locks is
+    safe — and mandatory before :func:`repro.parallel._invoke_chunk_obs`
+    resets the registries.
+    """
+    _STATE.lock = threading.Lock()
+    _STATE.metrics._lock = threading.Lock()
+    _STATE.coverage._lock = threading.Lock()
+    _flight.recorder()._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # posix only; fork implies posix
+    os.register_at_fork(after_in_child=_reinit_locks_after_fork)
+
+
 def enabled() -> bool:
     """The module-level switch every instrumentation point guards on."""
     return _STATE.enabled
+
+
+def metrics_enabled() -> bool:
+    """Whether the metrics-only switch is on (the service mode)."""
+    return _STATE.metrics_enabled
+
+
+def active() -> bool:
+    """True when any metric-collecting mode is on (tracing or
+    metrics-only) — the guard for metric/coverage helpers and the
+    pmap worker-dump machinery."""
+    return _STATE.enabled or _STATE.metrics_enabled
+
+
+def enable_metrics() -> None:
+    """Turn on metric/coverage collection without span tracing.
+
+    The long-lived service calls this at boot: ``/metrics`` must be
+    populated for every deployment, while full span tracing stays an
+    explicit opt-in (``REPRO_TRACE`` / ``--trace``)."""
+    _STATE.metrics_enabled = True
 
 
 def trace_path() -> Optional[str]:
@@ -99,6 +147,7 @@ def disable() -> None:
     """Turn instrumentation off and detach any file sink."""
     with _STATE.lock:
         _STATE.enabled = False
+        _STATE.metrics_enabled = False
         if _STATE.sink is not None:
             try:
                 _STATE.sink.close()
@@ -109,21 +158,32 @@ def disable() -> None:
 
 
 def reset() -> None:
-    """Drop all collected events, metrics, and coverage (not the switch)."""
+    """Drop all collected events, metrics, coverage, and the flight
+    recorder's ring (not the switches)."""
     with _STATE.lock:
         _STATE.buffer.clear()
         _STATE.open_spans.clear()
         _STATE.next_span_id = 0
     _STATE.metrics.reset()
     _STATE.coverage.reset()
+    _flight.reset()
 
 
 def _emit(event: Dict) -> None:
-    """Record one event in the buffer and, when streaming, the file."""
+    """Record one event in the buffer and, when streaming, the file.
+
+    Every traced event is also mirrored into the always-on flight
+    recorder ring, so a postmortem bundle taken during a traced run
+    carries full span detail."""
     line = None
     sink = _STATE.sink
     if sink is not None:
         line = json.dumps(event, sort_keys=True, default=str)
+    _flight.recorder().record(
+        "trace", event.get("name", event.get("type", "?")), **{
+            key: value for key, value in event.items() if key != "name"
+        }
+    )
     with _STATE.lock:
         _STATE.buffer.append(event)
         if sink is not None and line is not None:
@@ -180,14 +240,18 @@ class Span:
             self.parent_id = stack[-1].span_id if stack else 0
             self.depth = len(stack)
             stack.append(self)
-            _emit({
+            event = {
                 "type": "start",
                 "name": self.name,
                 "id": self.span_id,
                 "parent": self.parent_id,
                 "pid": os.getpid(),
                 "ts": round(time.time(), 6),
-            })
+            }
+            rid = current_request_id()
+            if rid is not None:
+                event["rid"] = rid
+            _emit(event)
         self._wall_start = time.perf_counter()
         self._cpu_start = time.process_time()
         return self
@@ -214,6 +278,9 @@ class Span:
                 "wall_s": round(self.wall_s, 6),
                 "cpu_s": round(self.cpu_s, 6),
             }
+            rid = current_request_id()
+            if rid is not None:
+                event["rid"] = rid
             if exc_type is not None:
                 event["error"] = exc_type.__name__
             if self.attrs:
@@ -268,25 +335,42 @@ def unclosed_spans() -> List[str]:
 
 def add(name: str, value: int = 1) -> None:
     """Increment a counter (no-op while disabled)."""
-    if _STATE.enabled:
+    if _STATE.enabled or _STATE.metrics_enabled:
         _STATE.metrics.inc(name, value)
 
 
 def gauge(name: str, value: float) -> None:
     """Set a gauge (no-op while disabled)."""
-    if _STATE.enabled:
+    if _STATE.enabled or _STATE.metrics_enabled:
         _STATE.metrics.gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
     """Record a histogram sample (no-op while disabled)."""
-    if _STATE.enabled:
+    if _STATE.enabled or _STATE.metrics_enabled:
         _STATE.metrics.observe(name, value)
+
+
+def observe_bucket(name: str, value: float, **labels: str) -> None:
+    """Record a labeled fixed-bucket histogram sample (no-op while
+    disabled) — the series Prometheus exposition derives p50/p95/p99
+    from."""
+    if _STATE.enabled or _STATE.metrics_enabled:
+        _STATE.metrics.observe_bucket(name, value, **labels)
+
+
+def observe_phase(phase: str, seconds: float) -> None:
+    """Record one pipeline-phase latency sample (parse / dataplane /
+    bdd / delta / lint) into the labeled ``phase.seconds`` histogram,
+    and mirror a coarse event into the always-on flight recorder."""
+    if _STATE.enabled or _STATE.metrics_enabled:
+        _STATE.metrics.observe_bucket("phase.seconds", seconds, phase=phase)
+    _flight.recorder().record("phase", phase, wall_s=round(seconds, 6))
 
 
 def touch(kind: str, hostname: str, name: str, index: Optional[int] = None) -> None:
     """Record a config-coverage touch (no-op while disabled)."""
-    if _STATE.enabled:
+    if _STATE.enabled or _STATE.metrics_enabled:
         _STATE.coverage.touch(
             kind, hostname, name, index, query=current_span_name()
         )
@@ -305,18 +389,24 @@ def metrics_dump() -> Dict:
 
 
 def merge_worker_dump(dump: Dict) -> None:
-    """Fold a pmap worker's ``{"metrics": ..., "coverage": ...}`` delta in."""
+    """Fold a pmap worker's ``{"metrics": ..., "coverage": ...,
+    "flight": ...}`` delta in. Gauges merge with their declared modes
+    (default ``max`` — chunk completion order is nondeterministic, so
+    last-write-wins would be too); flight-recorder events append to the
+    parent's ring, keeping their worker-side ``rid`` attribution."""
     if not dump:
         return
-    _STATE.metrics.merge(dump.get("metrics", {}))
+    _STATE.metrics.merge(dump.get("metrics", {}), worker=True)
     _STATE.coverage.merge(dump.get("coverage", {}))
+    _flight.recorder().extend(dump.get("flight", ()))
 
 
 def worker_dump() -> Dict:
-    """A worker's outbound delta (its registry is reset per chunk)."""
+    """A worker's outbound delta (its registries are reset per chunk)."""
     return {
         "metrics": _STATE.metrics.dump(),
         "coverage": _STATE.coverage.dump(),
+        "flight": _flight.recent(),
     }
 
 
@@ -342,6 +432,13 @@ def _configure_from_env() -> None:
     if path:
         enable(trace=path)
         atexit.register(flush)
+    dump_path = _flight.dump_path_from_env()
+    if dump_path:
+        # REPRO_FLIGHT_DUMP: persist the flight-recorder ring + bundles
+        # at interpreter exit (CI uploads this as an artifact).
+        atexit.register(
+            lambda: _flight.recorder().dump_to(dump_path)
+        )
 
 
 _configure_from_env()

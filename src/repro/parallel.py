@@ -80,19 +80,32 @@ def _invoke_chunk(chunk: Sequence) -> List:
     return [_WORKER_FN(item) for item in chunk]
 
 
-def _invoke_chunk_obs(chunk: Sequence):
+def _invoke_chunk_obs(task: Sequence):
     """Observable chunk worker: also ships the chunk's wall time and the
-    worker's metric/coverage deltas back for the parent to merge.
+    worker's metric/coverage/flight deltas back for the parent to merge.
 
     The forked worker inherits the parent's registries, so they are
     reset at chunk start — everything in the outbound dump is this
-    chunk's own contribution.
+    chunk's own contribution. The task payload carries the submitting
+    thread's request context on the wire (fork only clones the calling
+    thread's contextvars at pool *creation* time, which is neither this
+    task's thread nor this task's moment), so spans, metrics, and
+    flight events emitted inside the worker carry the originating
+    ``request_id``.
     """
+    chunk, ctx_wire = task
     obs.metrics().reset()
     obs.coverage().reset()
-    started = time.perf_counter()
-    results = [_WORKER_FN(item) for item in chunk]
-    wall = time.perf_counter() - started
+    obs.flight.reset()
+    ctx = obs.context.from_wire(ctx_wire)
+    token = obs.context.activate(ctx) if ctx is not None else None
+    try:
+        started = time.perf_counter()
+        results = [_WORKER_FN(item) for item in chunk]
+        wall = time.perf_counter() - started
+    finally:
+        if token is not None:
+            obs.context.deactivate(token)
     return results, wall, obs.worker_dump()
 
 
@@ -133,22 +146,24 @@ def pmap(
         # degrade to serial inside the worker.
         or multiprocessing.current_process().daemon
     ):
-        if obs.enabled():
+        if obs.active():
             obs.add("pmap.serial_calls")
             obs.add("pmap.items", len(work))
         return [fn(item) for item in work]
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (n_jobs * 4)))
     chunks = chunked(work, chunk_size)
-    context = multiprocessing.get_context("fork")
+    mp_context = multiprocessing.get_context("fork")
     previous = _WORKER_FN
     _WORKER_FN = fn
-    observing = obs.enabled()
+    observing = obs.active()
     try:
-        with context.Pool(processes=min(n_jobs, len(chunks))) as pool:
+        with mp_context.Pool(processes=min(n_jobs, len(chunks))) as pool:
             if observing:
+                ctx_wire = obs.context.to_wire(obs.context.current())
+                tasks = [(chunk, ctx_wire) for chunk in chunks]
                 with obs.span("pmap", jobs=n_jobs, chunks=len(chunks)):
-                    mapped_obs = pool.map(_invoke_chunk_obs, chunks)
+                    mapped_obs = pool.map(_invoke_chunk_obs, tasks)
                 obs.add("pmap.pool_calls")
                 obs.add("pmap.items", len(work))
                 obs.add("pmap.chunks", len(chunks))

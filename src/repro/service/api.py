@@ -28,15 +28,21 @@ when the bounded queue sheds load, 404/400 for bad names and params.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import re
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from repro import obs
+from repro.obs import context as obs_context
+from repro.obs import profiler
+from repro.obs import slo as slo_mod
+from repro.obs.prom import render_exposition
 from repro.core.cache import resolve_cache
 from repro.service.errors import (
     InvalidRequestError,
@@ -72,6 +78,13 @@ class ServiceConfig:
     debug: bool = False
     #: Log one line per request to stderr.
     verbose: bool = False
+    #: Per-question latency objectives (seconds; "*" = default). Merged
+    #: over REPRO_SLO; see :mod:`repro.obs.slo`.
+    slos: Dict[str, float] = field(default_factory=dict)
+    #: SLO success-ratio target (0.99 = 1% error budget).
+    slo_target: float = slo_mod.DEFAULT_TARGET
+    #: Sampling-profiler rate; 0 = off (REPRO_PROFILE_HZ also enables).
+    profile_hz: float = 0.0
 
 
 class AnalysisService:
@@ -79,16 +92,39 @@ class AnalysisService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
+        # A deployed service always populates /metrics; full span
+        # tracing stays a separate opt-in (REPRO_TRACE / --trace).
+        obs.enable_metrics()
+        if self.config.profile_hz > 0:
+            profiler.start(self.config.profile_hz)
+        else:
+            profiler.maybe_start_from_env()
         self.cache = resolve_cache(self.config.cache)
         self.store = SnapshotStore(cache=self.cache)
+        objectives = dict(slo_mod.objectives_from_env())
+        objectives.update(self.config.slos)
+        self.slo = slo_mod.SloTracker(
+            objectives=objectives,
+            target=self.config.slo_target,
+            metrics=obs.metrics(),
+        )
         self.queue = JobQueue(
             executor=self._execute,
             workers=self.config.workers,
             max_queue=self.config.max_queue,
             default_timeout_s=self.config.default_timeout_s,
+            slo=self.slo,
+            bundle_extras=self._bundle_extras,
         )
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    def _bundle_extras(self) -> Dict:
+        """Service-level context folded into every postmortem bundle."""
+        extras: Dict = {"snapshots": len(self.store)}
+        if self.cache is not None:
+            extras["cache"] = self.cache.stats()
+        return extras
 
     # -- job execution -----------------------------------------------------
 
@@ -104,6 +140,7 @@ class AnalysisService:
         question: str,
         params: Optional[Dict] = None,
         timeout_s: Optional[float] = None,
+        ctx: Optional[obs_context.RequestContext] = None,
     ) -> Tuple[Job, bool]:
         """Validate and enqueue one question; returns (job, coalesced).
 
@@ -129,32 +166,97 @@ class AnalysisService:
             raise InvalidRequestError("params must be JSON-serializable") from None
         digest = hashlib.sha256(session.snapshot_key.encode())
         digest.update(f"|{question}|{canonical}".encode())
+        if ctx is None:
+            ctx = obs_context.current()
+        if ctx is not None and timeout_s is not None and ctx.deadline_ts is None:
+            # The job deadline doubles as the request deadline, so
+            # everything downstream can ask "how long do I have left".
+            ctx = dataclasses.replace(ctx, deadline_ts=time.time() + timeout_s)
         return self.queue.submit(
             snapshot=snapshot,
             question=question,
             params=params,
             coalesce_key=digest.hexdigest(),
             timeout_s=timeout_s,
+            ctx=ctx,
         )
 
     # -- introspection payloads --------------------------------------------
 
     def healthz(self) -> Dict:
+        """Liveness: always 200 while the process serves requests."""
         return {
             "status": "ok" if self.queue.accepting else "draining",
             "snapshots": len(self.store),
             "queue_depth": self.queue.depth(),
+            "queue_oldest_age_seconds": round(self.queue.oldest_age(), 3),
         }
+
+    def readyz(self) -> Tuple[int, Dict]:
+        """Readiness: 503 while draining or while the bounded queue is
+        saturated — the load balancer should stop routing here, even
+        though in-flight work is still being served (liveness stays
+        200)."""
+        depth = self.queue.depth()
+        payload: Dict = {
+            "ready": True,
+            "queue_depth": depth,
+            "queue_oldest_age_seconds": round(self.queue.oldest_age(), 3),
+        }
+        if not self.queue.accepting:
+            payload["ready"] = False
+            payload["reason"] = "draining"
+            return 503, payload
+        if depth >= self.queue.max_queue:
+            payload["ready"] = False
+            payload["reason"] = "saturated"
+            return 503, payload
+        return 200, payload
 
     def metrics_payload(self) -> Dict:
         payload = {
             "queue": self.queue.stats(),
             "snapshots": len(self.store),
+            "slo": self.slo.payload(),
+            "flight": obs.flight.recorder().stats(),
             "obs": obs.metrics_dump(),
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
         return payload
+
+    def prometheus_payload(self) -> str:
+        """The registry plus service-level extras as Prometheus text
+        exposition (version 0.0.4)."""
+        stats = self.queue.stats()
+        gauge_keys = ("depth", "running", "workers", "oldest_age_seconds")
+        extra_gauges = {
+            f"service.queue.{key}": float(stats[key]) for key in gauge_keys
+        }
+        extra_gauges["service.snapshots"] = float(len(self.store))
+        extra_gauges.update(self.slo.gauges())
+        # Queue/cache lifetime totals are always-on counters of their
+        # own (they predate metrics_enabled); export them under
+        # distinct names so they never collide with the obs registry's
+        # service.jobs.* counters.
+        extra_counters = {
+            f"service.queue.{key}": float(value)
+            for key, value in stats.items()
+            if key not in gauge_keys
+        }
+        if self.cache is not None:
+            extra_counters.update(
+                {
+                    f"service.cache.{key}": float(value)
+                    for key, value in self.cache.stats().items()
+                    if isinstance(value, (int, float))
+                }
+            )
+        return render_exposition(
+            obs.metrics(),
+            extra_counters=extra_counters,
+            extra_gauges=extra_gauges,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -216,13 +318,35 @@ def _make_handler(service: AnalysisService):
             if service.config.verbose:
                 super().log_message(fmt, *args)
 
-        def _send(self, status: int, payload: Dict) -> None:
-            body = json.dumps(payload).encode()
+        def _begin_ctx(self):
+            """Mint (or adopt from ``X-Request-Id``) the request context
+            for this HTTP request; every span/metric/flight event down
+            the line — including inside pmap pool workers — carries its
+            request_id. Returns the contextvars token for deactivate."""
+            rid = (self.headers.get("X-Request-Id") or "").strip()
+            ctx = obs_context.RequestContext(
+                request_id=rid or obs_context.new_request_id(),
+                tenant=(self.headers.get("X-Tenant") or "").strip(),
+            )
+            self._rid = ctx.request_id
+            return obs_context.activate(ctx)
+
+        def _send_bytes(
+            self, status: int, body: bytes, content_type: str
+        ) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            rid = getattr(self, "_rid", None)
+            if rid:
+                self.send_header("X-Request-Id", rid)
             self.end_headers()
             self.wfile.write(body)
+
+        def _send(self, status: int, payload: Dict) -> None:
+            self._send_bytes(
+                status, json.dumps(payload).encode(), "application/json"
+            )
 
         def _send_error(self, error: ServiceError) -> None:
             self._send(error.status, error.payload())
@@ -271,12 +395,26 @@ def _make_handler(service: AnalysisService):
         # -- verbs ---------------------------------------------------------
 
         def do_GET(self):  # noqa: N802
+            token = self._begin_ctx()
             try:
                 path, _query = self._path_and_query()
                 if path == "/healthz":
                     self._send(200, service.healthz())
+                elif path == "/readyz":
+                    status, payload = service.readyz()
+                    self._send(status, payload)
                 elif path == "/metrics":
-                    self._send(200, service.metrics_payload())
+                    accept = self.headers.get("Accept") or ""
+                    if "text/plain" in accept or "openmetrics" in accept:
+                        self._send_bytes(
+                            200,
+                            service.prometheus_payload().encode(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    else:
+                        self._send(200, service.metrics_payload())
+                elif path == "/debug/flightrecorder":
+                    self._send(200, obs.flight.recorder().dump())
                 elif path == "/questions":
                     available = sorted(QUESTIONS)
                     if service.config.debug:
@@ -297,8 +435,11 @@ def _make_handler(service: AnalysisService):
                     self._send_error(NotFoundError(f"no such path {path!r}"))
             except ServiceError as error:
                 self._send_error(error)
+            finally:
+                obs_context.deactivate(token)
 
         def do_POST(self):  # noqa: N802
+            token = self._begin_ctx()
             try:
                 path, query = self._path_and_query()
                 body = self._body()
@@ -332,8 +473,11 @@ def _make_handler(service: AnalysisService):
                 raise NotFoundError(f"no such path {path!r}")
             except ServiceError as error:
                 self._send_error(error)
+            finally:
+                obs_context.deactivate(token)
 
         def do_PATCH(self):  # noqa: N802
+            token = self._begin_ctx()
             try:
                 path, _query = self._path_and_query()
                 match = _SNAPSHOT_PATH.match(path)
@@ -356,8 +500,11 @@ def _make_handler(service: AnalysisService):
                 raise NotFoundError(f"no such path {path!r}")
             except ServiceError as error:
                 self._send_error(error)
+            finally:
+                obs_context.deactivate(token)
 
         def do_DELETE(self):  # noqa: N802
+            token = self._begin_ctx()
             try:
                 path, _query = self._path_and_query()
                 match = _SNAPSHOT_PATH.match(path)
@@ -376,6 +523,8 @@ def _make_handler(service: AnalysisService):
                 raise NotFoundError(f"no such path {path!r}")
             except ServiceError as error:
                 self._send_error(error)
+            finally:
+                obs_context.deactivate(token)
 
     return Handler
 

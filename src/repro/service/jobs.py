@@ -40,6 +40,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro import obs
+from repro.obs import profiler
+from repro.obs.context import RequestContext
+from repro.obs.slo import SloTracker
 from repro.service.errors import (
     JobNotFoundError,
     JobTimeoutError,
@@ -85,6 +88,9 @@ class Job:
     finished_ts: Optional[float] = None
     #: How many extra submissions were absorbed by this job.
     coalesced: int = 0
+    #: Request attribution carried from the HTTP handler into the worker
+    #: thread (and from there into pmap pool workers).
+    ctx: Optional[RequestContext] = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     @property
@@ -111,6 +117,8 @@ class Job:
             "coalesced": self.coalesced,
             "created_ts": round(self.created_ts, 3),
         }
+        if self.ctx is not None:
+            body["request_id"] = self.ctx.request_id
         if self.started_ts is not None:
             body["queue_s"] = round(self.started_ts - self.created_ts, 6)
         if self.finished_ts is not None and self.started_ts is not None:
@@ -132,6 +140,8 @@ class JobQueue:
         max_queue: int = 64,
         default_timeout_s: Optional[float] = None,
         max_history: int = DEFAULT_MAX_HISTORY,
+        slo: Optional[SloTracker] = None,
+        bundle_extras: Optional[Callable[[], Dict]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -140,6 +150,10 @@ class JobQueue:
         self._executor = executor
         self.max_queue = max_queue
         self.default_timeout_s = default_timeout_s
+        self.slo = slo
+        #: Extra context (cache stats, snapshot counts) the owning
+        #: service wants folded into every postmortem bundle.
+        self._bundle_extras = bundle_extras
         self._max_history = max_history
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -178,6 +192,7 @@ class JobQueue:
         params: Dict,
         coalesce_key: str,
         timeout_s: Optional[float] = None,
+        ctx: Optional[RequestContext] = None,
     ) -> Tuple[Job, bool]:
         """Enqueue a job, or attach to an identical in-flight one.
 
@@ -195,6 +210,17 @@ class JobQueue:
                 existing.coalesced += 1
                 self._stats["coalesced"] += 1
                 obs.add("service.jobs.coalesced")
+                # The absorbed submission costs ~0s of its own; the
+                # per-disposition count is the signal, not the latency.
+                obs.observe_bucket(
+                    "service.request.seconds", 0.0,
+                    question=question, disposition="coalesced",
+                )
+                obs.flight.record(
+                    "job", "coalesced", job_id=existing.id,
+                    question=question,
+                    absorbed_rid=ctx.request_id if ctx else None,
+                )
                 return existing, True
             if len(self._pending) >= self.max_queue:
                 self._stats["rejected"] += 1
@@ -211,6 +237,7 @@ class JobQueue:
                 params=params,
                 coalesce_key=coalesce_key,
                 timeout_s=timeout_s,
+                ctx=ctx,
             )
             self._jobs[job.id] = job
             self._trim_history_locked()
@@ -221,17 +248,23 @@ class JobQueue:
             self._not_empty.notify()
         obs.add("service.jobs.submitted")
         obs.gauge("service.queue.depth", depth)
+        obs.flight.record(
+            "job", "submitted", job_id=job.id, question=question, depth=depth
+        )
         return job, False
 
     # -- inspection --------------------------------------------------------
 
     def get(self, job_id: str) -> Job:
+        expired = False
         with self._lock:
             job = self._jobs.get(job_id)
             if job is not None and job.status is JobStatus.QUEUED:
-                self._expire_locked(job)
+                expired = self._expire_locked(job)
         if job is None:
             raise JobNotFoundError(f"no job {job_id!r}", id=job_id)
+        if expired:
+            self._postmortem("deadline_expired", job, timeout_s=job.timeout_s)
         return job
 
     def cancel(self, job_id: str) -> bool:
@@ -253,17 +286,30 @@ class JobQueue:
         with self._lock:
             return len(self._pending)
 
+    def oldest_age(self) -> float:
+        """Age in seconds of the oldest still-queued job (0.0 when the
+        queue is empty) — the readiness signal that catches a wedged
+        worker pool even when depth looks acceptable."""
+        with self._lock:
+            if not self._pending:
+                return 0.0
+            return max(0.0, time.time() - self._pending[0].created_ts)
+
     @property
     def accepting(self) -> bool:
         with self._lock:
             return self._accepting
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
         with self._lock:
             snapshot = dict(self._stats)
             snapshot["depth"] = len(self._pending)
             snapshot["running"] = self._active
             snapshot["workers"] = len(self._threads)
+            oldest = 0.0
+            if self._pending:
+                oldest = max(0.0, time.time() - self._pending[0].created_ts)
+            snapshot["oldest_age_seconds"] = round(oldest, 3)
         return snapshot
 
     # -- lifecycle ---------------------------------------------------------
@@ -316,9 +362,12 @@ class JobQueue:
             else:
                 return  # everything live; let history run long
 
-    def _expire_locked(self, job: Job) -> None:
+    def _expire_locked(self, job: Job) -> bool:
         """Fail a queued job whose deadline passed (lazy check from
-        get(); the worker makes the same check before running)."""
+        get(); the worker makes the same check before running). Returns
+        True when the job expired — the caller takes the postmortem
+        bundle *after* releasing the queue lock (bundle extras re-enter
+        :meth:`stats`)."""
         deadline = job.deadline
         if deadline is not None and time.time() > deadline:
             error = JobTimeoutError(
@@ -331,6 +380,31 @@ class JobQueue:
             self._stats["failed"] += 1
             self._stats["timeouts"] += 1
             obs.add("service.jobs.timeouts")
+            return True
+        return False
+
+    def _postmortem(self, reason: str, job: Job, **extra) -> None:
+        """Freeze a flight-recorder bundle around one job's failure
+        mode; the sampling profiler's top-frames report rides along
+        when one is running. Must be called without the queue lock."""
+        info: Dict = {
+            "job_id": job.id,
+            "question": job.question,
+            "snapshot": job.snapshot,
+            "queue": self.stats(),
+        }
+        if job.ctx is not None:
+            info["request_id"] = job.ctx.request_id
+        info.update(extra)
+        if self._bundle_extras is not None:
+            try:
+                info.update(self._bundle_extras())
+            except Exception:  # diagnostics must never break the queue
+                pass
+        prof = profiler.active()
+        if prof is not None:
+            info["profile"] = prof.report()
+        obs.flight.snapshot_bundle(reason, **info)
 
     def _finish_locked(self, job: Job, status: JobStatus) -> None:
         job.status = status
@@ -352,32 +426,102 @@ class JobQueue:
                 if job.terminal:  # cancelled (or expired) while queued
                     self._idle.notify_all()
                     continue
-                self._expire_locked(job)
+                expired = self._expire_locked(job)
                 if job.terminal:
-                    continue
-                job.status = JobStatus.RUNNING
-                job.started_ts = time.time()
-                self._active += 1
-                obs.gauge("service.queue.depth", len(self._pending))
-            error: Optional[ServiceError] = None
-            result: Optional[Dict] = None
-            with obs.span("service.job", question=job.question):
-                try:
-                    result = self._executor(job)
-                except BaseException as exc:  # worker must survive anything
-                    error = to_service_error(exc)
-            with self._lock:
-                self._active -= 1
-                if error is None:
-                    job.result = result
-                    self._finish_locked(job, JobStatus.DONE)
-                    self._stats["completed"] += 1
+                    if not expired:
+                        continue
+                    job_expired = job  # postmortem outside the lock
                 else:
-                    job.error = error.payload()
-                    job.error_status = error.status
-                    self._finish_locked(job, JobStatus.FAILED)
-                    self._stats["failed"] += 1
-                started, finished = job.started_ts, job.finished_ts
-            obs.add("service.jobs.completed" if error is None else "service.jobs.failed")
-            obs.observe("service.job.seconds", finished - started)
-            obs.observe("service.job.queue_seconds", started - job.created_ts)
+                    job_expired = None
+                    job.status = JobStatus.RUNNING
+                    job.started_ts = time.time()
+                    self._active += 1
+                    obs.gauge("service.queue.depth", len(self._pending))
+            if job_expired is not None:
+                self._postmortem(
+                    "deadline_expired", job_expired,
+                    timeout_s=job_expired.timeout_s,
+                )
+                continue
+            # The job's request context rides from the handler thread to
+            # this worker (and on into pmap pool workers), so all
+            # telemetry below carries the originating request_id.
+            token = (
+                obs.context.activate(job.ctx) if job.ctx is not None else None
+            )
+            try:
+                self._run_job(job)
+            finally:
+                if token is not None:
+                    obs.context.deactivate(token)
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one claimed job and record its telemetry (runs on a
+        worker thread with the job's request context active)."""
+        error: Optional[ServiceError] = None
+        result: Optional[Dict] = None
+        # Disposition probe: the delta engine bumps this counter on
+        # every full-recompute fallback. Sampling it around the run is
+        # approximate under concurrency (another worker's fallback can
+        # land in the window) but costs nothing and needs no plumbing
+        # through the executor.
+        fallback_before = obs.metrics().counter("delta.fallback_full")
+        obs.flight.record(
+            "job", "start", job_id=job.id, question=job.question
+        )
+        with obs.span("service.job", question=job.question):
+            try:
+                result = self._executor(job)
+            except BaseException as exc:  # worker must survive anything
+                error = to_service_error(exc)
+        with self._lock:
+            self._active -= 1
+            if error is None:
+                job.result = result
+                self._finish_locked(job, JobStatus.DONE)
+                self._stats["completed"] += 1
+            else:
+                job.error = error.payload()
+                job.error_status = error.status
+                self._finish_locked(job, JobStatus.FAILED)
+                self._stats["failed"] += 1
+            started, finished = job.started_ts, job.finished_ts
+        run_s = finished - started
+        fell_back = (
+            obs.metrics().counter("delta.fallback_full") > fallback_before
+        )
+        if error is not None:
+            disposition = "error"
+        elif fell_back:
+            disposition = "fallback_full"
+        else:
+            disposition = "ok"
+        obs.add("service.jobs.completed" if error is None else "service.jobs.failed")
+        obs.observe("service.job.seconds", run_s)
+        obs.observe("service.job.queue_seconds", started - job.created_ts)
+        obs.observe_bucket(
+            "service.request.seconds", run_s,
+            question=job.question, disposition=disposition,
+        )
+        breached = False
+        if self.slo is not None:
+            breached = self.slo.record(
+                job.question, run_s, error=error is not None
+            )
+        obs.flight.record(
+            "job", "finished", job_id=job.id, question=job.question,
+            disposition=disposition, wall_s=round(run_s, 6),
+        )
+        if error is not None:
+            self._postmortem("job_error", job, error=job.error)
+        elif fell_back:
+            self._postmortem(
+                "delta_fallback", job, run_s=round(run_s, 6)
+            )
+        elif breached:
+            # Slow-but-successful: the case the sampling profiler's
+            # top-frames report exists for.
+            self._postmortem(
+                "slo_breach", job, run_s=round(run_s, 6),
+                objective_s=self.slo.objective_for(job.question),
+            )

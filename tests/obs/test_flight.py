@@ -1,0 +1,161 @@
+"""Flight recorder: always-on ring semantics, postmortem bundles, and
+the disk-dump format (:mod:`repro.obs.flight`)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import MAX_BUNDLES, FlightRecorder
+
+
+@pytest.fixture(autouse=True)
+def obs_clean():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestRing:
+    def test_records_with_obs_fully_disabled(self):
+        assert not obs.enabled() and not obs.metrics_enabled()
+        obs.flight.record("job", "started", job_id="j-1")
+        events = obs.flight.recent()
+        assert len(events) == 1
+        assert events[0]["kind"] == "job"
+        assert events[0]["name"] == "started"
+        assert events[0]["job_id"] == "j-1"
+        assert events[0]["ts"] > 0
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(limit=4)
+        for i in range(10):
+            recorder.record("tick", str(i))
+        events = recorder.recent()
+        assert len(events) == 4
+        assert [e["name"] for e in events] == ["6", "7", "8", "9"]
+        assert recorder.stats()["dropped"] == 6
+        assert recorder.stats()["capacity"] == 4
+
+    def test_recent_limit(self):
+        recorder = FlightRecorder(limit=16)
+        for i in range(8):
+            recorder.record("tick", str(i))
+        assert [e["name"] for e in recorder.recent(3)] == ["5", "6", "7"]
+
+    def test_sequence_numbers_increase(self):
+        recorder = FlightRecorder(limit=16)
+        for i in range(5):
+            recorder.record("tick", str(i))
+        seqs = [e["seq"] for e in recorder.recent()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_enabled_escape_hatch_suppresses_everything(self):
+        recorder = FlightRecorder(limit=16)
+        recorder.enabled = False
+        recorder.record("tick", "dropped")
+        recorder.extend([{"kind": "tick", "name": "dropped-too"}])
+        assert recorder.recent() == []
+        recorder.enabled = True
+        recorder.record("tick", "kept")
+        assert len(recorder.recent()) == 1
+
+    def test_extend_folds_worker_events_and_skips_junk(self):
+        recorder = FlightRecorder(limit=16)
+        recorder.extend(
+            [{"kind": "phase", "name": "parse", "rid": "req-w"}, "junk", None]
+        )
+        events = recorder.recent()
+        assert len(events) == 1
+        assert events[0]["rid"] == "req-w"
+
+    def test_reset_clears_ring_bundles_and_counters(self):
+        recorder = FlightRecorder(limit=4)
+        for i in range(8):
+            recorder.record("tick", str(i))
+        recorder.snapshot_bundle("test")
+        recorder.reset()
+        assert recorder.recent() == []
+        assert recorder.bundles() == []
+        assert recorder.stats() == {
+            "events": 0, "capacity": 4, "dropped": 0, "bundles": 0,
+        }
+
+
+class TestBundles:
+    def test_bundle_freezes_ring_with_reason_and_extras(self):
+        recorder = FlightRecorder(limit=16)
+        recorder.record("job", "started", job_id="j-9")
+        bundle = recorder.snapshot_bundle(
+            "job_error", job_id="j-9", error="boom"
+        )
+        assert bundle["reason"] == "job_error"
+        assert bundle["error"] == "boom"
+        assert [e["name"] for e in bundle["events"]] == ["started"]
+        # The retained copy is the same bundle.
+        assert recorder.bundles()[-1]["reason"] == "job_error"
+
+    def test_bundle_keeps_events_after_ring_rolls_past_them(self):
+        recorder = FlightRecorder(limit=2)
+        recorder.record("job", "victim")
+        bundle = recorder.snapshot_bundle("deadline_expired")
+        for i in range(5):
+            recorder.record("noise", str(i))
+        assert [e["name"] for e in bundle["events"]] == ["victim"]
+        assert "victim" not in [e["name"] for e in recorder.recent()]
+
+    def test_bundles_are_bounded(self):
+        recorder = FlightRecorder(limit=4)
+        for i in range(MAX_BUNDLES + 5):
+            recorder.snapshot_bundle(f"reason-{i}")
+        retained = recorder.bundles()
+        assert len(retained) == MAX_BUNDLES
+        assert retained[0]["reason"] == "reason-5"
+
+    def test_bundle_carries_ambient_request_id(self):
+        recorder = FlightRecorder(limit=4)
+        with obs.context.request_context(request_id="req-bundle"):
+            bundle = recorder.snapshot_bundle("sigterm")
+        assert bundle["rid"] == "req-bundle"
+
+
+class TestDump:
+    def test_dump_shape(self):
+        recorder = FlightRecorder(limit=8)
+        recorder.record("tick", "a")
+        recorder.snapshot_bundle("drain")
+        dump = recorder.dump()
+        assert dump["schema"] == "repro-flightrecorder/v1"
+        assert dump["stats"]["events"] == 1
+        assert len(dump["events"]) == 1
+        assert len(dump["bundles"]) == 1
+
+    def test_dump_to_writes_json(self, tmp_path):
+        recorder = FlightRecorder(limit=8)
+        recorder.record("tick", "a")
+        path = tmp_path / "flight.json"
+        recorder.dump_to(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro-flightrecorder/v1"
+        assert loaded["events"][0]["name"] == "a"
+
+    def test_dump_to_swallows_unwritable_path(self):
+        FlightRecorder(limit=2).dump_to("/nonexistent-dir/flight.json")
+
+    def test_dump_path_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLIGHT_DUMP", raising=False)
+        assert obs.flight.dump_path_from_env() is None
+        monkeypatch.setenv("REPRO_FLIGHT_DUMP", "/tmp/fr.json")
+        assert obs.flight.dump_path_from_env() == "/tmp/fr.json"
+
+    def test_ring_size_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLIGHT_EVENTS", "7")
+        assert FlightRecorder().stats()["capacity"] == 7
+        monkeypatch.setenv("REPRO_FLIGHT_EVENTS", "not-a-number")
+        assert (
+            FlightRecorder().stats()["capacity"]
+            == obs.flight.DEFAULT_RING_EVENTS
+        )

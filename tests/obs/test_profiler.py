@@ -1,0 +1,122 @@
+"""Sampling profiler: lifecycle, report shape, rendering, and env
+gating (:mod:`repro.obs.profiler`)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import profiler
+from repro.obs.profiler import SamplingProfiler, hz_from_env, render_report
+
+
+@pytest.fixture(autouse=True)
+def no_global_profiler():
+    profiler.stop()
+    yield
+    profiler.stop()
+
+
+def spin_until(predicate, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def busy_work(stop_event):
+    total = 0
+    while not stop_event.is_set():
+        total += sum(range(200))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-5)
+
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=busy_work, args=(stop,), daemon=True)
+        worker.start()
+        sampler = SamplingProfiler(hz=200).start()
+        try:
+            assert spin_until(lambda: sampler.samples >= 10)
+        finally:
+            sampler.stop()
+            stop.set()
+            worker.join()
+        report = sampler.report()
+        assert report["schema"] == "repro-profile/v1"
+        assert report["hz"] == 200
+        assert report["samples"] >= 10
+        assert report["duration_s"] > 0
+        frames = " ".join(row["frame"] for row in report["cumulative"])
+        assert "busy_work" in frames
+        for row in report["self"]:
+            assert 0.0 <= row["fraction"] <= 1.0
+            assert row["count"] >= 1
+
+    def test_start_is_idempotent_and_stop_halts_sampling(self):
+        sampler = SamplingProfiler(hz=100)
+        assert sampler.start() is sampler
+        assert sampler.start() is sampler
+        assert sampler.running
+        sampler.stop()
+        assert not sampler.running
+        samples_after_stop = sampler.samples
+        time.sleep(0.1)
+        assert sampler.samples == samples_after_stop
+
+    def test_empty_report_renders(self):
+        report = SamplingProfiler(hz=10).report()
+        text = render_report(report)
+        assert "(no samples)" in text
+        assert "10" in text
+
+    def test_render_report_lists_frames(self):
+        report = {
+            "hz": 50, "samples": 100, "duration_s": 2.0,
+            "self": [{"frame": "hot_loop (x.py:3)", "count": 80,
+                      "fraction": 0.8}],
+            "cumulative": [{"frame": "main (x.py:1)", "count": 100,
+                            "fraction": 1.0}],
+        }
+        text = render_report(report)
+        assert "hot_loop" in text and "main" in text
+        assert "80.0%" in text
+
+
+class TestGlobalInstance:
+    def test_active_none_until_started(self):
+        assert profiler.active() is None
+        started = profiler.start(hz=100)
+        assert profiler.active() is started
+        profiler.stop()
+        assert profiler.active() is None
+
+    def test_start_reuses_running_instance(self):
+        first = profiler.start(hz=100)
+        assert profiler.start(hz=100) is first
+
+    def test_hz_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_HZ", raising=False)
+        assert hz_from_env() == 0.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "50")
+        assert hz_from_env() == 50.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "-3")
+        assert hz_from_env() == 0.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "lots")
+        assert hz_from_env() == 0.0
+
+    def test_maybe_start_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_HZ", raising=False)
+        assert profiler.maybe_start_from_env() is None
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "100")
+        started = profiler.maybe_start_from_env()
+        assert started is not None and started.running

@@ -213,7 +213,8 @@ class TestObservability:
         _, client = make_service(cache=None)
         status, health = client.get("/healthz")
         assert status == 200
-        assert set(health) == {"status", "snapshots", "queue_depth"}
+        assert set(health) == {"status", "snapshots", "queue_depth",
+                               "queue_oldest_age_seconds"}
         status, metrics = client.get("/metrics")
         assert status == 200
         assert {"queue", "snapshots", "obs"} <= set(metrics)

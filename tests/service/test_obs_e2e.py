@@ -1,0 +1,293 @@
+"""End-to-end observability tests: request-id propagation from the
+HTTP edge through the job queue into ``pmap`` workers, Prometheus
+exposition served (and strictly validated) over the wire, readiness
+semantics, SLO accounting, and deadline-expiry postmortems."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.prom import parse_exposition
+from repro.parallel import fork_available, pmap
+from repro.synth.special import net1
+
+
+@pytest.fixture(autouse=True)
+def obs_clean():
+    """The obs registries are process-global; every test in this module
+    starts from a blank slate (services re-enable metrics at boot)."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class RawClient:
+    """JSON client that can also set headers and read raw bodies."""
+
+    def __init__(self, port: int):
+        self.base = f"http://127.0.0.1:{port}"
+
+    def raw(self, method, path, body=None, headers=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def request(self, method, path, body=None, headers=None):
+        status, resp_headers, raw = self.raw(method, path, body, headers)
+        return status, resp_headers, json.loads(raw)
+
+    def get(self, path, headers=None):
+        return self.request("GET", path, headers=headers)
+
+    def post(self, path, body=None, headers=None):
+        return self.request("POST", path, body or {}, headers=headers)
+
+
+@pytest.fixture
+def make_raw(make_service):
+    def make(**kwargs):
+        service, _ = make_service(**kwargs)
+        return service, RawClient(service.port)
+
+    return make
+
+
+def poll(predicate, timeout=30.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        result = predicate()
+        if result:
+            return result
+        time.sleep(interval)
+    return None
+
+
+class TestRequestIdPropagation:
+    def test_header_rid_reaches_job_response_and_flight_ring(self, make_raw):
+        _, client = make_raw()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        rid = "req-e2e-propagation"
+        status, headers, body = client.post(
+            "/snapshots/lab/questions/routes",
+            headers={"X-Request-Id": rid, "X-Tenant": "ci"},
+        )
+        assert status == 200
+        assert headers.get("X-Request-Id") == rid
+        assert body["request_id"] == rid
+        _, _, dump = client.get("/debug/flightrecorder")
+        job_events = [
+            e for e in dump["events"]
+            if e.get("kind") == "job" and e.get("rid") == rid
+        ]
+        names = [e["name"] for e in job_events]
+        assert "submitted" in names and "start" in names and "finished" in names
+
+    def test_server_mints_rid_when_client_sends_none(self, make_raw):
+        _, client = make_raw()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        status, headers, body = client.post(
+            "/snapshots/lab/questions/routes"
+        )
+        assert status == 200
+        rid = headers.get("X-Request-Id")
+        assert rid and rid.startswith("req-")
+        assert body["request_id"] == rid
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_lint_rule_events_from_pmap_workers_carry_rid(self, make_raw):
+        """The full chain: HTTP handler -> queue -> worker thread ->
+        pmap pool workers, one request id end to end."""
+        _, client = make_raw()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        rid = "req-e2e-lint-workers"
+        status, _, body = client.post(
+            "/snapshots/lab/questions/lint", headers={"X-Request-Id": rid}
+        )
+        assert status == 200 and body["status"] == "done"
+        _, _, dump = client.get("/debug/flightrecorder")
+        rule_events = [
+            e for e in dump["events"] if e.get("kind") == "lint.rule"
+        ]
+        assert rule_events, "lint rules should land in the flight ring"
+        assert {e.get("rid") for e in rule_events} == {rid}
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_spans_metrics_and_flight_share_one_rid_across_pmap(self):
+        """Acceptance shape: spans, metrics exemplars, and flight events
+        emitted on both sides of the fork boundary all carry the same
+        request id."""
+        obs.enable()  # in-memory tracing (spans) + metrics
+
+        def work(item):
+            obs.add("e2e.items")
+            obs.flight.record("e2e", "worker-item", index=item)
+            return item
+
+        with obs.context.request_context(request_id="req-e2e-shared") as ctx:
+            with obs.span("e2e.request"):
+                results = pmap(work, list(range(8)), jobs=2, min_items=2)
+        assert results == list(range(8))
+        span_events = [
+            e for e in obs.events()
+            if e["type"] == "span" and e["name"] in ("e2e.request", "pmap")
+        ]
+        assert span_events
+        assert {e.get("rid") for e in span_events} == {ctx.request_id}
+        assert obs.metrics().counter("e2e.items") == 8
+        worker_events = [
+            e for e in obs.flight.recent() if e.get("kind") == "e2e"
+        ]
+        assert len(worker_events) == 8
+        assert {e.get("rid") for e in worker_events} == {ctx.request_id}
+
+
+class TestPrometheusExposition:
+    def test_scrape_is_strictly_valid_and_content_negotiated(self, make_raw):
+        _, client = make_raw()
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        client.post("/snapshots/lab/questions/routes")
+        status, headers, raw = client.raw(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert "version=0.0.4" in headers.get("Content-Type", "")
+        families = parse_exposition(raw.decode())
+        assert "repro_service_request_seconds" in families
+        assert "repro_service_queue_depth" in families
+        request_family = families["repro_service_request_seconds"]
+        assert request_family["type"] == "histogram"
+        labels = [
+            labels for name, labels, _ in request_family["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert any(
+            l.get("question") == "routes" and l.get("disposition") == "ok"
+            for l in labels
+        )
+
+    def test_json_mode_remains_default_with_slo_and_flight(self, make_raw):
+        _, client = make_raw(slos={"routes": 5.0})
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        client.post("/snapshots/lab/questions/routes")
+        status, headers, body = client.get("/metrics")
+        assert status == 200
+        assert "application/json" in headers.get("Content-Type", "")
+        assert body["flight"]["capacity"] > 0
+        slo = body["slo"]["routes"]
+        assert slo["objective_seconds"] == 5.0
+        assert slo["requests"] >= 1
+        assert slo["breaches"] == 0
+        assert slo["burn_rate"] == 0.0
+
+
+class TestReadiness:
+    def test_ready_when_idle(self, make_raw):
+        _, client = make_raw()
+        status, _, body = client.get("/readyz")
+        assert status == 200 and body["ready"] is True
+
+    def test_saturated_queue_fails_readiness_but_not_liveness(self, make_raw):
+        service, client = make_raw(workers=1, max_queue=1, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        # Occupy the only worker, then fill the queue to capacity.
+        client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.5}, "wait": False},
+        )
+        client.post(
+            "/snapshots/lab/questions/routes", {"wait": False}
+        )
+        status, _, body = client.get("/readyz")
+        assert status == 503
+        assert body["ready"] is False and body["reason"] == "saturated"
+        status, _, health = client.get("/healthz")
+        assert status == 200 and health["status"] == "ok"
+        assert health["queue_oldest_age_seconds"] >= 0.0
+        service.queue.drain(timeout=10.0)
+
+    def test_draining_fails_readiness(self, make_raw):
+        service, client = make_raw(workers=1, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.0}, "wait": False},
+        )
+        # Start the drain without closing the HTTP listener: readiness
+        # must flip while in-flight work is still being served.
+        service.queue.drain(timeout=0.05)
+        status, _, body = client.get("/readyz")
+        assert status == 503
+        assert body["ready"] is False and body["reason"] == "draining"
+        service.queue.drain(timeout=10.0)
+
+
+class TestPostmortems:
+    def test_deadline_expired_job_leaves_retrievable_bundle(self, make_raw):
+        service, client = make_raw(workers=1, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        # Occupy the only worker so the deadlined job expires queued.
+        client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 1.0}, "wait": False},
+        )
+        rid = "req-e2e-deadline"
+        status, _, body = client.post(
+            "/snapshots/lab/questions/routes",
+            {"wait": False, "timeout_s": 0.2},
+            headers={"X-Request-Id": rid},
+        )
+        assert status == 202
+
+        def expired_bundle():
+            _, _, dump = client.get("/debug/flightrecorder")
+            for bundle in dump["bundles"]:
+                if (
+                    bundle["reason"] == "deadline_expired"
+                    and bundle.get("request_id") == rid
+                ):
+                    return bundle
+            return None
+
+        bundle = poll(expired_bundle, timeout=30.0)
+        assert bundle is not None
+        assert bundle["question"] == "routes"
+        # The bundle froze the ring: the doomed job's submit event is in
+        # the captured window.
+        assert any(
+            e.get("kind") == "job" and e.get("rid") == rid
+            for e in bundle["events"]
+        )
+
+    def test_slo_breach_produces_bundle_and_counters(self, make_raw):
+        _, client = make_raw(slos={"sleep": 0.05}, debug=True)
+        client.post("/snapshots", {"name": "lab", "configs": net1(2)})
+        rid = "req-e2e-slo"
+        status, _, body = client.post(
+            "/snapshots/lab/questions/sleep",
+            {"params": {"seconds": 0.3}},
+            headers={"X-Request-Id": rid},
+        )
+        assert status == 200 and body["status"] == "done"
+        _, _, metrics = client.get("/metrics")
+        slo = metrics["slo"]["sleep"]
+        assert slo["breaches"] == 1
+        assert slo["budget_consumed"] > 0
+        assert metrics["obs"]["counters"]["slo.breaches.sleep"] == 1
+        _, _, dump = client.get("/debug/flightrecorder")
+        assert any(
+            b["reason"] == "slo_breach" and b.get("request_id") == rid
+            for b in dump["bundles"]
+        )
