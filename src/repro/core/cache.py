@@ -11,7 +11,7 @@ repeats from O(full pipeline) into O(hash lookup):
   (a hash of every source file of the ``repro`` package). Editing one
   byte of any config, or of any analysis code, changes the key and
   invalidates the entry; nothing is ever invalidated by time.
-* **Four artifact kinds.** ``snapshot`` entries hold the parsed
+* **Six artifact kinds.** ``snapshot`` entries hold the parsed
   vendor-independent model (Stage 1 output); ``device`` entries hold
   one parsed device config (keyed on the per-file content hash, the
   unit the incremental delta engine reuses when only some files of a
@@ -19,7 +19,11 @@ repeats from O(full pipeline) into O(hash lookup):
   :class:`~repro.routing.engine.DataPlane` (Stage 2 output), keyed
   additionally by the convergence settings and policy semantics that
   shaped the simulation; ``lint`` entries hold one device-scoped lint
-  rule's findings for one device (see ``repro.lint.runner``).
+  rule's findings for one device (see ``repro.lint.runner``);
+  ``coverage`` entries hold one question's coverage vector for one
+  (snapshot, question, params) execution and ``coverage_index`` entries
+  list a snapshot's coverage records (see
+  ``repro.questions.coverage``).
 * **Location.** ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
   Writes are atomic (temp file + rename), so concurrent processes — the
   parallel benchmark drivers — can share one cache directory.
@@ -102,6 +106,28 @@ def device_key(filename: str, text: str) -> str:
     digest.update(filename.encode())
     digest.update(b"\x00")
     digest.update(text.encode())
+    return digest.hexdigest()
+
+
+def coverage_record_key(snapshot_key: str, question: str, params_key: str) -> str:
+    """Content address of one per-question coverage record: the
+    snapshot's key (which already folds in configs + engine version)
+    plus the question name and its canonical params rendering. One
+    record per (snapshot, question, params) — rerunning the same
+    question with the same params overwrites rather than accumulates."""
+    digest = hashlib.sha256(snapshot_key.encode())
+    digest.update(b"\x00coverage\x00")
+    digest.update(question.encode())
+    digest.update(b"\x00")
+    digest.update(params_key.encode())
+    return digest.hexdigest()
+
+
+def coverage_index_key(snapshot_key: str) -> str:
+    """Content address of a snapshot's coverage-record index (the list
+    of ``coverage`` entries recorded against it)."""
+    digest = hashlib.sha256(snapshot_key.encode())
+    digest.update(b"\x00coverage_index\x00")
     return digest.hexdigest()
 
 

@@ -75,6 +75,13 @@ class DeltaInfo:
     fallback: bool = False
     fallback_reason: str = ""
     validated: bool = False
+    #: Coverage-guided prioritization (repro.questions.coverage): the
+    #: recorded questions whose historical coverage vectors overlap this
+    #: delta's impact set, ranked most-exposed first, and the ones whose
+    #: footprint provably misses it (their base answers still hold).
+    #: Both empty when no question ran against the base snapshot.
+    questions_affected: List[Dict] = field(default_factory=list)
+    questions_skipped: List[Dict] = field(default_factory=list)
 
     def to_json(self) -> Dict:
         return {
@@ -86,6 +93,8 @@ class DeltaInfo:
             "fallback": self.fallback,
             "fallback_reason": self.fallback_reason,
             "validated": self.validated,
+            "questions_affected": [dict(e) for e in self.questions_affected],
+            "questions_skipped": [dict(e) for e in self.questions_skipped],
         }
 
 
@@ -147,6 +156,7 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
             obs.flight.record(
                 "delta_fallback", reason, changed=len(changed_files)
             )
+        _prioritize_questions(base, new_session, info)
         _record_metrics(info)
         should_validate = (
             validate if validate is not None else validate_enabled()
@@ -158,6 +168,63 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
             info.validated = True
     obs.observe_phase("delta", time.perf_counter() - started)
     return new_session
+
+
+def _changed_hosts(base, new_session, info: DeltaInfo) -> Set[str]:
+    """Devices whose config file changed bytes (on either side of a
+    rename/delete)."""
+    return {
+        hostname
+        for filename in info.changed_files
+        for hostname in (
+            base.snapshot.sources.get(filename),
+            new_session.snapshot.sources.get(filename),
+        )
+        if hostname is not None
+    }
+
+
+def _prioritize_questions(base, new_session, info: DeltaInfo) -> None:
+    """Rank recorded questions against this delta's impact set and drop
+    coverage touches that no longer describe current structures.
+
+    Structure identity (ACL line indices, clause seqs, source lines) can
+    shift on *any* byte change — including routing-inert edits whose
+    dirty set is empty and fallbacks where no dirty set was computed —
+    so changed-byte hosts are always invalidated here, on top of the
+    splice path's dirty-host invalidation. The run registry survives
+    invalidation: records describe past executions, and the skipped ones
+    are carried forward under the new snapshot key by
+    ``questions_for_delta`` because their answers are provably
+    unchanged."""
+    from repro.questions import coverage as qcov
+
+    changed = _changed_hosts(base, new_session, info)
+    tracker = obs.coverage()
+    # A fallback is only *unbounded* when the dirty computation never
+    # bounded the blast radius. The "every device dirty" perf fallback
+    # still produced an exact dirty set (the whole network), so the
+    # scope rules stay sound: routing questions all rerun, config
+    # questions rerun exactly on changed-byte hosts. A changed device
+    # *set* is always unbounded: global answers enumerate the device
+    # universe, so even an isolated new host can grow every answer.
+    unbounded = (
+        info.fallback
+        and set(info.dirty_devices) != set(new_session.snapshot.devices)
+    ) or set(base.snapshot.devices) != set(new_session.snapshot.devices)
+    affected, skipped = qcov.questions_for_delta(
+        tracker,
+        base._cache,
+        base.snapshot_key,
+        new_session.snapshot_key,
+        changed_hosts=changed,
+        dirty_hosts=info.dirty_devices,
+        everything=unbounded,
+    )
+    info.questions_affected = affected
+    info.questions_skipped = skipped
+    if changed:
+        tracker.invalidate_hosts(changed)
 
 
 def _record_metrics(info: DeltaInfo) -> None:

@@ -65,7 +65,7 @@ def _acl_line_findings(snapshot: Snapshot, want_unreachable: bool) -> List[Findi
             spaces = [line_space(line, encoder) for line in acl.lines]
             remaining = TRUE
             for index, space in enumerate(spaces):
-                if obs.enabled():
+                if obs.active():
                     obs.touch("acl_line", hostname, acl.name, index)
                 acl_line = acl.lines[index]
                 label = acl_line.name or f"line {index}"
@@ -168,7 +168,7 @@ def route_map_clause_unreachable(snapshot: Snapshot) -> List[Finding]:
             residual = TRUE
             earlier_exact: List[Tuple[int, int, Location]] = []
             for clause in route_map.sorted_clauses():
-                if obs.enabled():
+                if obs.active():
                     obs.touch(
                         "route_map_clause", hostname, route_map.name, clause.seq
                     )

@@ -167,15 +167,19 @@ def lint_snapshot(
     def run_one(item: Tuple[Rule, Optional[str]]):
         rule, hostname = item
         start = time.perf_counter()
-        if hostname is None:
-            findings = rule.run(snapshot)
-        else:
-            # Device-scoped rules see a single-device snapshot; by the
-            # scope contract this yields exactly the findings the full
-            # snapshot would produce for that device.
-            findings = rule.run(
-                Snapshot(devices={hostname: snapshot.device(hostname)})
-            )
+        # Coverage touches made by this rule land in the
+        # ``lint/<rule_id>`` vector (rolled up under ``lint`` by
+        # prefix), whether the rule runs inline or on a pmap worker.
+        with obs.context.attribution(f"lint/{rule.rule_id}"):
+            if hostname is None:
+                findings = rule.run(snapshot)
+            else:
+                # Device-scoped rules see a single-device snapshot; by
+                # the scope contract this yields exactly the findings
+                # the full snapshot would produce for that device.
+                findings = rule.run(
+                    Snapshot(devices={hostname: snapshot.device(hostname)})
+                )
         elapsed = time.perf_counter() - start
         # Lands in the pmap worker's flight ring and ships back to the
         # parent with the originating request id — the per-rule trail a

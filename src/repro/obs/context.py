@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import dataclasses
 import time
 import uuid
 from dataclasses import dataclass
@@ -44,6 +45,12 @@ class RequestContext:
     tenant: str = ""
     #: Absolute deadline (``time.time()`` epoch seconds); None = none.
     deadline_ts: Optional[float] = None
+    #: The question (or ``lint/<rule>`` label) this work is executing on
+    #: behalf of. Empty string = unattributed. Coverage touches are
+    #: scoped to this value, so per-question coverage vectors survive
+    #: the job queue's thread hop and ``pmap``'s fork boundary the same
+    #: way ``request_id`` does.
+    question: str = ""
 
     def remaining_s(self, now: Optional[float] = None) -> Optional[float]:
         """Seconds until the deadline (negative = expired); None when
@@ -75,9 +82,26 @@ def current() -> Optional[RequestContext]:
 
 
 def current_request_id() -> Optional[str]:
-    """The active request id (the one hot paths stamp on events)."""
+    """The active request id (the one hot paths stamp on events).
+
+    Anonymous attribution-only contexts (see :func:`attribution`) carry
+    an empty request id; those read as None here so events never get
+    stamped with an empty ``rid``."""
     context = _CURRENT.get()
-    return context.request_id if context is not None else None
+    if context is None:
+        return None
+    return context.request_id or None
+
+
+def current_question() -> Optional[str]:
+    """The question/rule label the current work is attributed to, or
+    None. This is what :func:`repro.obs.trace.touch` scopes coverage
+    touches with — a ``ContextVar.get`` plus one attribute read, cheap
+    enough for the ACL/route-map hot paths."""
+    context = _CURRENT.get()
+    if context is None:
+        return None
+    return context.question or None
 
 
 def activate(context: Optional[RequestContext]) -> contextvars.Token:
@@ -114,6 +138,31 @@ def request_context(
         _CURRENT.reset(token)
 
 
+@contextlib.contextmanager
+def attribution(question: str) -> Iterator[RequestContext]:
+    """Scope coverage attribution to ``question`` over a block.
+
+    Derives from the active request context when there is one (so the
+    request id, tenant, and deadline keep flowing), otherwise mints an
+    anonymous context carrying only the question label. Used by
+    :func:`repro.service.serialize.run_question` (question handlers),
+    the job-queue worker, and the lint runner (``lint/<rule_id>``)::
+
+        with attribution("reachability"):
+            ...   # every obs.touch() lands in this question's vector
+    """
+    base = _CURRENT.get()
+    if base is None:
+        context = RequestContext(request_id="", question=question)
+    else:
+        context = dataclasses.replace(base, question=question)
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)
+
+
 # ----------------------------------------------------------------------
 # Process-boundary serialization (pmap worker payloads)
 
@@ -127,6 +176,8 @@ def to_wire(context: Optional[RequestContext]) -> Optional[Dict]:
         wire["tenant"] = context.tenant
     if context.deadline_ts is not None:
         wire["deadline_ts"] = context.deadline_ts
+    if context.question:
+        wire["question"] = context.question
     return wire
 
 
@@ -136,12 +187,16 @@ def from_wire(wire: Optional[Dict]) -> Optional[RequestContext]:
     worker)."""
     if not wire or not isinstance(wire, dict):
         return None
-    request_id = wire.get("request_id")
-    if not request_id:
+    request_id = wire.get("request_id") or ""
+    question = wire.get("question") or ""
+    # An attribution-only context (empty request id, question set) is a
+    # legitimate wire — CLI entry points attribute without minting rids.
+    if not request_id and not question:
         return None
     deadline = wire.get("deadline_ts")
     return RequestContext(
         request_id=str(request_id),
         tenant=str(wire.get("tenant", "") or ""),
         deadline_ts=float(deadline) if deadline is not None else None,
+        question=str(question),
     )

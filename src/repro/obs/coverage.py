@@ -11,11 +11,21 @@ exercises an ACL line says nothing about that line. This module tracks
   index ``-1``),
 * ``route_map_clause`` — policy evaluation matched the clause.
 
-Touches are attributed to the innermost open :class:`~repro.obs.trace.Span`
-(so a report can say *which question* exercised a structure) and carry
-source provenance when the model has it. Totals come from walking a
-:class:`~repro.config.model.Snapshot`, giving touched/total ratios per
-structure kind — the coverage analogue of line/branch coverage.
+Touches are attributed to the *question* (or ``lint/<rule_id>`` label)
+riding the :mod:`repro.obs.context` contextvar — falling back to the
+innermost open :class:`~repro.obs.trace.Span` — so a report can say
+*which question* exercised a structure, and the tracker keeps one full
+key-level coverage vector per attribution label. Totals come from
+walking a :class:`~repro.config.model.Snapshot`, giving touched/total
+ratios per structure kind — the coverage analogue of line/branch
+coverage.
+
+On top of the raw vectors the tracker keeps a small *run registry*:
+one record per (snapshot, question, params) execution, holding the
+question's coverage vector, its host footprint, and a scope class. The
+delta engine reads the registry to rank questions by overlap with a
+dirty set (coverage-guided prioritization; see
+:mod:`repro.questions.coverage`).
 """
 
 from __future__ import annotations
@@ -37,6 +47,15 @@ class CoverageTracker:
         self._lock = threading.Lock()
         self._touched: Dict[CoverageKey, int] = {}
         self._by_query: Dict[str, Dict[str, int]] = {}
+        #: Full key-level coverage vector per attribution label
+        #: (question name or ``lint/<rule_id>``).
+        self._vectors: Dict[str, Dict[CoverageKey, int]] = {}
+        #: Run registry: snapshot_key -> (question, params_key) ->
+        #: record dict (see :func:`repro.questions.coverage`). Kept
+        #: separate from the vectors: vectors describe the *current*
+        #: tracker state, records describe completed executions and are
+        #: what delta prioritization ranks against.
+        self._runs: Dict[str, Dict[Tuple[str, str], Dict]] = {}
 
     def touch(
         self,
@@ -52,11 +71,15 @@ class CoverageTracker:
             if query:
                 per_kind = self._by_query.setdefault(query, {})
                 per_kind[kind] = per_kind.get(kind, 0) + 1
+                vector = self._vectors.setdefault(query, {})
+                vector[key] = vector.get(key, 0) + 1
 
     def reset(self) -> None:
         with self._lock:
             self._touched.clear()
             self._by_query.clear()
+            self._vectors.clear()
+            self._runs.clear()
 
     def invalidate_hosts(self, hostnames) -> int:
         """Drop all touches attributed to the given devices.
@@ -64,23 +87,79 @@ class CoverageTracker:
         The incremental delta engine calls this for dirty devices: their
         structures changed (or their routing context did), so previous
         touches no longer describe the current configuration. Touches on
-        clean devices — and the per-query tallies, which describe past
-        query executions rather than current structures — are kept.
-        Returns the number of entries dropped.
+        clean devices are kept; the per-query kind aggregates are
+        *recomputed* from the surviving per-question vectors so they
+        never go stale relative to the key-level data. The run registry
+        is untouched — records describe past executions against past
+        snapshots and are pruned by snapshot key, not by host. Returns
+        the number of global entries dropped.
         """
         hosts = set(hostnames)
         with self._lock:
             stale = [key for key in self._touched if key[1] in hosts]
             for key in stale:
                 del self._touched[key]
+            for vector in self._vectors.values():
+                for key in [k for k in vector if k[1] in hosts]:
+                    del vector[key]
+            self._vectors = {
+                label: vector
+                for label, vector in self._vectors.items()
+                if vector
+            }
+            # Aggregates re-derived from what survived — this is the
+            # invariant the old code broke (stale ratios after deltas).
+            self._by_query = {}
+            for label, vector in self._vectors.items():
+                per_kind = self._by_query.setdefault(label, {})
+                for key, count in vector.items():
+                    per_kind[key[0]] = per_kind.get(key[0], 0) + count
         return len(stale)
 
     def touched_keys(self) -> List[CoverageKey]:
         with self._lock:
             return sorted(self._touched, key=_key_order)
 
+    def question_vector(self, question: str) -> Dict[CoverageKey, int]:
+        """The combined coverage vector for ``question``.
+
+        Prefix-matched: the label ``question`` itself plus any
+        ``question/<sub>`` labels fold together, so the eleven
+        ``lint/<rule_id>`` vectors roll up under ``lint``."""
+        prefix = question + "/"
+        out: Dict[CoverageKey, int] = {}
+        with self._lock:
+            for label, vector in self._vectors.items():
+                if label != question and not label.startswith(prefix):
+                    continue
+                for key, count in vector.items():
+                    out[key] = out.get(key, 0) + count
+        return out
+
+    def vector_labels(self) -> List[str]:
+        with self._lock:
+            return sorted(self._vectors)
+
+    # -- run registry --------------------------------------------------
+
+    def record_run(
+        self, snapshot_key: str, question: str, params_key: str, record: Dict
+    ) -> None:
+        """Register a completed (question, params) execution against a
+        snapshot. Overwrites any previous record for the same triple —
+        the latest execution is the freshest description."""
+        with self._lock:
+            per_snapshot = self._runs.setdefault(snapshot_key, {})
+            per_snapshot[(question, params_key)] = record
+
+    def recorded_runs(self, snapshot_key: str) -> Dict[Tuple[str, str], Dict]:
+        with self._lock:
+            return dict(self._runs.get(snapshot_key, {}))
+
     def dump(self) -> Dict[str, object]:
-        """JSON-ready snapshot (keys rendered as strings)."""
+        """JSON-ready snapshot (keys rendered as strings). The run
+        registry is deliberately excluded: it is parent-process state,
+        not something pmap workers accumulate."""
         with self._lock:
             return {
                 "touched": {
@@ -92,6 +171,15 @@ class CoverageTracker:
                 "by_query": {
                     query: dict(sorted(kinds.items()))
                     for query, kinds in sorted(self._by_query.items())
+                },
+                "vectors": {
+                    label: {
+                        _render_key(key): count
+                        for key, count in sorted(
+                            vector.items(), key=lambda kv: _key_order(kv[0])
+                        )
+                    }
+                    for label, vector in sorted(self._vectors.items())
                 },
             }
 
@@ -108,6 +196,12 @@ class CoverageTracker:
                 per_kind = self._by_query.setdefault(query, {})
                 for kind, count in kinds.items():
                     per_kind[kind] = per_kind.get(kind, 0) + int(count)
+            for label, rendered_vector in dump.get("vectors", {}).items():
+                vector = self._vectors.setdefault(label, {})
+                for rendered, count in rendered_vector.items():
+                    key = _parse_key(rendered)
+                    if key is not None:
+                        vector[key] = vector.get(key, 0) + int(count)
 
 
 def _key_order(key: CoverageKey):
@@ -131,6 +225,13 @@ def _parse_key(rendered: str) -> Optional[CoverageKey]:
         except ValueError:
             return None
     return None
+
+
+# Public aliases: the persisted question records and the coverage API
+# payloads carry keys in rendered form, so callers outside this module
+# (repro.questions.coverage, the service) need the codec.
+render_key = _render_key
+parse_key = _parse_key
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,8 @@ _HELP: Dict[str, str] = {
     "service.queue.oldest_age_seconds": "Age of the oldest queued job.",
     "slo.breaches": "Requests that exceeded their question's latency objective.",
     "slo.requests": "Requests evaluated against a latency objective.",
+    "coverage.ratio": "Fraction of a structure kind's instances this question's runs touched.",
+    "uncovered_stanzas": "Config structures across stored snapshots that no question touched.",
 }
 
 
@@ -119,6 +121,9 @@ def render_exposition(
     metrics: Metrics,
     extra_counters: Optional[Dict[str, float]] = None,
     extra_gauges: Optional[Dict[str, float]] = None,
+    extra_labeled_gauges: Optional[
+        Dict[str, List[Tuple[Dict[str, str], float]]]
+    ] = None,
 ) -> str:
     """Render the registry (plus service-supplied extras) as exposition
     text. Families are emitted in sorted order; colliding sanitized
@@ -145,6 +150,13 @@ def render_exposition(
         family(raw, "counter", "_total").sample("", [], float(value))
     for raw, value in sorted((extra_gauges or {}).items()):
         family(raw, "gauge").sample("", [], float(value))
+    # Labeled gauge series (e.g. coverage.ratio{question, kind}) — the
+    # registry's own gauges are unlabeled, so these only come from
+    # service-supplied extras.
+    for raw, samples in sorted((extra_labeled_gauges or {}).items()):
+        fam = family(raw, "gauge")
+        for labels, value in samples:
+            fam.sample("", sorted(labels.items()), float(value))
     for raw, value in sorted(dump["gauges"].items()):
         family(raw, "gauge").sample("", [], float(value))
     for raw, summary in sorted(dump["histograms"].items()):

@@ -172,7 +172,69 @@ class TraceReport:
             for path in order
         ]
 
+    def coverage_summary(self) -> Dict:
+        """The trace's coverage event as a JSON-ready section: distinct
+        structures touched per kind, per-query kind tallies, and — when
+        the trace carries per-question vectors — distinct structures per
+        question (``lint/<rule>`` labels rolled up under ``lint``)."""
+        touched = self.coverage.get("touched", {})
+        per_kind: Dict[str, int] = {}
+        for key in touched:
+            kind = key.split(":", 1)[0]
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+        merged_keys: Dict[str, set] = {}
+        for label, vector in (self.coverage.get("vectors") or {}).items():
+            # Distinct structures per top-level question: lint/<rule>
+            # labels roll up, and a structure two rules both touch
+            # counts once.
+            merged_keys.setdefault(label.split("/", 1)[0], set()).update(vector)
+        questions: Dict[str, Dict[str, int]] = {}
+        for question, keys in merged_keys.items():
+            kinds = questions.setdefault(question, {})
+            for key in keys:
+                kind = key.split(":", 1)[0]
+                kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "touched_by_kind": dict(sorted(per_kind.items())),
+            "by_query": {
+                query: dict(sorted(kinds.items()))
+                for query, kinds in sorted(
+                    (self.coverage.get("by_query") or {}).items()
+                )
+            },
+            "questions": {
+                question: dict(sorted(kinds.items()))
+                for question, kinds in sorted(questions.items())
+            },
+        }
+
     # -- rendering --------------------------------------------------------
+
+    def to_json(self, top: int = 20) -> Dict:
+        """The whole report as one JSON document (``--json``)."""
+        dump = self.metrics.dump()
+        return {
+            "schema": "repro-obs-report/v1",
+            "spans": [
+                {
+                    "path": path,
+                    "count": count,
+                    "wall_s": round(wall, 6),
+                    "cpu_s": round(cpu, 6),
+                }
+                for path, count, wall, cpu in self.span_tree()
+            ],
+            "counters": dict(self.metrics.top_counters(top)),
+            "gauges": dict(dump["gauges"]),
+            "coverage": self.coverage_summary(),
+            "events": {
+                "lines": self.total_lines,
+                "spans": len(self.spans),
+                "corrupt": self.corrupt_lines,
+            },
+            "unclosed": self.unclosed(),
+            "time_regressions": self.time_regressions(),
+        }
 
     def render(self, top: int = 20) -> str:
         lines: List[str] = []
@@ -250,6 +312,15 @@ class TraceReport:
                     f"{kind}={count}" for kind, count in sorted(kinds.items())
                 )
                 lines.append(f"    {query}: {rendered}")
+            questions = self.coverage_summary()["questions"]
+            if questions:
+                lines.append("  per-question attribution (distinct structures):")
+                for question, kinds in questions.items():
+                    rendered = ", ".join(
+                        f"{kind}={count}"
+                        for kind, count in sorted(kinds.items())
+                    )
+                    lines.append(f"    {question}: {rendered}")
         unclosed = self.unclosed()
         regressions = self.time_regressions()
         lines.append("")
@@ -384,10 +455,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--top", type=int, default=20, help="number of counters to show"
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report (spans, counters, coverage) as one JSON doc",
+    )
     args = parser.parse_args(argv)
     report = TraceReport.from_file(args.trace)
     try:
-        print(report.render(top=args.top))
+        if args.json:
+            print(json.dumps(report.to_json(top=args.top), indent=2))
+        else:
+            print(report.render(top=args.top))
     except BrokenPipeError:
         pass  # downstream pager closed early; the verdict still counts
     failures: List[str] = []

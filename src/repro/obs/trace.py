@@ -40,7 +40,7 @@ import time
 from collections import deque
 from typing import Dict, List, Optional
 
-from repro.obs import flight as _flight
+from repro.obs import context, flight as _flight
 from repro.obs.context import current_request_id
 from repro.obs.coverage import CoverageTracker
 from repro.obs.metrics import Metrics
@@ -369,10 +369,16 @@ def observe_phase(phase: str, seconds: float) -> None:
 
 
 def touch(kind: str, hostname: str, name: str, index: Optional[int] = None) -> None:
-    """Record a config-coverage touch (no-op while disabled)."""
+    """Record a config-coverage touch (no-op while disabled).
+
+    Attribution prefers the question label riding the request context
+    (it survives the job queue's thread hop and ``pmap``'s fork
+    boundary) and falls back to the innermost open span's name, which
+    only exists on the thread that opened it."""
     if _STATE.enabled or _STATE.metrics_enabled:
         _STATE.coverage.touch(
-            kind, hostname, name, index, query=current_span_name()
+            kind, hostname, name, index,
+            query=context.current_question() or current_span_name(),
         )
 
 

@@ -1,0 +1,939 @@
+"""Coverage attribution: per-question coverage records, uncovered-stanza
+risk, and coverage-guided question prioritization.
+
+The Batfish paper's operational lesson is that operators trust analysis
+they can *see the extent of* — a reachability suite that never exercises
+an ACL line says nothing about that line (Xu et al., *Test Coverage for
+Network Configurations*). PR 2 gave the repo kind-level coverage; this
+module makes it attributable and actionable:
+
+* **Records.** Every question execution (and every lint rule, labeled
+  ``lint/<rule_id>``) runs under an attribution context
+  (:func:`repro.obs.context.attribution`), so the tracker keeps one
+  coverage vector per question. :func:`record_question_run` snapshots
+  the vector delta of one execution into a *record* — question, params,
+  scope class, host footprint, vector — registered in the tracker's run
+  registry and persisted in the content-addressed cache keyed on
+  (snapshot, question, params).
+* **Prioritization.** Given a delta's changed files and dirty set,
+  :func:`prioritize_questions` splits the recorded questions into
+  *affected* (worth rerunning) and *skipped* (provably unchanged),
+  ranked by overlap between each record's coverage vector and the
+  impacted hosts. The delta engine surfaces this as
+  ``DeltaInfo.questions_affected``.
+* **Risk.** :func:`uncovered_stanzas` lists the config structures no
+  question touched, with file:line provenance, and — for reachable
+  uncovered ACL lines — synthesizes a concrete witness packet from the
+  line's BDD match set (:func:`witness_for_acl_line`): the probe an
+  operator would send to exercise that exact line.
+
+The module tail is the CI coverage gate
+(``python -m repro.questions.coverage``): it runs a fixed question
+battery over the synthetic network registry and compares per-question
+coverage ratios against a committed baseline; any drift exits 2.
+
+Scope classification (what makes skipping *sound*):
+
+* ``routing`` questions read the data plane; a device's answer rows can
+  change when its own config changed **or** its routing state did, so
+  the impact set is ``changed ∪ dirty`` — exactly what the delta
+  engine's splice guarantee bounds (clean devices' FIBs are
+  byte-identical).
+* ``config`` questions read only the parsed configs; their impact set
+  is the changed files' hosts. Questions in this class that report
+  *across* devices (``duplicate_ips``, ``lint``, ``parse_warnings``)
+  have no per-host footprint recorded (hosts = None), which makes them
+  affected by any change — conservative but sound.
+* ``global`` questions (``route_diff`` spans two snapshots) are always
+  affected.
+
+Unknown questions default to ``global``; a record with no host
+footprint is treated as network-wide. Skipping is therefore only ever
+an *optimization* of reruns, never a soundness bet: anything the model
+cannot bound reruns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.bdd.engine import FALSE
+from repro.core.cache import coverage_index_key, coverage_record_key
+from repro.dataplane.acl import acl_line_spaces
+from repro.hdr import fields as hdr_fields
+from repro.hdr.headerspace import PacketEncoder
+from repro.obs.coverage import (
+    KINDS,
+    CoverageKey,
+    CoverageTracker,
+    parse_key,
+    render_key,
+)
+from repro.reachability.examples import default_preferences
+
+RECORD_SCHEMA = "repro-coverage-record/v1"
+
+#: Questions whose answers derive from the converged data plane: a
+#: device's rows change only if its config changed or its routing state
+#: did (the delta engine's dirty set bounds the latter).
+ROUTING_QUESTIONS = frozenset(
+    {"routes", "reachability", "traceroute", "explain_route"}
+)
+
+#: Questions computed from the parsed configs alone; the impact set is
+#: the set of hosts whose files changed bytes.
+CONFIG_QUESTIONS = frozenset(
+    {
+        "test_filter",
+        "undefined_references",
+        "unused_structures",
+        "duplicate_ips",
+        "parse_warnings",
+        "lint",
+    }
+)
+
+#: Risk-ranked kind order for the uncovered report: an unexercised ACL
+#: line is a live security hole, an untouched route-map clause a silent
+#: policy gap, an untouched interface usually just an unused port.
+RISK_ORDER = ("acl_line", "route_map_clause", "interface")
+
+
+def question_scope(question: str) -> str:
+    """``routing`` / ``config`` / ``global`` (unknown = global)."""
+    if question in ROUTING_QUESTIONS:
+        return "routing"
+    if question in CONFIG_QUESTIONS:
+        return "config"
+    return "global"
+
+
+def canonical_params(params: Optional[Dict]) -> str:
+    """Canonical rendering of question params — the params component of
+    the (snapshot, question, params) record key. Matches the service's
+    job-coalescing digest convention (sorted keys, compact)."""
+    return json.dumps(params or {}, sort_keys=True, separators=(",", ":"))
+
+
+def _param_hosts(params: Optional[Dict]) -> Set[str]:
+    """Host names a question's params explicitly bind it to."""
+    hosts: Set[str] = set()
+    if not params:
+        return hosts
+    node = params.get("node")
+    if isinstance(node, str) and node:
+        hosts.add(node)
+    sources = params.get("sources")
+    if isinstance(sources, (list, tuple)):
+        for entry in sources:
+            if isinstance(entry, str):
+                hosts.add(entry)
+            elif isinstance(entry, (list, tuple)) and entry:
+                hosts.add(str(entry[0]))
+    return hosts
+
+
+def vector_delta(
+    before: Dict[CoverageKey, int], after: Dict[CoverageKey, int]
+) -> Dict[CoverageKey, int]:
+    """What one execution added to a question's coverage vector."""
+    delta: Dict[CoverageKey, int] = {}
+    for key, count in after.items():
+        added = count - before.get(key, 0)
+        if added > 0:
+            delta[key] = added
+    return delta
+
+
+def build_record(
+    question: str,
+    params: Optional[Dict],
+    vector: Dict[CoverageKey, int],
+) -> Dict:
+    """One JSON-ready coverage record for a completed execution.
+
+    ``hosts`` is the record's footprint: the devices the execution
+    touched plus any the params explicitly name. None (no touches, no
+    named hosts) means the footprint is unknown and the question is
+    treated as network-wide by prioritization."""
+    touched_hosts = {key[1] for key in vector}
+    hosts = sorted(touched_hosts | _param_hosts(params))
+    return {
+        "schema": RECORD_SCHEMA,
+        "question": question,
+        "params": dict(params or {}),
+        "params_key": canonical_params(params),
+        "scope": question_scope(question),
+        "hosts": hosts if hosts else None,
+        "vector": {
+            render_key(key): count for key, count in sorted(vector.items())
+        },
+        "runs": 1,
+    }
+
+
+# ----------------------------------------------------------------------
+# Record persistence (tracker run registry + content-addressed cache)
+
+
+def persist_record(cache, snapshot_key: str, record: Dict) -> None:
+    """Write one record (and its index entry) to the snapshot cache.
+    Load-modify-store on the index is not atomic across processes; a
+    lost index entry only costs a future cache miss, never wrong data."""
+    if cache is None:
+        return
+    record_key = coverage_record_key(
+        snapshot_key, record["question"], record["params_key"]
+    )
+    cache.store("coverage", record_key, record)
+    index_key = coverage_index_key(snapshot_key)
+    index = cache.load("coverage_index", index_key) or {}
+    index[record_key] = [record["question"], record["params_key"]]
+    cache.store("coverage_index", index_key, index)
+
+
+def load_records(cache, snapshot_key: str) -> Dict[Tuple[str, str], Dict]:
+    """All persisted records for a snapshot, keyed (question, params_key)."""
+    if cache is None:
+        return {}
+    index = cache.load("coverage_index", coverage_index_key(snapshot_key))
+    records: Dict[Tuple[str, str], Dict] = {}
+    for record_key, entry in (index or {}).items():
+        record = cache.load("coverage", record_key)
+        if isinstance(record, dict) and record.get("question"):
+            records[(record["question"], record["params_key"])] = record
+    return records
+
+
+def record_question_run(
+    tracker: CoverageTracker,
+    cache,
+    snapshot_key: str,
+    question: str,
+    params: Optional[Dict],
+    vector: Dict[CoverageKey, int],
+) -> Dict:
+    """Register (and persist) one completed question execution."""
+    record = build_record(question, params, vector)
+    previous = tracker.recorded_runs(snapshot_key).get(
+        (question, record["params_key"])
+    )
+    if previous:
+        record["runs"] = int(previous.get("runs", 0)) + 1
+        # A rerun that touched nothing new (e.g. a fully memoized lint
+        # pass) keeps the earlier, richer vector as the footprint.
+        if not record["vector"] and previous.get("vector"):
+            record["vector"] = dict(previous["vector"])
+            record["hosts"] = previous.get("hosts")
+    tracker.record_run(snapshot_key, question, record["params_key"], record)
+    persist_record(cache, snapshot_key, record)
+    return record
+
+
+# ----------------------------------------------------------------------
+# Coverage-guided prioritization
+
+
+def prioritize_questions(
+    records: Dict[Tuple[str, str], Dict],
+    changed_hosts: Iterable[str],
+    dirty_hosts: Iterable[str],
+    everything: bool = False,
+) -> Tuple[List[Dict], List[Dict]]:
+    """Split recorded questions into (affected, skipped) for a delta.
+
+    ``changed_hosts`` are devices whose config bytes changed;
+    ``dirty_hosts`` the delta engine's routing dirty set;
+    ``everything`` forces all questions affected (splice fallback — the
+    engine could not bound the impact, so neither can we). Affected
+    entries are ranked by overlap: the record's vector mass on impacted
+    hosts plus its host intersection size, so the service can rerun the
+    most-exposed questions first."""
+    changed = set(changed_hosts)
+    dirty = set(dirty_hosts)
+    affected: List[Dict] = []
+    skipped: List[Dict] = []
+    for (question, _params_key), record in sorted(records.items()):
+        scope = record.get("scope") or question_scope(question)
+        hosts = record.get("hosts")
+        if scope == "config":
+            impact = changed
+        elif scope == "routing":
+            impact = changed | dirty
+        else:
+            impact = None  # global: always affected
+        entry = {
+            "question": question,
+            "params": record.get("params") or {},
+            "scope": scope,
+            "overlap": 0,
+        }
+        if everything or impact is None or hosts is None:
+            entry["overlap"] = _overlap(record, impact)
+            affected.append(entry)
+        elif set(hosts) & impact:
+            entry["overlap"] = _overlap(record, impact)
+            affected.append(entry)
+        else:
+            skipped.append(entry)
+    affected.sort(key=lambda e: (-e["overlap"], e["question"]))
+    skipped.sort(key=lambda e: e["question"])
+    return affected, skipped
+
+
+def _overlap(record: Dict, impact: Optional[Set[str]]) -> int:
+    """Vector mass on impacted hosts + host-intersection size (1 floor
+    so an affected question never ranks at zero)."""
+    hosts = record.get("hosts")
+    if impact is None:
+        impact_hosts = set(hosts or [])
+    else:
+        impact_hosts = set(hosts or []) & impact
+    score = len(impact_hosts)
+    for rendered, count in (record.get("vector") or {}).items():
+        key = parse_key(rendered)
+        if key is None:
+            continue
+        if impact is None or key[1] in impact:
+            score += int(count)
+    return max(score, 1)
+
+
+def questions_for_delta(
+    tracker: CoverageTracker,
+    cache,
+    base_snapshot_key: str,
+    new_snapshot_key: str,
+    changed_hosts: Iterable[str],
+    dirty_hosts: Iterable[str],
+    everything: bool = False,
+) -> Tuple[List[Dict], List[Dict]]:
+    """The delta engine's entry point: load the base snapshot's records
+    (run registry first, cache as backstop), prioritize against the
+    delta's impact, and carry every *skipped* record forward under the
+    new snapshot key — its answer is unchanged, so the record still
+    describes the new snapshot and chains across further deltas."""
+    records = dict(tracker.recorded_runs(base_snapshot_key))
+    for key, record in load_records(cache, base_snapshot_key).items():
+        records.setdefault(key, record)
+    affected, skipped = prioritize_questions(
+        records, changed_hosts, dirty_hosts, everything=everything
+    )
+    skipped_keys = {
+        (entry["question"], canonical_params(entry["params"]))
+        for entry in skipped
+    }
+    for key, record in records.items():
+        if key in skipped_keys:
+            tracker.record_run(new_snapshot_key, key[0], key[1], record)
+            persist_record(cache, new_snapshot_key, record)
+    return affected, skipped
+
+
+# ----------------------------------------------------------------------
+# Structure inventory, attribution matrix
+
+
+def snapshot_structures(snapshot) -> List[Tuple[CoverageKey, str, str, int]]:
+    """Every coverable structure a snapshot defines:
+    (key, label, source_file, source_line)."""
+    out: List[Tuple[CoverageKey, str, str, int]] = []
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        for iface_name in sorted(device.interfaces):
+            iface = device.interfaces[iface_name]
+            out.append(
+                (
+                    ("interface", hostname, iface_name, None),
+                    f"{hostname}:{iface_name}",
+                    iface.source_file,
+                    iface.source_line,
+                )
+            )
+        for acl_name in sorted(device.acls):
+            for index, line in enumerate(device.acls[acl_name].lines):
+                out.append(
+                    (
+                        ("acl_line", hostname, acl_name, index),
+                        f"{hostname}:{acl_name}#{index}"
+                        + (f" ({line.name})" if line.name else ""),
+                        line.source_file,
+                        line.source_line,
+                    )
+                )
+        for rm_name in sorted(device.route_maps):
+            for clause in device.route_maps[rm_name].sorted_clauses():
+                out.append(
+                    (
+                        ("route_map_clause", hostname, rm_name, clause.seq),
+                        f"{hostname}:{rm_name} seq {clause.seq}",
+                        clause.source_file,
+                        clause.source_line,
+                    )
+                )
+    return out
+
+
+def kind_totals(snapshot) -> Dict[str, int]:
+    totals = {kind: 0 for kind in KINDS}
+    for key, _label, _file, _line in snapshot_structures(snapshot):
+        totals[key[0]] += 1
+    return totals
+
+
+def attribution_matrix(
+    tracker: CoverageTracker, snapshot
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-question, per-kind coverage against the snapshot's totals:
+    ``{question: {kind: {touched, total, ratio}}}``. Lint rule labels
+    (``lint/<rule>``) roll up under ``lint``."""
+    totals = kind_totals(snapshot)
+    questions = sorted(
+        {label.split("/", 1)[0] for label in tracker.vector_labels()}
+    )
+    matrix: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for question in questions:
+        vector = tracker.question_vector(question)
+        distinct: Dict[str, Set[CoverageKey]] = {kind: set() for kind in KINDS}
+        for key in vector:
+            if key[0] in distinct:
+                distinct[key[0]].add(key)
+        matrix[question] = {
+            kind: {
+                "touched": len(distinct[kind]),
+                "total": totals[kind],
+                "ratio": (
+                    round(len(distinct[kind]) / totals[kind], 6)
+                    if totals[kind]
+                    else 0.0
+                ),
+            }
+            for kind in KINDS
+        }
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Uncovered-stanza risk report + witness packets
+
+
+@dataclass
+class UncoveredStanza:
+    """One config structure no question or lint rule touched."""
+
+    kind: str
+    hostname: str
+    name: str
+    index: Optional[int]
+    label: str
+    source_file: str = ""
+    source_line: int = 0
+    #: For ACL lines: whether any packet can reach the line (False =
+    #: shadowed — dead config, a lint matter rather than a blind spot).
+    reachable: Optional[bool] = None
+    #: Suggested probe: ``{"packet": {...}, "inject": {...}|None}``.
+    witness: Optional[Dict] = None
+
+    def to_json(self) -> Dict:
+        doc: Dict = {
+            "kind": self.kind,
+            "hostname": self.hostname,
+            "name": self.name,
+            "index": self.index,
+            "label": self.label,
+        }
+        if self.source_file:
+            doc["source"] = f"{self.source_file}:{self.source_line}"
+        if self.reachable is not None:
+            doc["reachable"] = self.reachable
+        if self.witness is not None:
+            doc["witness"] = self.witness
+        return doc
+
+
+@dataclass
+class UncoveredReport:
+    """Uncovered structures ranked by kind risk, plus per-kind ratios."""
+
+    stanzas: List[UncoveredStanza] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+    touched: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uncovered_total(self) -> int:
+        return len(self.stanzas)
+
+    def by_kind(self) -> Dict[str, List[UncoveredStanza]]:
+        grouped: Dict[str, List[UncoveredStanza]] = {
+            kind: [] for kind in RISK_ORDER
+        }
+        for stanza in self.stanzas:
+            grouped.setdefault(stanza.kind, []).append(stanza)
+        return grouped
+
+    def to_json(self) -> Dict:
+        return {
+            "uncovered_total": self.uncovered_total,
+            "totals": dict(self.totals),
+            "touched": dict(self.touched),
+            "stanzas": [stanza.to_json() for stanza in self.stanzas],
+        }
+
+    def describe(self, limit: int = 10) -> str:
+        lines = [f"uncovered stanzas: {self.uncovered_total}"]
+        for kind, group in self.by_kind().items():
+            total = self.totals.get(kind, 0)
+            lines.append(
+                f"  {kind}: {len(group)} uncovered of {total}"
+            )
+            for stanza in group[:limit]:
+                where = (
+                    f" ({stanza.source_file}:{stanza.source_line})"
+                    if stanza.source_file
+                    else ""
+                )
+                lines.append(f"    {stanza.label}{where}")
+            if len(group) > limit:
+                lines.append(f"    ... and {len(group) - limit} more")
+        return "\n".join(lines)
+
+
+def _packet_json(packet) -> Dict:
+    return {
+        "dst_ip": str(packet.dst_ip),
+        "src_ip": str(packet.src_ip),
+        "dst_port": packet.dst_port,
+        "src_port": packet.src_port,
+        "ip_protocol": packet.ip_protocol,
+        "description": packet.describe(),
+    }
+
+
+def _acl_bindings(device, acl_name: str) -> Optional[Dict]:
+    """Where to inject a witness so the concrete engine evaluates the
+    ACL: the first interface binding it as an ingress filter, else the
+    first egress binding (annotated, since egress needs a forwarding
+    path to reach it)."""
+    for iface_name in sorted(device.interfaces):
+        if device.interfaces[iface_name].incoming_acl == acl_name:
+            return {
+                "node": device.hostname,
+                "interface": iface_name,
+                "direction": "in",
+            }
+    for iface_name in sorted(device.interfaces):
+        if device.interfaces[iface_name].outgoing_acl == acl_name:
+            return {
+                "node": device.hostname,
+                "interface": iface_name,
+                "direction": "out",
+            }
+    return None
+
+
+def witness_for_acl_line(
+    device, acl_name: str, index: int, encoder: Optional[PacketEncoder] = None
+) -> Optional[Dict]:
+    """A concrete probe that exercises exactly ``acl_name`` line
+    ``index`` on ``device``: a satisfying packet of the line's
+    *effective* match set (its space minus every earlier line's), so
+    first-match semantics guarantee the probe matches this line and no
+    earlier one. None when the line is shadowed (empty effective set)."""
+    acl = device.acls.get(acl_name)
+    if acl is None or not (0 <= index < len(acl.lines)):
+        return None
+    encoder = encoder or PacketEncoder()
+    spaces = acl_line_spaces(acl, encoder)
+    effective = spaces[index][1]
+    if effective == FALSE:
+        return None
+    inject = _acl_bindings(device, acl_name)
+    if inject is not None and inject["direction"] == "out":
+        # An egress ACL is only evaluated for packets the FIB forwards
+        # out that interface; steer the witness's destination into the
+        # interface's connected subnet when the line's match set allows
+        # it, so tracing the probe actually reaches the ACL.
+        prefix = device.interfaces[inject["interface"]].prefix
+        if prefix is not None:
+            steered = encoder.engine.and_(
+                effective, encoder.ip_in_prefix(hdr_fields.DST_IP, prefix)
+            )
+            if steered != FALSE:
+                effective = steered
+    packet = encoder.example_packet(
+        effective, default_preferences(encoder)
+    )
+    if packet is None:
+        return None
+    return {
+        "packet": _packet_json(packet),
+        "inject": inject,
+    }
+
+
+def uncovered_stanzas(
+    tracker: CoverageTracker, snapshot, witnesses: int = 0
+) -> UncoveredReport:
+    """The blind-spot report: structures in the snapshot that *no*
+    attribution label touched, risk-ranked by kind. ``witnesses`` > 0
+    additionally synthesizes up to that many probe packets for
+    reachable uncovered ACL lines (witness generation builds BDD line
+    spaces per ACL, so it is opt-in)."""
+    touched = set(tracker.touched_keys())
+    report = UncoveredReport(
+        totals={kind: 0 for kind in KINDS},
+        touched={kind: 0 for kind in KINDS},
+    )
+    ordered: Dict[str, List[UncoveredStanza]] = {kind: [] for kind in RISK_ORDER}
+    for key, label, source_file, source_line in snapshot_structures(snapshot):
+        kind = key[0]
+        report.totals[kind] += 1
+        if key in touched:
+            report.touched[kind] += 1
+            continue
+        ordered.setdefault(kind, []).append(
+            UncoveredStanza(
+                kind=kind,
+                hostname=key[1],
+                name=key[2],
+                index=key[3],
+                label=label,
+                source_file=source_file,
+                source_line=source_line,
+            )
+        )
+    budget = max(0, int(witnesses))
+    if budget:
+        encoder = PacketEncoder()
+        for stanza in ordered.get("acl_line", []):
+            if budget <= 0:
+                break
+            device = snapshot.device(stanza.hostname)
+            witness = witness_for_acl_line(
+                device, stanza.name, stanza.index, encoder
+            )
+            stanza.reachable = witness is not None
+            if witness is not None:
+                stanza.witness = witness
+                budget -= 1
+    for kind in RISK_ORDER:
+        report.stanzas.extend(ordered.get(kind, []))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Service surfaces: coverage payload, Prometheus series
+
+
+def coverage_payload(session, witnesses: int = 0) -> Dict:
+    """The ``GET /snapshots/{name}/coverage`` body: the per-question
+    attribution matrix, recorded runs, and the uncovered-stanza list."""
+    tracker = obs.coverage()
+    matrix = attribution_matrix(tracker, session.snapshot)
+    report = uncovered_stanzas(tracker, session.snapshot, witnesses=witnesses)
+    records = [
+        {
+            "question": record["question"],
+            "params": record.get("params") or {},
+            "scope": record.get("scope", "global"),
+            "hosts": record.get("hosts"),
+            "touches": sum((record.get("vector") or {}).values()),
+            "runs": record.get("runs", 1),
+        }
+        for (_q, _pk), record in sorted(
+            tracker.recorded_runs(session.snapshot_key).items()
+        )
+    ]
+    return {
+        "schema": "repro-coverage/v1",
+        "snapshot_key": session.snapshot_key,
+        "questions": matrix,
+        "records": records,
+        "uncovered": report.to_json(),
+    }
+
+
+def prometheus_coverage(
+    tracker: CoverageTracker, snapshots: Iterable
+) -> Tuple[Dict[str, List[Tuple[Dict[str, str], float]]], int]:
+    """Labeled gauge samples + the uncovered-stanza count for the
+    ``/metrics`` exposition: ``coverage.ratio{question, kind}`` over the
+    union of the stored snapshots' structures, and the total number of
+    structures nothing touched."""
+    totals = {kind: 0 for kind in KINDS}
+    all_keys: Set[CoverageKey] = set()
+    for snapshot in snapshots:
+        for key, _label, _file, _line in snapshot_structures(snapshot):
+            if key not in all_keys:
+                all_keys.add(key)
+                totals[key[0]] += 1
+    samples: List[Tuple[Dict[str, str], float]] = []
+    for question in sorted(
+        {label.split("/", 1)[0] for label in tracker.vector_labels()}
+    ):
+        vector = tracker.question_vector(question)
+        distinct: Dict[str, Set[CoverageKey]] = {kind: set() for kind in KINDS}
+        for key in vector:
+            if key[0] in distinct:
+                distinct[key[0]].add(key)
+        for kind in KINDS:
+            if not totals[kind]:
+                continue
+            samples.append(
+                (
+                    {"question": question, "kind": kind},
+                    len(distinct[kind]) / totals[kind],
+                )
+            )
+    touched_keys = set(tracker.touched_keys())
+    uncovered = sum(1 for key in all_keys if key not in touched_keys)
+    return {"coverage.ratio": samples}, uncovered
+
+
+# ----------------------------------------------------------------------
+# CI coverage gate: python -m repro.questions.coverage
+
+BASELINE_SCHEMA = "repro-coverage-baseline/v1"
+
+
+def gate_battery(spec, scale: int = 1) -> Dict[str, Dict[str, List[int]]]:
+    """Run the gate's fixed question battery over one registry network
+    and return ``{question: {kind: [touched, total]}}``.
+
+    The battery is reachability (the data-plane workhorse) plus lint
+    (which sweeps every ACL line and route-map clause through the BDD
+    rules) — together they bound how much of each structure kind the
+    shipped questions can see, which is the ratio the gate pins."""
+    from repro.core.session import Session
+    from repro.obs import context as obs_context
+
+    session = Session.from_texts(spec.generate(scale))
+    with obs_context.attribution("reachability"):
+        session.reachability()
+    session.lint()  # rules self-attribute as lint/<rule_id>
+    matrix = attribution_matrix(obs.coverage(), session.snapshot)
+    return {
+        question: {
+            kind: [cell["touched"], cell["total"]]
+            for kind, cell in kinds.items()
+        }
+        for question, kinds in matrix.items()
+    }
+
+
+def gate_run(
+    network_names: Optional[List[str]] = None,
+    scale: int = 1,
+    verbose: bool = False,
+) -> Dict[str, Dict[str, Dict[str, List[int]]]]:
+    """The full gate sweep: battery per registry network, obs state
+    reset between networks so ratios never bleed across them."""
+    from repro.synth.networks import NETWORKS
+
+    wanted = set(network_names) if network_names else None
+    results: Dict[str, Dict[str, Dict[str, List[int]]]] = {}
+    was_metrics = obs.active()
+    obs.enable_metrics()
+    try:
+        for spec in NETWORKS:
+            if wanted is not None and spec.name not in wanted:
+                continue
+            obs.coverage().reset()
+            results[spec.name] = gate_battery(spec, scale)
+            if verbose:
+                summary = ", ".join(
+                    f"{q}:{cells['acl_line'][0]}/{cells['acl_line'][1]} acl"
+                    for q, cells in sorted(results[spec.name].items())
+                )
+                print(f"{spec.name}: {summary}", flush=True)
+    finally:
+        obs.coverage().reset()
+        if not was_metrics:
+            obs.disable()
+    return results
+
+
+def gate_diff(
+    baseline: Dict, current: Dict
+) -> List[Dict]:
+    """Exact-match comparison; every discrepancy (regressed ratio,
+    improved ratio, missing/new network or question) is drift — the
+    baseline stays a faithful description or it fails."""
+    drift: List[Dict] = []
+    base_networks = baseline.get("networks", {})
+    for network in sorted(set(base_networks) | set(current)):
+        base = base_networks.get(network)
+        now = current.get(network)
+        if base is None or now is None:
+            drift.append(
+                {
+                    "network": network,
+                    "question": "*",
+                    "kind": "*",
+                    "baseline": base,
+                    "current": now,
+                    "message": (
+                        f"network {network} "
+                        + ("missing from baseline" if base is None else "not measured")
+                    ),
+                }
+            )
+            continue
+        for question in sorted(set(base) | set(now)):
+            base_q = base.get(question, {})
+            now_q = now.get(question, {})
+            for kind in sorted(set(base_q) | set(now_q)):
+                expected = base_q.get(kind)
+                measured = now_q.get(kind)
+                if list(expected or []) != list(measured or []):
+                    drift.append(
+                        {
+                            "network": network,
+                            "question": question,
+                            "kind": kind,
+                            "baseline": expected,
+                            "current": measured,
+                            "message": (
+                                f"{network}/{question}/{kind}: "
+                                f"baseline {expected} != current {measured}"
+                            ),
+                        }
+                    )
+    return drift
+
+
+def gate_sarif(drift: List[Dict]) -> Dict:
+    """SARIF 2.1.0 artifact mirroring the lint baseline gate's format,
+    one result per drift entry."""
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-coverage-gate",
+                        "informationUri": "https://github.com/batfish/batfish",
+                        "rules": [
+                            {
+                                "id": "coverage-drift",
+                                "shortDescription": {
+                                    "text": (
+                                        "Per-question coverage ratio differs "
+                                        "from the committed baseline"
+                                    )
+                                },
+                            }
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": "coverage-drift",
+                        "level": "error",
+                        "message": {"text": entry["message"]},
+                        "properties": {
+                            "network": entry["network"],
+                            "question": entry["question"],
+                            "kind": entry["kind"],
+                            "baseline": entry["baseline"],
+                            "current": entry["current"],
+                        },
+                    }
+                    for entry in drift
+                ],
+            }
+        ],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.questions.coverage",
+        description=(
+            "CI coverage gate: run the question battery over the "
+            "synthetic network registry and compare per-question "
+            "coverage ratios against a committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "--network",
+        action="append",
+        help="registry network name (repeatable; default: all)",
+    )
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument(
+        "--baseline", help="baseline JSON to compare against (drift -> exit 2)"
+    )
+    parser.add_argument(
+        "--out", help="write the measured ratios as JSON here"
+    )
+    parser.add_argument(
+        "--sarif", help="write a SARIF drift artifact here (always written)"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write --baseline (or --out) from the current measurement",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    current = gate_run(args.network, scale=args.scale, verbose=args.verbose)
+    doc = {"schema": BASELINE_SCHEMA, "networks": current}
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.write_baseline:
+        target = args.baseline or args.out
+        if not target:
+            parser.error("--write-baseline needs --baseline or --out")
+        with open(target, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"coverage baseline written: {target}", flush=True)
+        return 0
+    if not args.baseline:
+        print(
+            f"measured {len(current)} network(s); no --baseline given",
+            flush=True,
+        )
+        return 0
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    drift = gate_diff(baseline, current)
+    if args.sarif:
+        with open(args.sarif, "w") as handle:
+            json.dump(gate_sarif(drift), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if drift:
+        for entry in drift:
+            print(f"coverage drift: {entry['message']}", flush=True)
+        print(
+            f"{len(drift)} coverage drift(s) vs {args.baseline}; refresh "
+            "with: python -m repro.questions.coverage --write-baseline "
+            f"--baseline {args.baseline}",
+            flush=True,
+        )
+        return 2
+    print(
+        f"coverage gate clean: {len(current)} network(s) match "
+        f"{args.baseline}",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -134,7 +134,7 @@ class NetworkAnalyzer:
     def _emit_bdd_gauges(self) -> None:
         """Publish the BDD engine's size counters as gauges; called at
         graph-build and query boundaries (cheap: three dict sizes)."""
-        if not obs.enabled():
+        if not obs.active():
             return
         stats = self.encoder.engine.stats()
         obs.gauge("bdd.nodes", stats["nodes"])
@@ -216,7 +216,7 @@ class NetworkAnalyzer:
                         packet_set,
                     )
                     answer.by_sink[node] = packet_set
-            if obs.enabled():
+            if obs.active():
                 obs.add("query.reachability_runs")
                 self._touch_reach_coverage(reach)
                 self._emit_bdd_gauges()
@@ -268,7 +268,7 @@ class NetworkAnalyzer:
                     if interface is None or node[2] == interface:
                         targets[node] = headerspace_bdd
             reach = backward_reachability(self.graph, targets)
-            if obs.enabled():
+            if obs.active():
                 obs.add("query.destination_reachability_runs")
                 self._touch_reach_coverage(reach)
                 self._emit_bdd_gauges()

@@ -459,7 +459,7 @@ def _acl_permits(device: Device, acl_name: str, packet: Packet) -> bool:
     if acl is None:
         return True  # undefined ACL: permit (model default, Lesson 3)
     result = evaluate_acl(acl, packet)
-    if obs.enabled():
+    if obs.active():
         obs.touch(
             "acl_line",
             device.hostname,

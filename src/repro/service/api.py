@@ -13,6 +13,7 @@ Surface (all bodies JSON)::
     GET    /snapshots                            list snapshot records
     POST   /snapshots                            {name, configs, settings?, force?}
     GET    /snapshots/{name}                     one record
+    GET    /snapshots/{name}/coverage            per-question coverage + blind spots
     PATCH  /snapshots/{name}                     {configs} incremental update
     DELETE /snapshots/{name}
     POST   /snapshots/{name}/questions/{q}       {params?, timeout_s?, wait?}
@@ -172,6 +173,14 @@ class AnalysisService:
             # The job deadline doubles as the request deadline, so
             # everything downstream can ask "how long do I have left".
             ctx = dataclasses.replace(ctx, deadline_ts=time.time() + timeout_s)
+        # Stamp the question onto the context now, so coverage touches
+        # are attributed even on paths that execute before the queue
+        # worker's own attribution scope (coalesced waits, future
+        # inline fast paths).
+        if ctx is None:
+            ctx = obs_context.RequestContext(request_id="", question=question)
+        elif ctx.question != question:
+            ctx = dataclasses.replace(ctx, question=question)
         return self.queue.submit(
             snapshot=snapshot,
             question=question,
@@ -213,6 +222,18 @@ class AnalysisService:
             return 503, payload
         return 200, payload
 
+    def coverage_payload(self, name: str, witnesses: int = 0) -> Dict:
+        """Per-question attribution matrix, recorded runs, and the
+        uncovered-stanza list for snapshot ``name``. ``witnesses`` > 0
+        synthesizes up to that many probe packets for reachable
+        uncovered ACL lines."""
+        from repro.questions import coverage as qcov
+
+        session = self.store.get(name)
+        payload = qcov.coverage_payload(session, witnesses=witnesses)
+        payload["name"] = name
+        return payload
+
     def metrics_payload(self) -> Dict:
         payload = {
             "queue": self.queue.stats(),
@@ -252,10 +273,27 @@ class AnalysisService:
                     if isinstance(value, (int, float))
                 }
             )
+        # Coverage attribution over the union of the stored snapshots:
+        # repro_coverage_ratio{question, kind} gauges plus the
+        # uncovered-stanza count (computed at scrape time — dashboards
+        # poll this far less often than questions run).
+        from repro.questions import coverage as qcov
+
+        snapshots = []
+        for record in self.store.list():
+            try:
+                snapshots.append(self.store.get(record.name).snapshot)
+            except ServiceError:
+                continue  # deleted between list and get
+        labeled_gauges, uncovered = qcov.prometheus_coverage(
+            obs.coverage(), snapshots
+        )
+        extra_counters["uncovered_stanzas"] = float(uncovered)
         return render_exposition(
             obs.metrics(),
             extra_counters=extra_counters,
             extra_gauges=extra_gauges,
+            extra_labeled_gauges=labeled_gauges,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -301,6 +339,7 @@ class AnalysisService:
 # HTTP plumbing
 
 _SNAPSHOT_PATH = re.compile(r"^/snapshots/([^/]+)$")
+_COVERAGE_PATH = re.compile(r"^/snapshots/([^/]+)/coverage$")
 _QUESTION_PATH = re.compile(r"^/snapshots/([^/]+)/questions/([^/]+)$")
 _JOB_PATH = re.compile(r"^/jobs/([^/]+)$")
 
@@ -424,6 +463,17 @@ def _make_handler(service: AnalysisService):
                     self._send(
                         200,
                         {"snapshots": [r.to_json() for r in service.store.list()]},
+                    )
+                elif _COVERAGE_PATH.match(path):
+                    name = _COVERAGE_PATH.match(path).group(1)
+                    try:
+                        witnesses = int(_query.get("witnesses", "0"))
+                    except ValueError:
+                        raise InvalidRequestError(
+                            "witnesses must be an integer"
+                        ) from None
+                    self._send(
+                        200, service.coverage_payload(name, witnesses=witnesses)
                     )
                 elif _SNAPSHOT_PATH.match(path):
                     name = _SNAPSHOT_PATH.match(path).group(1)

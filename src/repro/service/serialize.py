@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.core.session import Session
 from repro.hdr import fields as f
 from repro.hdr.headerspace import HeaderSpace
@@ -425,8 +426,10 @@ def run_question(
     anything else is mapped by the job layer.
     """
     handler = QUESTIONS.get(question)
+    is_debug = False
     if handler is None and debug:
         handler = DEBUG_QUESTIONS.get(question)
+        is_debug = handler is not None
     if handler is None:
         raise UnknownQuestionError(
             f"unknown question {question!r}",
@@ -435,4 +438,29 @@ def run_question(
     params = params or {}
     if not isinstance(params, dict):
         raise InvalidRequestError("params must be an object")
-    return handler(store, snapshot, params)
+    if is_debug or not obs.active():
+        return handler(store, snapshot, params)
+    # Execute under question attribution and snapshot the coverage
+    # vector the run added, so the delta engine can later rank this
+    # (question, params) against a dirty set (repro.questions.coverage).
+    from repro.questions import coverage as qcov
+
+    tracker = obs.coverage()
+    with obs.context.attribution(question):
+        before = tracker.question_vector(question)
+        result = handler(store, snapshot, params)
+        after = tracker.question_vector(question)
+    try:
+        session = store.get(snapshot)
+    except Exception:
+        session = None
+    if session is not None:
+        qcov.record_question_run(
+            tracker,
+            getattr(store, "_cache", None),
+            session.snapshot_key,
+            question,
+            params,
+            qcov.vector_delta(before, after),
+        )
+    return result

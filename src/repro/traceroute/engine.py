@@ -121,7 +121,7 @@ class TracerouteEngine:
         hop = TraceHop(hostname)
         hop.add("arrive", f"received on {interface_name}: {packet.describe()}")
         iface = device.interfaces.get(interface_name)
-        observing = obs.enabled()
+        observing = obs.active()
         if observing:
             obs.add("traceroute.hops")
             obs.touch("interface", hostname, interface_name)
@@ -229,7 +229,7 @@ class TracerouteEngine:
                     result, acl_lines = evaluate_acl_trace(acl, packet)
                 else:
                     result, acl_lines = evaluate_acl(acl, packet), []
-                if obs.enabled() and result.line_index is not None:
+                if obs.active() and result.line_index is not None:
                     obs.touch(
                         "acl_line",
                         hostname,
@@ -295,7 +295,7 @@ class TracerouteEngine:
             result, acl_lines = evaluate_acl_trace(acl, packet)
         else:
             result, acl_lines = evaluate_acl(acl, packet), []
-        if obs.enabled() and result.line_index is not None:
+        if obs.active() and result.line_index is not None:
             obs.touch("acl_line", device.hostname, policy.acl, result.line_index)
         return (
             result.permitted,

@@ -173,3 +173,40 @@ class TestCli:
         )
         assert result.returncode == 0
         assert "span tree" in result.stdout
+
+
+class TestCoverageSection:
+    def write_attributed_trace(self, path):
+        obs.enable(str(path))
+        with obs.context.attribution("reachability"):
+            obs.touch("interface", "r1", "eth0")
+            obs.touch("interface", "r1", "eth1")
+        with obs.context.attribution("lint/rule-a"):
+            obs.touch("acl_line", "r1", "ACL", 0)
+        with obs.context.attribution("lint/rule-b"):
+            obs.touch("acl_line", "r1", "ACL", 0)
+        obs.flush()
+        obs.disable()
+
+    def test_text_render_shows_per_question_attribution(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        self.write_attributed_trace(trace)
+        assert main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "per-question attribution" in out
+        assert "reachability: interface=2" in out
+        # lint/<rule> labels roll up, shared structures counted once.
+        assert "lint: acl_line=1" in out
+
+    def test_json_flag_emits_coverage_section(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        self.write_attributed_trace(trace)
+        assert main([str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-obs-report/v1"
+        coverage = doc["coverage"]
+        assert coverage["touched_by_kind"] == {"acl_line": 1, "interface": 2}
+        assert coverage["questions"]["reachability"] == {"interface": 2}
+        assert coverage["questions"]["lint"] == {"acl_line": 1}
+        assert coverage["by_query"]["lint/rule-a"] == {"acl_line": 1}
+        assert doc["events"]["corrupt"] == 0
