@@ -49,6 +49,19 @@ _BENCH_NETWORKS = ["NET1", "NET2", "NET5", "NET6", "NET7"]
 #: The single network used by ``--smoke`` (CI: one small cold+warm run).
 _SMOKE_NETWORK = "NET1"
 
+#: Networks that also measure the resilience-sweep phase (pruned sweep
+#: vs brute-force enumeration), with per-network universes. NET1 (the
+#: smoke network) sweeps its full link+interface space — small enough
+#: that brute force is tractable and rich enough that all three pruning
+#: classes fire; NET3/NET11 are the paper-scale pair, capped like the
+#: CI validator so the brute side stays bounded.
+_SWEEP_K = 2
+_SWEEP_SPECS = {
+    _SMOKE_NETWORK: {"kinds": ("link", "interface"), "max_elements": None},
+    "NET3": {"kinds": ("link",), "max_elements": 8},
+    "NET11": {"kinds": ("link",), "max_elements": 8},
+}
+
 
 @pytest.mark.parametrize("name", _BENCH_NETWORKS)
 def test_parse(benchmark, name):
@@ -163,6 +176,40 @@ def measure_network(name: str) -> Dict[str, object]:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    # Resilience-sweep phase: the pruned sweep (equivalence classes +
+    # delta warm-start) against brute-force enumeration of the same
+    # capped scenario universe. Runs serially here (this function is
+    # already inside a pmap worker), so scenarios/sec is per-core.
+    sweep_results = None
+    if name in _SWEEP_SPECS:
+        from repro.sweep.validate import validate_network
+
+        sweep_spec = _SWEEP_SPECS[name]
+        validation, result = validate_network(
+            name,
+            pipeline.configs,
+            k=_SWEEP_K,
+            kinds=sweep_spec["kinds"],
+            max_elements=sweep_spec["max_elements"],
+        )
+        sweep_results = {
+            "k": _SWEEP_K,
+            "kinds": list(sweep_spec["kinds"]),
+            "max_elements": sweep_spec["max_elements"],
+            "scenarios": result.stats.scenarios,
+            "evaluated": result.stats.evaluated,
+            "pruned_fraction": round(result.stats.pruned_fraction, 4),
+            "scenarios_per_second": round(
+                result.stats.scenarios / max(validation.sweep_seconds, 1e-9),
+                3,
+            ),
+            "sweep_seconds": round(validation.sweep_seconds, 4),
+            "brute_seconds": round(validation.brute_seconds, 4),
+            "speedup": round(validation.speedup, 2),
+            "verdicts_match": validation.ok,
+            "minimal_failing_sets": len(result.minimal_failing_sets),
+        }
+
     return {
         "network": name,
         "devices": pipeline.num_devices,
@@ -182,6 +229,7 @@ def measure_network(name: str) -> Dict[str, object]:
             "delta_full": delta_results["inert"]["full_seconds"],
         },
         "delta": delta_results,
+        "sweep": sweep_results,
         "lint_findings": len(lint_report.active()),
         "cache_warm_hits": warm_hits,
         "peak_rss_kb": benchlib.peak_rss_kb(),
@@ -358,6 +406,19 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"full {d['full_seconds']:.2f}s -> delta "
             f"{d['delta_seconds']:.2f}s ({d['speedup']:.1f}x, "
             f"{d['dirty_devices']} dirty / {d['reused_devices']} reused)"
+        )
+    for m in measurements:
+        sweep = m.get("sweep")
+        if not sweep:
+            continue
+        print(
+            f"sweep ({m['network']}, k={sweep['k']}, "
+            f"{sweep['scenarios']} scenarios): brute "
+            f"{sweep['brute_seconds']:.2f}s -> pruned "
+            f"{sweep['sweep_seconds']:.2f}s ({sweep['speedup']:.1f}x, "
+            f"{sweep['pruned_fraction']:.0%} pruned, "
+            f"{sweep['scenarios_per_second']:.1f}/s, "
+            f"verdicts match: {sweep['verdicts_match']})"
         )
 
 

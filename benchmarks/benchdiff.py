@@ -161,6 +161,61 @@ class Comparison:
                 ]
             )
 
+    def compare_sweep(self, network: str, baseline: Dict, current: Dict) -> None:
+        """Gate on the sweep's pruned fraction collapsing.
+
+        Pruning is where the sweep's asymptotic win lives: a change that
+        silently stops scenarios from being pruned (a fingerprint field
+        dropped, a scope computation widened) keeps results correct but
+        forfeits the speedup — wall-clock gating alone would blame it on
+        machine noise. Gates when the baseline pruned at least 10% and
+        the current run prunes less than half the baseline fraction;
+        also fails outright if the differential verdict check inside the
+        bench run reported a mismatch.
+        """
+        base_sweep = baseline.get("sweep") or {}
+        cur_sweep = current.get("sweep") or {}
+        if not base_sweep or not cur_sweep:
+            return
+        if cur_sweep.get("verdicts_match") is False:
+            self.regressions.append(
+                f"{network} sweep: pruned verdicts diverged from brute force"
+            )
+        base = float(base_sweep.get("pruned_fraction", 0.0))
+        cur = float(cur_sweep.get("pruned_fraction", 0.0))
+        verdict = "ok"
+        if base >= 0.1 and cur < base / 2:
+            verdict = "REGRESSION"
+            self.regressions.append(
+                f"{network} sweep.pruned_fraction collapsed: "
+                f"{base:.2f} -> {cur:.2f}"
+            )
+        self.rows.append(
+            [
+                network,
+                "sweep.pruned_fraction",
+                f"{base:.2f}",
+                f"{cur:.2f}",
+                format_change(ratio(base, cur)),
+                verdict,
+            ]
+        )
+        self.rows.append(
+            [
+                network,
+                "sweep.scenarios_per_second",
+                f"{float(base_sweep.get('scenarios_per_second', 0.0)):.1f}",
+                f"{float(cur_sweep.get('scenarios_per_second', 0.0)):.1f}",
+                format_change(
+                    ratio(
+                        float(base_sweep.get("scenarios_per_second", 0.0)),
+                        float(cur_sweep.get("scenarios_per_second", 0.0)),
+                    )
+                ),
+                "info",
+            ]
+        )
+
     def compare_rss(self, network: str, baseline: Dict, current: Dict) -> None:
         base = float(baseline.get("peak_rss_kb", 0))
         cur = float(current.get("peak_rss_kb", 0))
@@ -276,6 +331,9 @@ def compare(
             network, base_networks[network], cur_networks[network]
         )
         comparison.compare_delta(
+            network, base_networks[network], cur_networks[network]
+        )
+        comparison.compare_sweep(
             network, base_networks[network], cur_networks[network]
         )
         comparison.compare_rss(

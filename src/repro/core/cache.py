@@ -45,7 +45,7 @@ import os
 import pickle
 import tempfile
 import threading
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro import obs
 
@@ -193,10 +193,6 @@ class SnapshotCache:
                     else:
                         self._protected[path] = remaining
 
-    def _keep_set(self) -> Set[str]:
-        with self._keep_lock:
-            return set(self._protected)
-
     def load(self, kind: str, key: str):
         """The cached object, or ``None`` on a miss (absent entry, or an
         entry written by an incompatible pickle/code state)."""
@@ -256,11 +252,13 @@ class SnapshotCache:
         rest of the directory around it. Entries pinned via
         :meth:`protect` are likewise skipped: a delta analysis midway
         through reusing a base snapshot's per-device parse entries must
-        not lose them to budget pressure from concurrent stores.
+        not lose them to budget pressure from concurrent stores. The
+        pin check happens under ``_keep_lock`` at unlink time, not from
+        a snapshot taken when eviction started — a sweep thread opening
+        a protect scope mid-eviction must win the race.
         """
         if self.max_bytes is None:
             return
-        protected = self._keep_set()
         entries = []
         total = 0
         for name in os.listdir(self.root):
@@ -277,12 +275,15 @@ class SnapshotCache:
         for mtime, size, path in entries:
             if total <= self.max_bytes:
                 break
-            if path == keep or path in protected:
+            if path == keep:
                 continue
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
+            with self._keep_lock:
+                if path in self._protected:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
             total -= size
             self.evictions += 1
             if obs.enabled():

@@ -134,7 +134,13 @@ class Session:
     # -- construction -----------------------------------------------------
 
     @classmethod
-    def from_texts(cls, configs: Dict[str, str], cache=None, **kwargs) -> "Session":
+    def from_texts(
+        cls,
+        configs: Dict[str, str],
+        cache=None,
+        store_snapshot: bool = True,
+        **kwargs,
+    ) -> "Session":
         """Build a session from ``{name: config_text}``.
 
         ``cache`` enables the content-addressed snapshot cache: ``True``
@@ -142,6 +148,9 @@ class Session:
         names a directory, a :class:`SnapshotCache` is used directly.
         On a hit, parsing (and later, data-plane simulation) is replaced
         by a disk load; any config-byte or code change misses.
+        ``store_snapshot=False`` still *reads* the cache (snapshot and
+        per-device entries) but skips persisting a missed snapshot —
+        for one-shot variants that would only churn the LRU.
         """
         resolved = resolve_cache(cache)
         key = snapshot_key(configs)
@@ -160,7 +169,8 @@ class Session:
             started = time.perf_counter()
             snapshot = load_snapshot_from_texts(configs, cache=resolved)
             obs.observe_phase("parse", time.perf_counter() - started)
-            resolved.store("snapshot", key, snapshot)
+            if store_snapshot:
+                resolved.store("snapshot", key, snapshot)
         session = cls(snapshot, **kwargs)
         session._cache = resolved
         session._cache_key = key
@@ -174,7 +184,12 @@ class Session:
 
         return cls.from_texts(read_config_dir(path), cache=cache, **kwargs)
 
-    def delta(self, changed_configs: Dict[str, str], validate: Optional[bool] = None) -> "Session":
+    def delta(
+        self,
+        changed_configs: Dict[str, str],
+        validate: Optional[bool] = None,
+        store_result: bool = True,
+    ) -> "Session":
         """Incrementally analyze this snapshot with some files changed.
 
         ``changed_configs`` maps filenames to new config text (or
@@ -189,11 +204,54 @@ class Session:
 
         ``validate`` forces the :envvar:`REPRO_DELTA_VALIDATE` check
         (full recompute + byte-identical FIB comparison) on or off for
-        this call.
+        this call. ``store_result=False`` keeps the spliced data plane
+        out of the snapshot cache — for one-shot variants (failure
+        sweeps) that would otherwise churn the LRU.
         """
         from repro.delta import delta_session
 
-        return delta_session(self, changed_configs, validate=validate)
+        return delta_session(
+            self, changed_configs, validate=validate, store_result=store_result
+        )
+
+    def sweep(
+        self,
+        k: int = 1,
+        kinds=None,
+        prop=None,
+        prune: bool = True,
+        jobs: Optional[int] = None,
+        limit: Optional[int] = None,
+        max_elements: Optional[int] = None,
+        progress=None,
+        validate: Optional[bool] = None,
+    ):
+        """What-if resilience sweep: evaluate a reachability property
+        under every combination of up to ``k`` failures.
+
+        Enumerates failure elements (link failures, node failures,
+        interface flaps, OSPF-passive policy toggles — select with
+        ``kinds``), prunes provably-equivalent scenarios Plankton-style,
+        and runs the survivors through the delta engine on the shared
+        process pool while this session's cache entries stay pinned.
+        Returns a :class:`repro.sweep.SweepResult` with per-scenario
+        verdicts and the **minimal failing sets** of the property
+        (``prop`` defaults to a corner-to-corner reachability probe).
+        """
+        from repro.sweep import ALL_KINDS, sweep_session
+
+        return sweep_session(
+            self,
+            k=k,
+            kinds=ALL_KINDS if kinds is None else kinds,
+            prop=prop,
+            prune=prune,
+            jobs=jobs,
+            limit=limit,
+            max_elements=max_elements,
+            progress=progress,
+            validate=validate,
+        )
 
     @property
     def cache_stats(self) -> Optional[Dict[str, int]]:

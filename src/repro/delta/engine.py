@@ -104,8 +104,20 @@ def validate_enabled() -> bool:
     return value not in ("", "0", "false", "no")
 
 
-def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None):
-    """Implementation behind :meth:`repro.core.session.Session.delta`."""
+def delta_session(
+    base,
+    changed_configs: Dict[str, Optional[str]],
+    validate=None,
+    store_result: bool = True,
+):
+    """Implementation behind :meth:`repro.core.session.Session.delta`.
+
+    ``store_result=False`` suppresses persisting the spliced data plane
+    *and* the variant's snapshot entry to the cache — for one-shot
+    analyses (failure sweeps) whose thousands of synthetic variants
+    would otherwise churn the LRU. Per-device parse entries are still
+    written: they are content-addressed and shared across variants.
+    """
     from repro.core.session import Session
 
     if base._configs is None:
@@ -142,11 +154,12 @@ def delta_session(base, changed_configs: Dict[str, Optional[str]], validate=None
         new_session = Session.from_texts(
             new_configs,
             cache=base._cache,
+            store_snapshot=store_result,
             settings=base.settings,
             semantics=base.semantics,
         )
         new_session.delta_info = info
-        reason = _try_splice(base, new_session, info)
+        reason = _try_splice(base, new_session, info, store_result=store_result)
         if reason is not None:
             info.fallback = True
             info.fallback_reason = reason
@@ -237,7 +250,9 @@ def _record_metrics(info: DeltaInfo) -> None:
     metrics.inc("delta.parse_memo_hits", info.parse_memo_hits)
 
 
-def _try_splice(base, new_session, info: DeltaInfo) -> Optional[str]:
+def _try_splice(
+    base, new_session, info: DeltaInfo, store_result: bool = True
+) -> Optional[str]:
     """Attempt the selective re-simulation; on success install the
     spliced data plane and FIBs on ``new_session`` and return None, else
     return the fallback reason (the session then computes lazily from
@@ -319,7 +334,7 @@ def _try_splice(base, new_session, info: DeltaInfo) -> Optional[str]:
     # pickling it costs more than everything else on this path combined,
     # and the base plane it aliases is already cached under the base
     # key — a later process re-derives the splice with one cheap delta.
-    if dirty_comp.seeds and new_session._cache is not None:
+    if store_result and dirty_comp.seeds and new_session._cache is not None:
         new_session._cache.store(
             "dataplane", new_session.snapshot_key, dataplane
         )

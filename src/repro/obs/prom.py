@@ -54,6 +54,13 @@ _HELP: Dict[str, str] = {
     "slo.requests": "Requests evaluated against a latency objective.",
     "coverage.ratio": "Fraction of a structure kind's instances this question's runs touched.",
     "uncovered_stanzas": "Config structures across stored snapshots that no question touched.",
+    "sweep.runs": "Resilience sweeps executed.",
+    "sweep.scenarios": "Failure scenarios enumerated across all sweeps.",
+    "sweep.scenarios_evaluated": "Scenarios actually simulated (not pruned).",
+    "sweep.scenarios_pruned": "Scenarios whose verdict was proved without simulation.",
+    "sweep.minimal_sets_found": "Minimal failing element sets reported by sweeps.",
+    "sweep.delta_fallbacks": "Sweep scenarios whose delta analysis fell back to a full recompute.",
+    "sweep.scenario.seconds": "Per-scenario simulation latency within sweeps.",
 }
 
 

@@ -226,6 +226,11 @@ class TraceReport:
             ],
             "counters": dict(self.metrics.top_counters(top)),
             "gauges": dict(dump["gauges"]),
+            "sweep": {
+                name: value
+                for name, value in sorted(dump["counters"].items())
+                if name.startswith("sweep.")
+            },
             "coverage": self.coverage_summary(),
             "events": {
                 "lines": self.total_lines,
@@ -279,6 +284,36 @@ class TraceReport:
                 )
             lines.append(
                 f"  parse memo hits: {delta.get('delta.parse_memo_hits', 0)}"
+            )
+        sweep = {
+            name: value
+            for name, value in dump["counters"].items()
+            if name.startswith("sweep.")
+        }
+        if sweep:
+            lines.append("")
+            lines.append("== resilience sweeps ==")
+            scenarios = sweep.get("sweep.scenarios", 0)
+            pruned = sweep.get("sweep.scenarios_pruned", 0)
+            lines.append(
+                f"  runs: {sweep.get('sweep.runs', 0)}, scenarios: "
+                f"{scenarios}, evaluated: "
+                f"{sweep.get('sweep.scenarios_evaluated', 0)}"
+            )
+            if scenarios:
+                lines.append(
+                    f"  pruned: {pruned}/{scenarios} "
+                    f"({100.0 * pruned / scenarios:.0f}%: "
+                    f"{sweep.get('sweep.scenarios_pruned.disconnected', 0)} "
+                    f"disconnected, "
+                    f"{sweep.get('sweep.scenarios_pruned.cut', 0)} cut, "
+                    f"{sweep.get('sweep.scenarios_pruned.fingerprint', 0)} "
+                    f"fingerprint)"
+                )
+            lines.append(
+                f"  minimal failing sets: "
+                f"{sweep.get('sweep.minimal_sets_found', 0)}, "
+                f"delta fallbacks: {sweep.get('sweep.delta_fallbacks', 0)}"
             )
         if dump["gauges"]:
             lines.append("")

@@ -122,6 +122,7 @@ def pmap(
     jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
     min_items: int = DEFAULT_MIN_ITEMS,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` on a process pool, in input order.
 
@@ -129,6 +130,9 @@ def pmap(
     ``chunk_size``: items per task (default: spread items over roughly
     four tasks per worker, so stragglers rebalance).
     ``min_items``: inputs smaller than this run serially.
+    ``progress``: called in the parent as ``progress(done, total)``
+    after each completed item (serial path) or chunk (pool path) —
+    long sweeps stream liveness into the flight recorder through this.
 
     Exceptions raised by ``fn`` propagate to the caller, as in a plain
     loop. Results must be picklable when the pool path is taken.
@@ -149,7 +153,12 @@ def pmap(
         if obs.active():
             obs.add("pmap.serial_calls")
             obs.add("pmap.items", len(work))
-        return [fn(item) for item in work]
+        out: List[R] = []
+        for item in work:
+            out.append(fn(item))
+            if progress is not None:
+                progress(len(out), len(work))
+        return out
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (n_jobs * 4)))
     chunks = chunked(work, chunk_size)
@@ -159,22 +168,34 @@ def pmap(
     observing = obs.active()
     try:
         with mp_context.Pool(processes=min(n_jobs, len(chunks))) as pool:
+            done = 0
             if observing:
                 ctx_wire = obs.context.to_wire(obs.context.current())
                 tasks = [(chunk, ctx_wire) for chunk in chunks]
+                mapped = []
                 with obs.span("pmap", jobs=n_jobs, chunks=len(chunks)):
-                    mapped_obs = pool.map(_invoke_chunk_obs, tasks)
+                    # imap (not map): results stream back in input order
+                    # as chunks finish, so progress fires incrementally.
+                    for results, wall, dump in pool.imap(
+                        _invoke_chunk_obs, tasks
+                    ):
+                        obs.observe("pmap.chunk_seconds", wall)
+                        obs.merge_worker_dump(dump)
+                        mapped.append(results)
+                        done += len(results)
+                        if progress is not None:
+                            progress(done, len(work))
                 obs.add("pmap.pool_calls")
                 obs.add("pmap.items", len(work))
                 obs.add("pmap.chunks", len(chunks))
                 obs.gauge("pmap.jobs", n_jobs)
-                mapped = []
-                for results, wall, dump in mapped_obs:
-                    obs.observe("pmap.chunk_seconds", wall)
-                    obs.merge_worker_dump(dump)
-                    mapped.append(results)
             else:
-                mapped = pool.map(_invoke_chunk, chunks)
+                mapped = []
+                for results in pool.imap(_invoke_chunk, chunks):
+                    mapped.append(results)
+                    done += len(results)
+                    if progress is not None:
+                        progress(done, len(work))
     finally:
         _WORKER_FN = previous
     return [result for chunk in mapped for result in chunk]

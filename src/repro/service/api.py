@@ -53,6 +53,7 @@ from repro.service.errors import (
 )
 from repro.service.jobs import Job, JobQueue, JobStatus
 from repro.service.serialize import (
+    ASYNC_QUESTIONS,
     DEBUG_QUESTIONS,
     QUESTIONS,
     run_question,
@@ -508,7 +509,16 @@ def _make_handler(service: AnalysisService):
                     return
                 match = _QUESTION_PATH.match(path)
                 if match:
-                    wait = _truthy(body.get("wait", query.get("wait", "true")))
+                    # Long-running questions (sweeps) default to
+                    # async-202 job semantics; everything else blocks.
+                    default_wait = (
+                        "false"
+                        if match.group(2) in ASYNC_QUESTIONS
+                        else "true"
+                    )
+                    wait = _truthy(
+                        body.get("wait", query.get("wait", default_wait))
+                    )
                     timeout_s = body.get("timeout_s")
                     if timeout_s is not None:
                         timeout_s = float(timeout_s)

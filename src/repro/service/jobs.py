@@ -119,6 +119,10 @@ class Job:
         }
         if self.ctx is not None:
             body["request_id"] = self.ctx.request_id
+        if self.status is JobStatus.RUNNING:
+            progress = self._latest_progress()
+            if progress is not None:
+                body["progress"] = progress
         if self.started_ts is not None:
             body["queue_s"] = round(self.started_ts - self.created_ts, 6)
         if self.finished_ts is not None and self.started_ts is not None:
@@ -128,6 +132,26 @@ class Job:
         if self.error is not None:
             body.update(self.error)  # {"error": {...}}
         return body
+
+    def _latest_progress(self) -> Optional[Dict]:
+        """Liveness for long sweeps: the newest ``sweep_progress`` flight
+        event carrying this job's request id. Polling ``GET /jobs/{id}``
+        then shows done/total instead of a bare "running"."""
+        if self.ctx is None:
+            return None
+        from repro import obs
+
+        for event in reversed(obs.flight.recent()):
+            if (
+                event.get("kind") == "sweep_progress"
+                and event.get("rid") == self.ctx.request_id
+            ):
+                return {
+                    "done": event.get("done"),
+                    "total": event.get("total"),
+                    "pruned": event.get("pruned"),
+                }
+        return None
 
 
 class JobQueue:

@@ -382,6 +382,24 @@ def _q_lint(store, snapshot: str, params: Dict) -> Dict:
     return report.to_json()
 
 
+def _q_sweep(store, snapshot: str, params: Dict) -> Dict:
+    """The resilience-sweep question (``repro.sweep``): k-failure
+    scenario enumeration with equivalence-class pruning.
+
+    Long-running by design, so the API layer defaults this question to
+    async-202 job semantics; progress streams into the flight recorder
+    as ``sweep_progress`` events tagged with the request id, which the
+    job record surfaces while RUNNING.
+    """
+    from repro.questions.sweep import sweep_answer
+
+    session = _converged(store.get(snapshot))
+    try:
+        return sweep_answer(session, params)
+    except ValueError as error:
+        raise InvalidRequestError("sweep", str(error))
+
+
 def _q_parse_warnings(store, snapshot: str, params: Dict) -> Dict:
     warnings = store.get(snapshot).parse_warnings
     return {"rows": [warning.describe() for warning in warnings]}
@@ -409,7 +427,13 @@ QUESTIONS: Dict[str, Callable] = {
     "duplicate_ips": _q_duplicate_ips,
     "lint": _q_lint,
     "parse_warnings": _q_parse_warnings,
+    "sweep": _q_sweep,
 }
+
+#: Questions whose runtime is unbounded in snapshot size: the API layer
+#: answers 202 + job id by default instead of blocking the connection
+#: (pass ``wait=true`` to override).
+ASYNC_QUESTIONS = frozenset({"sweep"})
 
 DEBUG_QUESTIONS: Dict[str, Callable] = {
     "sleep": _q_sleep,

@@ -1,0 +1,298 @@
+"""Command-line entry points: ``python -m repro.sweep``.
+
+Report mode (the default) runs one resilience sweep and renders it::
+
+    python -m repro.sweep --network NET3 -k 2
+    python -m repro.sweep --snapshot configs/ --format sarif --out sweep.sarif
+    python -m repro.sweep --network NET5 --fail-on spof
+    python -m repro.sweep --network NET3 \\
+        --src core1 --src-interface eth0 --dst 10.0.4.1
+
+Validate mode differentially checks the pruning against brute force::
+
+    python -m repro.sweep validate                 # every registry network
+    python -m repro.sweep validate --networks NET1,NET3 --sarif out.sarif
+    python -m repro.sweep validate --smoke         # CI-sized subset
+
+Exit codes: 0 clean, 1 findings at/above ``--fail-on`` (report) or any
+verdict mismatch (validate), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.sweep.report import (
+    FAIL_ON_CHOICES,
+    findings_from_result,
+    gate_exit_code,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.sweep.scenarios import ALL_KINDS, ReachabilityProperty
+
+
+def _parse_report_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a k-failure resilience sweep and report findings.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--snapshot", metavar="DIR", help="directory of *.cfg files"
+    )
+    source.add_argument(
+        "--network",
+        metavar="NAME",
+        help="synthetic network name (NET1..NET11)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1, help="network generator scale"
+    )
+    parser.add_argument(
+        "-k", type=int, default=1, help="max simultaneous failures"
+    )
+    parser.add_argument(
+        "--kinds",
+        metavar="KIND[,KIND...]",
+        default=",".join(ALL_KINDS),
+        help=f"element kinds to sweep (default: {','.join(ALL_KINDS)})",
+    )
+    parser.add_argument(
+        "--max-elements",
+        type=int,
+        default=None,
+        help="deterministically truncate the element universe",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of scenarios (dropped ones are reported)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="evaluate every scenario (for A/B against pruning)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="parallel scenario workers"
+    )
+    parser.add_argument("--src", metavar="NODE", help="property source node")
+    parser.add_argument(
+        "--src-interface", metavar="IFACE", help="property source interface"
+    )
+    parser.add_argument(
+        "--dst", metavar="IP", help="property destination address"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write output to FILE instead of stdout"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=FAIL_ON_CHOICES,
+        default="none",
+        help="exit 1 when findings at/above this level exist "
+        "(base < spof < any)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include per-scenario verdicts in text output",
+    )
+    return parser.parse_args(argv)
+
+
+def _load_configs(args: argparse.Namespace) -> Dict[str, str]:
+    if args.snapshot:
+        from repro.config.loader import read_config_dir
+
+        return read_config_dir(args.snapshot)
+    from repro.synth.networks import network_by_name
+
+    return network_by_name(args.network).generate(args.scale)
+
+
+def _property_from_args(args: argparse.Namespace, session):
+    given = (args.src, args.src_interface, args.dst)
+    if not any(given):
+        return None
+    if not all(given):
+        raise SystemExit(
+            "error: --src, --src-interface and --dst must be given together"
+        )
+    return ReachabilityProperty(
+        src_node=args.src,
+        src_interface=args.src_interface,
+        dst_ip=args.dst,
+    )
+
+
+def _run_report(argv: List[str]) -> int:
+    args = _parse_report_args(argv)
+    if not args.snapshot and not args.network:
+        print(
+            "error: one of --snapshot or --network is required",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.core.session import Session
+
+    configs = _load_configs(args)
+    session = Session.from_texts(configs)
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    result = session.sweep(
+        k=args.k,
+        kinds=kinds,
+        prop=_property_from_args(args, session),
+        prune=not args.no_prune,
+        jobs=args.jobs,
+        limit=args.limit,
+        max_elements=args.max_elements,
+    )
+    host_to_file = {
+        hostname: filename
+        for filename, hostname in session.snapshot.sources.items()
+    }
+    findings = findings_from_result(result, host_to_file)
+    if args.format == "sarif":
+        output = render_sarif(result, findings)
+    elif args.format == "json":
+        output = render_json(result, findings)
+    else:
+        output = render_text(result, findings, verbose=args.verbose)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+    else:
+        sys.stdout.write(output)
+    return gate_exit_code(findings, args.fail_on)
+
+
+def _parse_validate_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep validate",
+        description=(
+            "Differentially validate pruned sweeps against brute force."
+        ),
+    )
+    parser.add_argument(
+        "--networks",
+        metavar="NAME[,NAME...]",
+        help="registry networks to check (default: all)",
+    )
+    parser.add_argument(
+        "-k", type=int, default=2, help="max simultaneous failures"
+    )
+    parser.add_argument(
+        "--kinds",
+        metavar="KIND[,KIND...]",
+        default="link",
+        help="element kinds to sweep (default: link)",
+    )
+    parser.add_argument(
+        "--max-elements",
+        type=int,
+        default=None,
+        help="cap the element universe per network "
+        "(default: 8; 0 = uncapped)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-network subset with a tighter element cap",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", help="write a mismatch SARIF log to FILE"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="parallel scenario workers"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="per-network progress lines"
+    )
+    return parser.parse_args(argv)
+
+
+#: The subset --smoke checks: small enough that brute force with the
+#: tighter cap finishes in seconds.
+SMOKE_NETWORKS = ("NET1", "NET5", "NET6")
+
+
+def _run_validate(argv: List[str]) -> int:
+    from repro.sweep.validate import (
+        DEFAULT_MAX_ELEMENTS,
+        mismatch_sarif,
+        validate_network,
+    )
+    from repro.synth.networks import NETWORKS, network_by_name
+
+    args = _parse_validate_args(argv)
+    if args.networks:
+        specs = [
+            network_by_name(name.strip())
+            for name in args.networks.split(",")
+            if name.strip()
+        ]
+    elif args.smoke:
+        specs = [network_by_name(name) for name in SMOKE_NETWORKS]
+    else:
+        specs = list(NETWORKS)
+    if args.max_elements is None:
+        max_elements: Optional[int] = (
+            4 if args.smoke else DEFAULT_MAX_ELEMENTS
+        )
+    elif args.max_elements <= 0:
+        max_elements = None
+    else:
+        max_elements = args.max_elements
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+
+    validations = []
+    for spec in specs:
+        validation, _result = validate_network(
+            spec.name,
+            spec.generate(1),
+            k=args.k,
+            kinds=kinds,
+            max_elements=max_elements,
+            jobs=args.jobs,
+        )
+        validations.append(validation)
+        if args.verbose or not validation.ok:
+            print(validation.describe())
+            for mismatch in validation.mismatches:
+                print(f"    {mismatch.describe()}")
+    if args.sarif:
+        with open(args.sarif, "w") as handle:
+            json.dump(mismatch_sarif(validations), handle, indent=2)
+            handle.write("\n")
+    failed = [v for v in validations if not v.ok]
+    total = sum(v.scenarios for v in validations)
+    pruned = sum(v.pruned for v in validations)
+    print(
+        f"sweep-validate: {len(validations)} network(s), {total} scenarios "
+        f"({pruned} pruned), {len(failed)} failed"
+    )
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "validate":
+        return _run_validate(argv[1:])
+    return _run_report(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,393 @@
+"""The sweep driver: plan, batch-execute, extract minimal failing sets.
+
+One sweep is: enumerate elements and scenarios, evaluate the property
+on the base snapshot, prune (:mod:`repro.sweep.prune`), then fan the
+surviving scenarios out over the :func:`repro.parallel.pmap` pool.
+Each evaluated scenario is a synthetic edit run through the PR 6 delta
+engine, so only protocol state reachable from the failed elements
+re-converges; the base session's cache entries are pinned via
+``SnapshotCache.protect`` for the duration (forked pool workers inherit
+the pin set, so their own stores cannot evict the base out from under a
+sibling's delta).
+
+Progress streams into the always-on flight recorder (``sweep_progress``
+events carry the originating request id), and ``sweep.*`` counters and
+the per-scenario latency histogram feed the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.parallel import pmap
+from repro.sweep.prune import (
+    EVALUATE,
+    PRUNED_CUT,
+    PRUNED_DISCONNECTED,
+    PRUNED_FINGERPRINT,
+    SweepPlan,
+    base_protect_entries,
+    plan_sweep,
+)
+from repro.sweep.scenarios import (
+    ALL_KINDS,
+    BASE_SCENARIO_ID,
+    FailureElement,
+    ReachabilityProperty,
+    Scenario,
+    Verdict,
+    default_property,
+    enumerate_elements,
+    enumerate_scenarios,
+    evaluate_property,
+)
+
+#: Outcome statuses (plan statuses plus the executed one).
+EVALUATED = "evaluated"
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario's verdict and how it was obtained."""
+
+    scenario_id: str
+    elements: Tuple[str, ...]
+    status: str  # evaluated | pruned-disconnected | pruned-cut | pruned-fingerprint
+    verdict: Verdict
+    #: For fingerprint-pruned scenarios: whose verdict this is.
+    representative: Optional[str] = None
+    #: Wall seconds spent simulating (0.0 for pruned scenarios).
+    seconds: float = 0.0
+    #: Delta-engine disposition for evaluated scenarios.
+    delta_fallback: Optional[bool] = None
+    dirty_devices: Optional[int] = None
+
+    def to_json(self) -> Dict:
+        body: Dict = {
+            "scenario": self.scenario_id,
+            "elements": list(self.elements),
+            "status": self.status,
+            "verdict": self.verdict.to_json(),
+        }
+        if self.representative is not None:
+            body["representative"] = self.representative
+        if self.status == EVALUATED:
+            body["seconds"] = round(self.seconds, 6)
+            body["delta_fallback"] = self.delta_fallback
+            body["dirty_devices"] = self.dirty_devices
+        return body
+
+
+@dataclass
+class SweepStats:
+    elements: int = 0
+    scenarios: int = 0
+    evaluated: int = 0
+    pruned_disconnected: int = 0
+    pruned_cut: int = 0
+    pruned_fingerprint: int = 0
+    truncated: int = 0
+    wall_seconds: float = 0.0
+    delta_fallbacks: int = 0
+
+    @property
+    def pruned(self) -> int:
+        return (
+            self.pruned_disconnected
+            + self.pruned_cut
+            + self.pruned_fingerprint
+        )
+
+    @property
+    def pruned_fraction(self) -> float:
+        return self.pruned / self.scenarios if self.scenarios else 0.0
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.scenarios / self.wall_seconds
+
+    def to_json(self) -> Dict:
+        return {
+            "elements": self.elements,
+            "scenarios": self.scenarios,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "pruned_disconnected": self.pruned_disconnected,
+            "pruned_cut": self.pruned_cut,
+            "pruned_fingerprint": self.pruned_fingerprint,
+            "pruned_fraction": round(self.pruned_fraction, 4),
+            "truncated": self.truncated,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "scenarios_per_second": round(self.scenarios_per_second, 3),
+            "delta_fallbacks": self.delta_fallbacks,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything one ``Session.sweep`` call produced."""
+
+    prop: ReachabilityProperty
+    k: int
+    kinds: Tuple[str, ...]
+    base_verdict: Verdict
+    outcomes: List[ScenarioOutcome]
+    #: Element-id sets that break the property while every enumerated
+    #: proper subset does not. Empty when the base already fails (the
+    #: empty set dominates everything) — see :attr:`base_broken`.
+    minimal_failing_sets: List[Tuple[str, ...]] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def base_broken(self) -> bool:
+        return not self.base_verdict.holds
+
+    def failing(self) -> List[ScenarioOutcome]:
+        return [o for o in self.outcomes if not o.verdict.holds]
+
+    def single_points_of_failure(self) -> List[Tuple[str, ...]]:
+        return [s for s in self.minimal_failing_sets if len(s) == 1]
+
+    def outcome(self, scenario_id: str) -> Optional[ScenarioOutcome]:
+        for outcome in self.outcomes:
+            if outcome.scenario_id == scenario_id:
+                return outcome
+        return None
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": "repro-sweep/v1",
+            "property": self.prop.to_json(),
+            "k": self.k,
+            "kinds": list(self.kinds),
+            "base_verdict": self.base_verdict.to_json(),
+            "base_broken": self.base_broken,
+            "scenarios": [o.to_json() for o in self.outcomes],
+            "minimal_failing_sets": [
+                list(s) for s in self.minimal_failing_sets
+            ],
+            "stats": self.stats.to_json(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Minimal failing sets
+
+
+def minimal_failing_sets(
+    outcomes: Sequence[ScenarioOutcome], base_holds: bool
+) -> List[Tuple[str, ...]]:
+    """Failing element sets none of whose enumerated proper subsets fail.
+
+    Every proper subset is checked, not just the immediate ones: routing
+    is not monotone under failures (a second failure can *restore*
+    reachability by steering around a denying ACL), so {a} failing says
+    nothing about {a, b}. When the base itself fails, the empty set
+    dominates everything and no minimal sets are reported. Minimality is
+    relative to the enumerated universe — with a truncating ``limit``
+    some subsets may not have been seen.
+    """
+    if not base_holds:
+        return []
+    failing: Dict[frozenset, Tuple[str, ...]] = {}
+    for outcome in outcomes:
+        if not outcome.verdict.holds:
+            failing[frozenset(outcome.elements)] = outcome.elements
+    minimal: List[Tuple[str, ...]] = []
+    for key in sorted(failing, key=lambda s: (len(s), sorted(s))):
+        if not any(other < key for other in failing if other is not key):
+            minimal.append(tuple(sorted(failing[key])))
+    return minimal
+
+
+# ----------------------------------------------------------------------
+# Execution
+
+
+def _record_progress(done: int, total: int, pruned: int) -> None:
+    obs.flight.record(
+        "sweep_progress",
+        f"{done}/{total} scenarios",
+        done=done,
+        total=total,
+        pruned=pruned,
+    )
+
+
+def _record_metrics(stats: SweepStats, minimal: int) -> None:
+    metrics = obs.metrics()
+    metrics.inc("sweep.runs")
+    metrics.inc("sweep.scenarios", stats.scenarios)
+    metrics.inc("sweep.scenarios_evaluated", stats.evaluated)
+    metrics.inc("sweep.scenarios_pruned", stats.pruned)
+    metrics.inc("sweep.scenarios_pruned.disconnected", stats.pruned_disconnected)
+    metrics.inc("sweep.scenarios_pruned.cut", stats.pruned_cut)
+    metrics.inc("sweep.scenarios_pruned.fingerprint", stats.pruned_fingerprint)
+    metrics.inc("sweep.minimal_sets_found", minimal)
+    metrics.inc("sweep.delta_fallbacks", stats.delta_fallbacks)
+
+
+def sweep_session(
+    session,
+    k: int = 1,
+    kinds: Sequence[str] = ALL_KINDS,
+    prop: Optional[ReachabilityProperty] = None,
+    prune: bool = True,
+    jobs: Optional[int] = None,
+    limit: Optional[int] = None,
+    max_elements: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    validate: Optional[bool] = None,
+) -> SweepResult:
+    """Implementation behind :meth:`repro.core.session.Session.sweep`."""
+    if session._configs is None:
+        raise ValueError(
+            "sweep requires a session built via Session.from_texts or "
+            "Session.from_dir (scenarios are synthetic config edits)"
+        )
+    started = time.perf_counter()
+    kinds = tuple(kinds)
+    snapshot = session.snapshot
+    configs = session._configs
+    if prop is None:
+        prop = default_property(session)
+
+    with obs.span("sweep", k=k, kinds=",".join(kinds)):
+        elements = enumerate_elements(
+            snapshot, kinds=kinds, max_elements=max_elements
+        )
+        scenarios, truncated = enumerate_scenarios(elements, k, limit=limit)
+        base_verdict = evaluate_property(session, prop)
+        with obs.span("sweep.plan", scenarios=len(scenarios)):
+            plan = plan_sweep(snapshot, configs, scenarios, prop, prune=prune)
+        counts = plan.counts()
+        total = len(plan.entries)
+        pruned_total = total - counts[EVALUATE]
+        _record_progress(pruned_total, total, pruned_total)
+
+        to_run = [e for e in plan.entries if e.status == EVALUATE]
+        payloads = [
+            (entry.scenario.scenario_id, entry.changed_configs)
+            for entry in to_run
+        ]
+        run_validate = validate
+
+        def _evaluate_one(payload):
+            scenario_id, changed_configs = payload
+            t0 = time.perf_counter()
+            scenario_session = session.delta(
+                changed_configs, validate=run_validate, store_result=False
+            )
+            # One-shot analysis: scenario data planes are never revisited,
+            # so don't let the lazy property persist them either.
+            scenario_session._cache = None
+            verdict = evaluate_property(scenario_session, prop)
+            info = scenario_session.delta_info
+            return (
+                scenario_id,
+                verdict,
+                bool(info.fallback),
+                len(info.dirty_devices),
+                time.perf_counter() - t0,
+            )
+
+        def _progress(done: int, _total_items: int) -> None:
+            _record_progress(pruned_total + done, total, pruned_total)
+            if progress is not None:
+                progress(pruned_total + done, total)
+
+        protect = base_protect_entries(session)
+        if protect and session._cache is not None:
+            with session._cache.protect(protect):
+                raw = pmap(
+                    _evaluate_one, payloads, jobs=jobs, progress=_progress
+                )
+        else:
+            raw = pmap(_evaluate_one, payloads, jobs=jobs, progress=_progress)
+
+    evaluated: Dict[str, ScenarioOutcome] = {}
+    metrics = obs.metrics()
+    stats = SweepStats(
+        elements=len(elements),
+        scenarios=total,
+        evaluated=counts[EVALUATE],
+        pruned_disconnected=counts[PRUNED_DISCONNECTED],
+        pruned_cut=counts[PRUNED_CUT],
+        pruned_fingerprint=counts[PRUNED_FINGERPRINT],
+        truncated=truncated,
+    )
+    for entry, result in zip(to_run, raw):
+        scenario_id, verdict, fallback, dirty, seconds = result
+        stats.delta_fallbacks += int(fallback)
+        metrics.observe_bucket(
+            "sweep.scenario.seconds", seconds, status=EVALUATED
+        )
+        evaluated[scenario_id] = ScenarioOutcome(
+            scenario_id=scenario_id,
+            elements=entry.scenario.element_ids(),
+            status=EVALUATED,
+            verdict=verdict,
+            seconds=seconds,
+            delta_fallback=fallback,
+            dirty_devices=dirty,
+        )
+
+    outcomes: List[ScenarioOutcome] = []
+    for entry in plan.entries:
+        scenario_id = entry.scenario.scenario_id
+        if entry.status == EVALUATE:
+            outcomes.append(evaluated[scenario_id])
+            continue
+        if entry.status == PRUNED_DISCONNECTED:
+            verdict = Verdict(
+                holds=base_verdict.holds,
+                converged=base_verdict.converged,
+                dispositions=base_verdict.dispositions,
+                paths=base_verdict.paths,
+            )
+            representative = BASE_SCENARIO_ID
+        elif entry.status == PRUNED_CUT:
+            verdict = Verdict(holds=False, converged=None)
+            representative = None
+        else:  # PRUNED_FINGERPRINT
+            representative = entry.representative
+            if representative == BASE_SCENARIO_ID:
+                verdict = base_verdict
+            else:
+                verdict = evaluated[representative].verdict
+        outcomes.append(
+            ScenarioOutcome(
+                scenario_id=scenario_id,
+                elements=entry.scenario.element_ids(),
+                status=entry.status,
+                verdict=verdict,
+                representative=representative,
+            )
+        )
+
+    minimal = minimal_failing_sets(outcomes, base_verdict.holds)
+    stats.wall_seconds = time.perf_counter() - started
+    _record_metrics(stats, len(minimal))
+    _record_progress(total, total, pruned_total)
+    obs.flight.record(
+        "sweep_done",
+        f"{total} scenarios, {len(minimal)} minimal failing sets",
+        scenarios=total,
+        pruned=pruned_total,
+        minimal_sets=len(minimal),
+        wall_s=round(stats.wall_seconds, 3),
+    )
+    return SweepResult(
+        prop=prop,
+        k=k,
+        kinds=kinds,
+        base_verdict=base_verdict,
+        outcomes=outcomes,
+        minimal_failing_sets=minimal,
+        stats=stats,
+    )

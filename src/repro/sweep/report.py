@@ -1,0 +1,303 @@
+"""Resilience report rendering: findings, text/JSON/SARIF, fail-on gate.
+
+A sweep's raw output is per-scenario verdicts; what an operator (or a
+CI pipeline) wants is the *resilience findings* distilled from them:
+
+* ``base-broken`` — the property already fails with zero failures.
+* ``single-point-of-failure`` — a minimal failing set of size 1: one
+  link/node/interface/policy flip alone breaks the property.
+* ``failure-set`` — a minimal failing set of size >= 2: the property
+  survives any strict subset but breaks when these fail together.
+
+The SARIF rendering mirrors :mod:`repro.lint.sarif` (2.1.0, one run,
+rule metadata + results) so sweep findings ride the same CI annotation
+tooling as lint findings; locations point at the config file of the
+first device each failing element touches.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sweep.engine import SweepResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-sweep"
+TOOL_VERSION = "1.0.0"
+
+RULE_BASE_BROKEN = "base-broken"
+RULE_SPOF = "single-point-of-failure"
+RULE_FAILURE_SET = "failure-set"
+
+_RULES: Tuple[Tuple[str, str, str], ...] = (
+    (
+        RULE_BASE_BROKEN,
+        "error",
+        "The property fails on the unmodified snapshot",
+    ),
+    (
+        RULE_SPOF,
+        "error",
+        "A single failure element breaks the property",
+    ),
+    (
+        RULE_FAILURE_SET,
+        "warning",
+        "A minimal combination of failure elements breaks the property",
+    ),
+)
+
+#: --fail-on gate levels, weakest to strictest.
+FAIL_ON_CHOICES = ("none", "base", "spof", "any")
+
+
+@dataclass(frozen=True)
+class ResilienceFinding:
+    """One distilled resilience defect."""
+
+    rule_id: str
+    level: str
+    message: str
+    elements: Tuple[str, ...]
+    #: Config file of the first touched device (SARIF location anchor).
+    file: Optional[str] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "rule": self.rule_id,
+            "level": self.level,
+            "message": self.message,
+            "elements": list(self.elements),
+            "file": self.file,
+        }
+
+
+def findings_from_result(
+    result: SweepResult, host_to_file: Optional[Dict[str, str]] = None
+) -> List[ResilienceFinding]:
+    """Distill a sweep result into resilience findings."""
+    host_to_file = host_to_file or {}
+    findings: List[ResilienceFinding] = []
+    if result.base_broken:
+        findings.append(
+            ResilienceFinding(
+                rule_id=RULE_BASE_BROKEN,
+                level="error",
+                message=(
+                    f"property {result.prop.describe()} fails on the "
+                    "unmodified snapshot — no failure needed"
+                ),
+                elements=(),
+            )
+        )
+        return findings
+    # Location anchors come from the hostnames embedded in element ids.
+    for failing_set in result.minimal_failing_sets:
+        anchor = None
+        for element_id in failing_set:
+            host = _host_of_element(element_id)
+            if host and host in host_to_file:
+                anchor = host_to_file[host]
+                break
+        if len(failing_set) == 1:
+            findings.append(
+                ResilienceFinding(
+                    rule_id=RULE_SPOF,
+                    level="error",
+                    message=(
+                        f"single point of failure: {failing_set[0]} alone "
+                        f"breaks {result.prop.describe()}"
+                    ),
+                    elements=failing_set,
+                    file=anchor,
+                )
+            )
+        else:
+            findings.append(
+                ResilienceFinding(
+                    rule_id=RULE_FAILURE_SET,
+                    level="warning",
+                    message=(
+                        f"minimal failing set {{{', '.join(failing_set)}}} "
+                        f"breaks {result.prop.describe()} (every proper "
+                        "subset survives)"
+                    ),
+                    elements=failing_set,
+                    file=anchor,
+                )
+            )
+    return findings
+
+
+def _host_of_element(element_id: str) -> Optional[str]:
+    """The first hostname embedded in a canonical element id."""
+    kind, _sep, rest = element_id.partition(":")
+    if not rest:
+        return None
+    if kind == "node":
+        return rest
+    # link:a[i]--b[j], iface:a[i], ospf-passive:a[i]
+    return rest.split("[", 1)[0] or None
+
+
+def gate_exit_code(
+    findings: Sequence[ResilienceFinding], fail_on: str
+) -> int:
+    """The process exit code the --fail-on gate dictates."""
+    if fail_on not in FAIL_ON_CHOICES:
+        raise ValueError(
+            f"unknown --fail-on level {fail_on!r} "
+            f"(choose from {', '.join(FAIL_ON_CHOICES)})"
+        )
+    if fail_on == "none":
+        return 0
+    rules = {f.rule_id for f in findings}
+    if fail_on == "base":
+        return 1 if RULE_BASE_BROKEN in rules else 0
+    if fail_on == "spof":
+        return 1 if rules & {RULE_BASE_BROKEN, RULE_SPOF} else 0
+    return 1 if findings else 0
+
+
+# ----------------------------------------------------------------------
+# Renderers
+
+
+def render_text(
+    result: SweepResult,
+    findings: Sequence[ResilienceFinding],
+    verbose: bool = False,
+) -> str:
+    stats = result.stats
+    lines: List[str] = []
+    lines.append("== resilience sweep ==")
+    lines.append(f"property        {result.prop.describe()}")
+    lines.append(
+        "base verdict    "
+        + ("holds" if result.base_verdict.holds else "FAILS")
+    )
+    lines.append(
+        f"scenarios       {stats.scenarios} over {stats.elements} elements "
+        f"(k<={result.k}, kinds: {', '.join(result.kinds)})"
+    )
+    lines.append(
+        f"evaluated       {stats.evaluated}  "
+        f"pruned {stats.pruned} ({stats.pruned_fraction:.0%}: "
+        f"{stats.pruned_disconnected} disconnected, "
+        f"{stats.pruned_cut} cut, "
+        f"{stats.pruned_fingerprint} fingerprint)"
+    )
+    if stats.truncated:
+        lines.append(
+            f"truncated       {stats.truncated} scenarios dropped by --limit"
+        )
+    lines.append(
+        f"wall            {stats.wall_seconds:.2f}s "
+        f"({stats.scenarios_per_second:.1f} scenarios/s)"
+    )
+    failing = result.failing()
+    lines.append(
+        f"verdicts        {len(result.outcomes) - len(failing)} hold, "
+        f"{len(failing)} fail"
+    )
+    lines.append("")
+    if not findings:
+        lines.append(
+            f"resilient: property survives every swept combination of "
+            f"up to {result.k} failure(s)"
+        )
+    else:
+        lines.append(f"{len(findings)} finding(s):")
+        for finding in findings:
+            lines.append(f"  [{finding.level}] {finding.rule_id}: "
+                         f"{finding.message}")
+    if verbose:
+        lines.append("")
+        lines.append("per-scenario verdicts:")
+        for outcome in result.outcomes:
+            verdict = "holds" if outcome.verdict.holds else "FAILS"
+            extra = outcome.status
+            if outcome.representative:
+                extra += f" via {outcome.representative}"
+            lines.append(
+                f"  {verdict:6s} {outcome.scenario_id}  ({extra})"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    result: SweepResult, findings: Sequence[ResilienceFinding]
+) -> str:
+    body = result.to_json()
+    body["findings"] = [f.to_json() for f in findings]
+    return json.dumps(body, indent=2, sort_keys=True) + "\n"
+
+
+def to_sarif(
+    result: SweepResult, findings: Sequence[ResilienceFinding]
+) -> Dict:
+    """Render findings as a single-run SARIF 2.1.0 log (the shape
+    :mod:`repro.lint.sarif` emits, so both ride the same CI viewers)."""
+    rule_index = {rule_id: i for i, (rule_id, _l, _d) in enumerate(_RULES)}
+    rule_metadata = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", " ").title().replace(" ", ""),
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": level},
+            "properties": {"category": "resilience"},
+        }
+        for rule_id, level, description in _RULES
+    ]
+    results: List[Dict] = []
+    for finding in findings:
+        entry: Dict = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": finding.level,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.file or "<snapshot>"
+                        }
+                    }
+                }
+            ],
+            "properties": {
+                "elements": list(finding.elements),
+                "property": result.prop.describe(),
+            },
+        }
+        results.append(entry)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://github.com/batfish/batfish",
+                        "rules": rule_metadata,
+                    }
+                },
+                "results": results,
+                "properties": {"stats": result.stats.to_json()},
+            }
+        ],
+    }
+
+
+def render_sarif(
+    result: SweepResult, findings: Sequence[ResilienceFinding]
+) -> str:
+    return json.dumps(to_sarif(result, findings), indent=2) + "\n"

@@ -271,3 +271,62 @@ class TestProtect:
             cache.store("blob", f"{i:064d}", b"x" * 1024)
         assert cache.load("blob", "a" * 64) is not None
         outer.__exit__(None, None, None)
+
+    def test_nested_overlapping_scopes_compose(self, tmp_path):
+        """The sweep shape: an outer scope pins the base snapshot's
+        entries for the whole run while each scenario's delta pins an
+        overlapping subset; the overlap must stay pinned until the
+        *outer* scope ends, and unrelated entries keep evicting."""
+        import time as _time
+
+        cache = self._sized_cache(tmp_path, entries=3)
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        _time.sleep(0.01)
+        cache.store("blob", "b" * 64, b"x" * 1024)
+        with cache.protect([("blob", "a" * 64), ("blob", "b" * 64)]):
+            with cache.protect([("blob", "a" * 64)]):
+                pass
+            # Inner exit must not have unpinned the overlap.
+            for i in range(4):
+                _time.sleep(0.01)
+                cache.store("blob", f"{i:064d}", b"x" * 1024)
+            assert cache.load("blob", "a" * 64) is not None
+            assert cache.load("blob", "b" * 64) is not None
+        assert cache.stats()["evictions"] > 0
+
+    def test_protect_wins_race_with_in_flight_eviction(self, tmp_path, monkeypatch):
+        """A pin taken after eviction has started scanning the directory
+        but before any unlink must still be honored — the evictor has to
+        re-check the pin set under the lock at unlink time, not act on a
+        snapshot taken when the scan began."""
+        import os as _os
+        import time as _time
+
+        cache = self._sized_cache(tmp_path, entries=2)
+        cache.store("blob", "a" * 64, b"x" * 1024)
+        _time.sleep(0.01)
+        cache.store("blob", "b" * 64, b"x" * 1024)
+
+        pin = cache.protect([("blob", "a" * 64)])
+        entered = []
+        real_listdir = _os.listdir
+
+        def racing_listdir(path):
+            # Simulates a concurrent sweep thread opening its protect
+            # scope mid-eviction: after the evictor began its scan.
+            if not entered:
+                entered.append(True)
+                pin.__enter__()
+            return real_listdir(path)
+
+        monkeypatch.setattr("repro.core.cache.os.listdir", racing_listdir)
+        _time.sleep(0.01)
+        cache.store("blob", "c" * 64, b"x" * 1024)  # drives eviction
+        monkeypatch.undo()
+        try:
+            # 'a' (the LRU entry) was pinned mid-eviction and survived;
+            # pressure fell on 'b' instead.
+            assert cache.load("blob", "a" * 64) is not None
+            assert cache.load("blob", "b" * 64) is None
+        finally:
+            pin.__exit__(None, None, None)

@@ -1,0 +1,99 @@
+"""End-to-end tests for the sweep question: async-202 by default,
+poll-to-done with streamed progress, strict parameter validation."""
+
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, "tests")
+from sweep.conftest import LAB_CONFIGS  # noqa: E402
+
+
+def _poll_done(client, job_id, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, body = client.get(f"/jobs/{job_id}")
+        assert status == 200
+        if body["status"] in ("done", "failed"):
+            return body
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never finished: {body}")
+
+
+CHAIN_PARAMS = {
+    "k": 1,
+    "kinds": ["link"],
+    "property": {
+        "src_node": "r1",
+        "src_interface": "Ethernet0",
+        "dst_ip": "10.99.0.1",
+    },
+}
+
+
+class TestSweepQuestion:
+    def test_async_by_default(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": dict(LAB_CONFIGS)})
+        status, body = client.post(
+            "/snapshots/lab/questions/sweep", {"params": CHAIN_PARAMS}
+        )
+        # sweep defaults to submit-then-poll, unlike every sync question
+        assert status in (200, 202)
+        assert "id" in body
+        result = _poll_done(client, body["id"])
+        assert result["status"] == "done", result
+        answer = result["result"]
+        assert answer["schema"] == "repro-sweep/v1"
+        assert answer["base_verdict"]["holds"] is True
+        assert answer["stats"]["scenarios"] == 3
+        spofs = [f for f in answer["findings"]
+                 if f["rule"] == "single-point-of-failure"]
+        assert len(spofs) == 2
+
+    def test_wait_true_overrides_async_default(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": dict(LAB_CONFIGS)})
+        status, body = client.post(
+            "/snapshots/lab/questions/sweep",
+            {"params": CHAIN_PARAMS, "wait": True},
+        )
+        assert status == 200
+        assert body["status"] == "done"
+        assert body["result"]["schema"] == "repro-sweep/v1"
+
+    def test_invalid_params_are_400(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": dict(LAB_CONFIGS)})
+        for params in (
+            {"k": 0},
+            {"k": True},
+            {"kinds": ["link", "gremlin"]},
+            {"unknown_knob": 1},
+            {"property": {"src_node": "r1"}},  # incomplete property
+        ):
+            status, body = client.post(
+                "/snapshots/lab/questions/sweep",
+                {"params": params, "wait": True},
+            )
+            assert status == 400, (params, body)
+            assert body["error"]["code"] == "invalid_request"
+
+    def test_unknown_snapshot_is_404(self, make_service):
+        _, client = make_service()
+        status, body = client.post(
+            "/snapshots/ghost/questions/sweep",
+            {"params": CHAIN_PARAMS, "wait": True},
+        )
+        assert status == 404
+
+    def test_default_property_when_omitted(self, make_service):
+        _, client = make_service()
+        client.post("/snapshots", {"name": "lab", "configs": dict(LAB_CONFIGS)})
+        status, body = client.post(
+            "/snapshots/lab/questions/sweep",
+            {"params": {"k": 1, "kinds": ["link"]}, "wait": True},
+        )
+        assert status == 200
+        assert "property" in body["result"]

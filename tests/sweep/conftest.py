@@ -1,0 +1,75 @@
+"""Shared fixtures: a tiny hand-written lab where every sweep behavior
+is predictable by inspection.
+
+Topology (OSPF everywhere, /30 links)::
+
+    r1 ---- r2 ---- r3        island1 ---- island2
+       L12     L23               (separate component)
+
+``r3`` also owns a host subnet 10.99.0.1/24 — the default sweep target.
+The island pair is disconnected from the r-chain, so every island-only
+failure is prunable as *disconnected* for properties scoped to the
+chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import Session
+
+
+def _cisco(host: str, ifaces, statics=()):
+    lines = [f"hostname {host}", "!"]
+    for name, addr, mask in ifaces:
+        lines += [
+            f"interface {name}",
+            f" ip address {addr} {mask}",
+            " ip ospf area 0",
+            "!",
+        ]
+    for prefix, mask, nh in statics:
+        lines.append(f"ip route {prefix} {mask} {nh}")
+    lines.append("router ospf 1")
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+LAB_CONFIGS = {
+    "r1.cfg": _cisco(
+        "r1",
+        [("Ethernet0", "10.0.12.1", "255.255.255.252")],
+    ),
+    "r2.cfg": _cisco(
+        "r2",
+        [
+            ("Ethernet0", "10.0.12.2", "255.255.255.252"),
+            ("Ethernet1", "10.0.23.1", "255.255.255.252"),
+        ],
+    ),
+    "r3.cfg": _cisco(
+        "r3",
+        [
+            ("Ethernet0", "10.0.23.2", "255.255.255.252"),
+            ("Ethernet1", "10.99.0.1", "255.255.255.0"),
+        ],
+    ),
+    "island1.cfg": _cisco(
+        "island1",
+        [("Ethernet0", "10.7.0.1", "255.255.255.252")],
+    ),
+    "island2.cfg": _cisco(
+        "island2",
+        [("Ethernet0", "10.7.0.2", "255.255.255.252")],
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def lab_configs():
+    return dict(LAB_CONFIGS)
+
+
+@pytest.fixture()
+def lab_session(lab_configs):
+    return Session.from_texts(lab_configs)

@@ -1,0 +1,196 @@
+"""Equivalence-class pruning: influence scope, physical cuts, and
+config fingerprints."""
+
+from repro.routing.topology import InterfaceId
+from repro.sweep.prune import (
+    EVALUATE,
+    PRUNED_CUT,
+    PRUNED_DISCONNECTED,
+    PRUNED_FINGERPRINT,
+    CutChecker,
+    FingerprintMemo,
+    influence_edges,
+    plan_sweep,
+    property_scope,
+)
+from repro.sweep.scenarios import (
+    BASE_SCENARIO_ID,
+    ReachabilityProperty,
+    enumerate_elements,
+    enumerate_scenarios,
+)
+
+CHAIN_PROP = ReachabilityProperty(
+    src_node="r1", src_interface="Ethernet0", dst_ip="10.99.0.1"
+)
+
+
+class TestScope:
+    def test_influence_edges_split_the_lab(self, lab_session):
+        edges = influence_edges(lab_session.snapshot)
+        assert ("r1", "r2") in edges
+        assert ("r2", "r3") in edges
+        assert ("island1", "island2") in edges
+        # nothing couples the island pair to the chain
+        assert not any(
+            ("island" in a) != ("island" in b) for a, b in edges
+        )
+
+    def test_property_scope_excludes_islands(self, lab_session):
+        scope, owners = property_scope(lab_session.snapshot, CHAIN_PROP)
+        assert scope == {"r1", "r2", "r3"}
+        assert owners == {"r3"}
+
+    def test_scope_keeps_unknown_source(self, lab_session):
+        prop = ReachabilityProperty(
+            src_node="ghost", src_interface="Ethernet0", dst_ip="10.99.0.1"
+        )
+        scope, _owners = property_scope(lab_session.snapshot, prop)
+        assert "ghost" in scope
+
+
+class TestCutChecker:
+    def _checker(self, session):
+        _scope, owners = property_scope(session.snapshot, CHAIN_PROP)
+        return CutChecker(session.snapshot, CHAIN_PROP, owners)
+
+    def test_chain_link_is_a_cut(self, lab_session):
+        cuts = self._checker(lab_session)
+        assert cuts.severed(
+            {InterfaceId("r1", "Ethernet0")}
+        )  # one-sided flap severs the only path
+        assert cuts.severed(
+            {InterfaceId("r2", "Ethernet1"), InterfaceId("r3", "Ethernet0")}
+        )
+
+    def test_island_failure_is_not_a_cut(self, lab_session):
+        cuts = self._checker(lab_session)
+        assert not cuts.severed({InterfaceId("island1", "Ethernet0")})
+        assert not cuts.severed(set())
+
+    def test_src_owner_disables_check(self, lab_session):
+        prop = ReachabilityProperty(
+            src_node="r3", src_interface="Ethernet0", dst_ip="10.99.0.1"
+        )
+        cuts = CutChecker(lab_session.snapshot, prop, {"r3"})
+        # src owns the destination: delivery never crosses a link, so
+        # no shutdown set is provably severing.
+        assert not cuts.severed({InterfaceId("r3", "Ethernet0")})
+
+    def test_no_owners_disables_check(self, lab_session):
+        prop = ReachabilityProperty(
+            src_node="r1", src_interface="Ethernet0", dst_ip="203.0.113.9"
+        )
+        cuts = CutChecker(lab_session.snapshot, prop, set())
+        assert not cuts.severed({InterfaceId("r1", "Ethernet0")})
+
+
+class TestFingerprintMemo:
+    def test_flap_pair_matches_link(self, lab_session, lab_configs):
+        """{flap u, flap v} edits both configs exactly like the link
+        element u--v: equal delta keys, one simulation."""
+        memo = FingerprintMemo(lab_session.snapshot, lab_configs)
+        elements = enumerate_elements(lab_session.snapshot)
+        by_id = {e.element_id: e for e in elements}
+        link = by_id["link:r1[Ethernet0]--r2[Ethernet0]"]
+        flap_a = by_id["iface:r1[Ethernet0]"]
+        flap_b = by_id["iface:r2[Ethernet0]"]
+        link_scenarios, _ = enumerate_scenarios([link], k=1)
+        pair_scenarios, _ = enumerate_scenarios([flap_a, flap_b], k=2)
+        pair = pair_scenarios[-1]
+        assert len(pair.elements) == 2
+        assert memo.delta_key(pair) == memo.delta_key(link_scenarios[0])
+        assert memo.delta_key(pair) != memo.delta_key(
+            enumerate_scenarios([flap_a], k=1)[0][0]
+        )
+
+    def test_noop_edit_has_empty_key(self, lab_session, lab_configs):
+        """Toggling OSPF passive on an interface that the parser already
+        treats identically yields a moved fingerprint; a genuinely inert
+        scenario (no elements) yields an empty key."""
+        memo = FingerprintMemo(lab_session.snapshot, lab_configs)
+        empty, _ = enumerate_scenarios(
+            enumerate_elements(lab_session.snapshot, kinds=("link",)), k=1
+        )
+        assert memo.delta_key(empty[0]) != frozenset()
+
+
+class TestPlanSweep:
+    def test_lab_k1_classification(self, lab_session, lab_configs):
+        elements = enumerate_elements(lab_session.snapshot)
+        scenarios, _ = enumerate_scenarios(elements, k=1)
+        plan = plan_sweep(
+            lab_session.snapshot, lab_configs, scenarios, CHAIN_PROP
+        )
+        by_status = {}
+        for entry in plan.entries:
+            by_status.setdefault(entry.status, []).append(
+                entry.scenario.scenario_id
+            )
+        # Everything island-only is out of scope for the chain property.
+        assert all(
+            "island" in sid for sid in by_status[PRUNED_DISCONNECTED]
+        )
+        assert len(by_status[PRUNED_DISCONNECTED]) == 7
+        # Every chain shutdown severs the linear topology.
+        assert len(by_status[PRUNED_CUT]) == 9
+        # OSPF-passive toggles don't shut anything: they simulate.
+        assert sorted(by_status[EVALUATE]) == [
+            "ospf-passive:r1[Ethernet0]",
+            "ospf-passive:r2[Ethernet0]",
+            "ospf-passive:r2[Ethernet1]",
+            "ospf-passive:r3[Ethernet0]",
+            "ospf-passive:r3[Ethernet1]",
+        ]
+        counts = plan.counts()
+        assert counts[EVALUATE] == 5
+        assert counts[PRUNED_CUT] == 9
+
+    def test_evaluate_entries_carry_configs(self, lab_session, lab_configs):
+        elements = enumerate_elements(lab_session.snapshot, kinds=("policy",))
+        scenarios, _ = enumerate_scenarios(elements, k=1)
+        plan = plan_sweep(
+            lab_session.snapshot, lab_configs, scenarios, CHAIN_PROP
+        )
+        for entry in plan.entries:
+            if entry.status == EVALUATE:
+                assert entry.changed_configs
+            else:
+                assert entry.changed_configs is None
+
+    def test_fingerprint_representative_is_first_seen(
+        self, lab_session, lab_configs
+    ):
+        """With a property rooted at r2, the r1-side failures are
+        neither disconnected nor cuts, so the {flap,flap} pair
+        fingerprints onto its singleton link representative."""
+        prop = ReachabilityProperty(
+            src_node="r2", src_interface="Ethernet1", dst_ip="10.99.0.1"
+        )
+        elements = enumerate_elements(lab_session.snapshot)
+        by_id = {e.element_id: e for e in elements}
+        chosen = [
+            by_id["link:r1[Ethernet0]--r2[Ethernet0]"],
+            by_id["iface:r1[Ethernet0]"],
+            by_id["iface:r2[Ethernet0]"],
+        ]
+        scenarios, _ = enumerate_scenarios(chosen, k=2)
+        plan = plan_sweep(lab_session.snapshot, lab_configs, scenarios, prop)
+        entry = {
+            e.scenario.scenario_id: e for e in plan.entries
+        }["iface:r1[Ethernet0]+iface:r2[Ethernet0]"]
+        assert entry.status == PRUNED_FINGERPRINT
+        assert entry.representative == "link:r1[Ethernet0]--r2[Ethernet0]"
+
+    def test_prune_false_evaluates_everything(self, lab_session, lab_configs):
+        elements = enumerate_elements(lab_session.snapshot)
+        scenarios, _ = enumerate_scenarios(elements, k=1)
+        plan = plan_sweep(
+            lab_session.snapshot, lab_configs, scenarios, CHAIN_PROP,
+            prune=False,
+        )
+        assert all(e.status == EVALUATE for e in plan.entries)
+        assert plan.counts()[EVALUATE] == len(scenarios)
+
+    def test_base_representative_id_reserved(self):
+        assert BASE_SCENARIO_ID == "<base>"
