@@ -40,6 +40,7 @@ from repro.config.loader import load_snapshot_from_texts
 from repro.core.session import Session
 from repro.delta.edits import irrelevant_edit, relevant_edit
 from repro.lint import lint_snapshot
+from repro.lint.dataflow import analyze as dataflow_analyze
 from repro.routing.engine import ConvergenceSettings, compute_dataplane
 from repro.synth.networks import NETWORKS
 
@@ -128,6 +129,13 @@ def measure_network(name: str) -> Dict[str, object]:
     multipath_seconds, violations = timed(analyzer.multipath_consistency)
     lint_seconds, lint_report = timed(
         lambda: lint_snapshot(pipeline.snapshot)
+    )
+    # The dataflow fixpoint in isolation (the lint phase above runs it
+    # too, as one rule-scope among many): wall-clock of a cold
+    # propagation-graph fixpoint plus its worklist iteration count — a
+    # deterministic algorithmic signal benchdiff gates on directly.
+    dataflow_seconds, dataflow_analysis = timed(
+        lambda: dataflow_analyze(pipeline.snapshot)
     )
 
     cache_dir = tempfile.mkdtemp(prefix=f"repro-bench-{name}-")
@@ -223,6 +231,7 @@ def measure_network(name: str) -> Dict[str, object]:
             "dest_reach": round(dest_seconds, 4),
             "multipath": round(multipath_seconds, 4),
             "lint": round(lint_seconds, 4),
+            "lint_dataflow": round(dataflow_seconds, 4),
             "cache_cold": round(cold_seconds, 4),
             "cache_warm": round(warm_seconds, 4),
             "delta": delta_results["inert"]["delta_seconds"],
@@ -230,6 +239,11 @@ def measure_network(name: str) -> Dict[str, object]:
         },
         "delta": delta_results,
         "sweep": sweep_results,
+        "lint_dataflow": {
+            "iterations": dataflow_analysis.iterations,
+            "nodes": len(dataflow_analysis.graph.nodes),
+            "edges": len(dataflow_analysis.graph.edges),
+        },
         "lint_findings": len(lint_report.active()),
         "cache_warm_hits": warm_hits,
         "peak_rss_kb": benchlib.peak_rss_kb(),
@@ -407,6 +421,13 @@ def main(argv: Optional[List[str]] = None) -> None:
             f"{d['delta_seconds']:.2f}s ({d['speedup']:.1f}x, "
             f"{d['dirty_devices']} dirty / {d['reused_devices']} reused)"
         )
+    dataflow = largest["lint_dataflow"]
+    print(
+        f"dataflow fixpoint ({largest['network']}): "
+        f"{dataflow['nodes']} nodes / {dataflow['edges']} edges, "
+        f"{dataflow['iterations']} iterations in "
+        f"{largest['seconds']['lint_dataflow']:.2f}s"
+    )
     for m in measurements:
         sweep = m.get("sweep")
         if not sweep:

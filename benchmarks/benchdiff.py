@@ -216,6 +216,53 @@ class Comparison:
             ]
         )
 
+    def compare_dataflow(
+        self, network: str, baseline: Dict, current: Dict
+    ) -> None:
+        """Gate on the dataflow fixpoint's iteration count growing.
+
+        Unlike wall-clock, worklist iterations are deterministic for a
+        given network: growth beyond the threshold means the transfer
+        functions or the worklist strategy got algorithmically worse
+        (e.g. a widening removed, a join that no longer stabilizes),
+        not that the runner was noisy. The ``lint_dataflow`` seconds
+        are gated like any other phase; this catches regressions that
+        wall-clock noise would absolve.
+        """
+        base_flow = baseline.get("lint_dataflow") or {}
+        cur_flow = current.get("lint_dataflow") or {}
+        if not base_flow or not cur_flow:
+            return
+        base = float(base_flow.get("iterations", 0))
+        cur = float(cur_flow.get("iterations", 0))
+        change = ratio(base, cur)
+        # Same-shape graphs are the comparable case; a network whose
+        # node/edge counts changed legitimately iterates differently.
+        same_graph = base_flow.get("nodes") == cur_flow.get("nodes") and (
+            base_flow.get("edges") == cur_flow.get("edges")
+        )
+        verdict = "ok" if same_graph else "info"
+        if (
+            same_graph
+            and change is not None
+            and change > self.threshold
+        ):
+            verdict = "REGRESSION"
+            self.regressions.append(
+                f"{network} lint_dataflow.iterations: {base:.0f} -> "
+                f"{cur:.0f} ({format_change(change)})"
+            )
+        self.rows.append(
+            [
+                network,
+                "lint_dataflow.iterations",
+                f"{base:.0f}",
+                f"{cur:.0f}",
+                format_change(change),
+                verdict,
+            ]
+        )
+
     def compare_rss(self, network: str, baseline: Dict, current: Dict) -> None:
         base = float(baseline.get("peak_rss_kb", 0))
         cur = float(current.get("peak_rss_kb", 0))
@@ -334,6 +381,9 @@ def compare(
             network, base_networks[network], cur_networks[network]
         )
         comparison.compare_sweep(
+            network, base_networks[network], cur_networks[network]
+        )
+        comparison.compare_dataflow(
             network, base_networks[network], cur_networks[network]
         )
         comparison.compare_rss(

@@ -718,6 +718,32 @@ class BddEngine:
                 lo_partial[level] = 0
                 stack.append((self._lo[node], lo_partial))
 
+    def canonical(self, a: int) -> object:
+        """Engine-independent structural form of ``a``.
+
+        Returns nested tuples ``(level, lo, hi)`` with the terminals as
+        ``0``/``1``. Because ROBDDs are canonical for a fixed variable
+        order, two functions built in *different* engines over the same
+        variable order are semantically equal iff their canonical forms
+        compare equal — the property the dataflow delta validator uses
+        to compare a warm-started fixpoint against a from-scratch one.
+        """
+        memo: Dict[int, object] = {FALSE: 0, TRUE: 1}
+
+        def walk(node: int) -> object:
+            got = memo.get(node)
+            if got is not None:
+                return got
+            result = (
+                self._level[node],
+                walk(self._lo[node]),
+                walk(self._hi[node]),
+            )
+            memo[node] = result
+            return result
+
+        return walk(a)
+
     def clear_caches(self) -> None:
         """Drop all operation caches (useful for memory benchmarks)."""
         self._and_cache.clear()

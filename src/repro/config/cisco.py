@@ -958,8 +958,11 @@ def _convert_ospf(
 
 
 def _convert_redistribution(
-    words: List[str], source_file: str = "", source_line: int = 0
+    words: List[str], source_file: str, source_line: int
 ) -> Optional[Redistribution]:
+    # Provenance is mandatory: every redistribute statement must carry
+    # its (file, line) so cross-device dataflow findings can blame the
+    # exact line (callers pass the parse index, never placeholders).
     if not words or words[0] not in _REDIST_SOURCES:
         return None
     source = _REDIST_SOURCES[words[0]]

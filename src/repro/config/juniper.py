@@ -93,7 +93,7 @@ class JuniperConfig:
     filename: str = "<config>"
     interface_lines: List[List[str]] = field(default_factory=list)
     ospf_lines: List[Tuple[List[str], int]] = field(default_factory=list)
-    bgp_lines: List[List[str]] = field(default_factory=list)
+    bgp_lines: List[Tuple[List[str], int]] = field(default_factory=list)
     routing_option_lines: List[Tuple[List[str], int]] = field(default_factory=list)
     prefix_lists: Dict[str, List[str]] = field(default_factory=dict)
     policy_terms: Dict[str, Dict[str, JuniperTerm]] = field(default_factory=dict)
@@ -161,7 +161,7 @@ class JuniperParser:
                 self._config.definition_lines.setdefault(
                     ("bgp-neighbor", path[5]), number
                 )
-            self._config.bgp_lines.append(path[2:])
+            self._config.bgp_lines.append((path[2:], number))
         elif family == "routing-options":
             self._config.routing_option_lines.append((path[1:], number))
         elif family == "policy-options":
@@ -432,12 +432,17 @@ def _convert_bgp(config: JuniperConfig, device: Device) -> None:
         return
     local_as: Optional[int] = None
     neighbor_lines: List[List[str]] = []
+    #: ``set protocols bgp export POLICY`` — redistribution into BGP,
+    #: with the statement's own line for provenance.
+    export_lines: List[Tuple[str, int]] = []
     maximum_paths = 1
-    for path in config.bgp_lines:
+    for path, number in config.bgp_lines:
         if path[:1] == ["local-as"] and len(path) >= 2:
             local_as = int(path[1])
         elif path[:1] == ["group"] and len(path) >= 4 and path[2] == "neighbor":
             neighbor_lines.append(path[3:])
+        elif path[:1] == ["export"] and len(path) >= 2:
+            export_lines.append((path[1], number))
         elif path[:2] == ["multipath", "maximum-paths"] and len(path) >= 3:
             maximum_paths = int(path[2])
         else:
@@ -458,6 +463,20 @@ def _convert_bgp(config: JuniperConfig, device: Device) -> None:
         return
     bgp = BgpProcess(local_as=local_as, maximum_paths=maximum_paths)
     device.bgp = bgp
+    for policy, number in export_lines:
+        # Same convention as the OSPF export conversion: a process-level
+        # export policy redistributes main-RIB (static) routes, filtered
+        # by the named policy.
+        from repro.config.model import Protocol, Redistribution
+
+        bgp.redistributions.append(
+            Redistribution(
+                source=Protocol.STATIC,
+                route_map=policy,
+                source_file=config.filename,
+                source_line=number,
+            )
+        )
     for path in neighbor_lines:
         peer = Ip(path[0])
         neighbor = bgp.neighbors.get(peer)

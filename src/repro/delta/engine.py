@@ -159,6 +159,7 @@ def delta_session(
             semantics=base.semantics,
         )
         new_session.delta_info = info
+        new_session.delta_base_key = base.snapshot_key
         reason = _try_splice(base, new_session, info, store_result=store_result)
         if reason is not None:
             info.fallback = True

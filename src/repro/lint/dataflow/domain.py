@@ -1,0 +1,140 @@
+"""The abstract route domain of the dataflow engine.
+
+An abstract state is a pair:
+
+* a :class:`~repro.lint.routespace.RouteSpace` BDD over prefix bits,
+  length bits, the snapshot-wide community alphabet, and one *origin
+  flag* variable ("this route entered BGP through redistribution" —
+  what the route-leak rule keys on), and
+* a small *tag lattice*: the set of route-tag values any route in the
+  state may carry, widened to ⊤ (``None``) past a fixed size. Tags
+  live outside the BDD because they are matched by equality against
+  arbitrary integers — a per-value variable encoding would grow the
+  universe with every edit.
+
+Everything here over-approximates: joins are unions, transfers only
+ever *add* behaviour for constructs they cannot model exactly (the
+"never subtract inexact" rule inherited from the clause-reachability
+encoder). See DESIGN.md "Propagation-graph soundness".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set
+
+from repro.bdd.engine import FALSE
+from repro.config.model import SetKind, Snapshot
+from repro.lint.routespace import RouteSpaceUniverse
+
+#: The extra BDD variable marking routes that entered BGP via a
+#: ``redistribute`` statement (as opposed to a ``network`` statement).
+ORIGIN_FLAG = "redistributed"
+
+#: Tag sets wider than this widen to ⊤ (``None``).
+MAX_TAGS = 32
+
+#: The tag a route carries when nothing ever set one (PolicyRoute
+#: default).
+DEFAULT_TAG = 0
+
+TagSet = Optional[FrozenSet[int]]  # None = ⊤ (any tag possible)
+
+
+def snapshot_communities(snapshot: Snapshot) -> Set[str]:
+    """Every community string the snapshot can mention on a route:
+    community-list members (matchable) plus ``set community`` values
+    (settable). Routes are originated with no communities, so this
+    alphabet is closed under every concrete transfer."""
+    communities: Set[str] = set()
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        for clist in device.community_lists.values():
+            communities.update(clist.communities)
+        for route_map in device.route_maps.values():
+            for clause in route_map.clauses:
+                for set_clause in clause.sets:
+                    if set_clause.kind in (
+                        SetKind.COMMUNITY,
+                        SetKind.COMMUNITY_ADDITIVE,
+                    ):
+                        communities.update(set_clause.value.split())
+    return communities
+
+
+def build_universe(snapshot: Snapshot) -> RouteSpaceUniverse:
+    """The snapshot-wide variable space shared by every node state."""
+    return RouteSpaceUniverse(
+        communities=snapshot_communities(snapshot), flags=(ORIGIN_FLAG,)
+    )
+
+
+def universe_fingerprint(snapshot: Snapshot) -> str:
+    """The fingerprint :func:`build_universe` would produce, computed
+    without building a BDD engine (cheap warm-start compatibility
+    probe)."""
+    return RouteSpaceUniverse.fingerprint_of(
+        snapshot_communities(snapshot), (ORIGIN_FLAG,)
+    )
+
+
+def join_tags(a: TagSet, b: TagSet) -> TagSet:
+    if a is None or b is None:
+        return None
+    merged = a | b
+    if len(merged) > MAX_TAGS:
+        return None
+    return merged
+
+
+def tags_may_equal(tags: TagSet, value: int) -> bool:
+    """Whether a route in a state with tag-set ``tags`` may carry
+    ``value`` (⊤ admits everything)."""
+    return tags is None or value in tags
+
+
+@dataclass(frozen=True)
+class AbstractRoutes:
+    """One node's abstract state: a route-space BDD plus the tag set.
+
+    ``bdd`` is a node id in the analysis universe's engine; states from
+    different analyses never mix (the engine asserts by construction —
+    BDD ids are engine-local).
+    """
+
+    bdd: int
+    tags: TagSet
+
+    @staticmethod
+    def bottom() -> "AbstractRoutes":
+        return AbstractRoutes(FALSE, frozenset())
+
+    def is_bottom(self) -> bool:
+        return self.bdd == FALSE
+
+    def join(
+        self, other: "AbstractRoutes", universe: RouteSpaceUniverse
+    ) -> "AbstractRoutes":
+        return AbstractRoutes(
+            universe.engine.or_(self.bdd, other.bdd),
+            join_tags(self.tags, other.tags),
+        )
+
+
+def private_space(universe: RouteSpaceUniverse) -> int:
+    """RFC1918 address space (any length) — the confinement predicate
+    the route-leak rule checks at external boundaries."""
+    from repro.hdr.ip import Prefix
+
+    return universe.engine.or_all(
+        [
+            universe.address_under(Prefix("10.0.0.0/8")),
+            universe.address_under(Prefix("172.16.0.0/12")),
+            universe.address_under(Prefix("192.168.0.0/16")),
+        ]
+    )
+
+
+#: Community spellings that mark a route as not-to-be-exported; a route
+#: carrying one crossing an eBGP edge is a leak.
+NO_EXPORT_COMMUNITIES = ("no-export", "65535:65281")

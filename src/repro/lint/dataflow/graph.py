@@ -1,0 +1,496 @@
+"""The static route-propagation graph and its transfer summaries.
+
+Nodes are ``(hostname, domain)`` pairs, one per RIB domain a device
+owns: ``connected``, ``static``, ``ospf``, ``bgp``. Edges mirror the
+three ways the concrete engine moves routes between domains:
+
+* ``redistribute`` — intra-device, from the source protocol's domain
+  into OSPF or BGP, through the statement's route-map;
+* ``bgp-session`` — inter-device, sender's export policy composed with
+  the receiver's import policy (one directed edge per candidate session
+  direction from :func:`repro.routing.bgp.compute_bgp_sessions`);
+* ``ospf-adjacency`` — inter-device identity edges between OSPF domains
+  of L3-adjacent, OSPF-enabled interfaces (intra-area and external
+  flooding over-approximated as "everything reaches everyone").
+
+Each route-map referenced by an edge compiles once into a
+:class:`PolicySummary`: per clause, a guard BDD (exact for prefix-list /
+community-list matches, ⊤-widened otherwise), the tag/protocol matches
+the BDD cannot express, and the set operations the abstract transfer
+replays. Session viability, next-hop resolution, route-reflector rules
+and community-stripping (``send_community``) are deliberately *not*
+modelled — every omission only adds routes, preserving the containment
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bdd.engine import FALSE, TRUE
+from repro.config.model import (
+    Action,
+    Device,
+    MatchKind,
+    Protocol,
+    Redistribution,
+    RouteMap,
+    SetKind,
+    Snapshot,
+)
+from repro.lint.dataflow.domain import DEFAULT_TAG, AbstractRoutes, ORIGIN_FLAG
+from repro.lint.model import Location
+from repro.lint.routespace import RouteSpaceEncoder, RouteSpaceUniverse
+from repro.routing.bgp import compute_bgp_sessions
+from repro.routing.topology import build_layer3_topology
+
+NodeId = Tuple[str, str]  # (hostname, domain)
+
+DOMAIN_CONNECTED = "connected"
+DOMAIN_STATIC = "static"
+DOMAIN_OSPF = "ospf"
+DOMAIN_BGP = "bgp"
+
+#: Which domain feeds a ``redistribute <source>`` statement, and the
+#: concrete ``Protocol.value`` strings routes from that domain may carry
+#: (what ``match protocol`` compares against via ``startswith``).
+_REDIST_DOMAIN: Dict[Protocol, str] = {
+    Protocol.CONNECTED: DOMAIN_CONNECTED,
+    Protocol.STATIC: DOMAIN_STATIC,
+    Protocol.OSPF: DOMAIN_OSPF,
+    Protocol.BGP: DOMAIN_BGP,
+}
+
+DOMAIN_PROTOCOL_VALUES: Dict[str, Tuple[str, ...]] = {
+    DOMAIN_CONNECTED: (Protocol.CONNECTED.value,),
+    DOMAIN_STATIC: (Protocol.STATIC.value,),
+    DOMAIN_OSPF: (
+        Protocol.OSPF.value,
+        Protocol.OSPF_IA.value,
+        Protocol.OSPF_E2.value,
+    ),
+    DOMAIN_BGP: (Protocol.BGP.value, Protocol.IBGP.value),
+}
+
+
+@dataclass(frozen=True)
+class ClauseSummary:
+    """One route-map clause as the abstract transfer sees it."""
+
+    seq: int
+    action: Action
+    #: Over-approximate match set over prefix/community variables.
+    guard: int
+    #: True when ``guard`` is the *exact* prefix/community match set.
+    guard_exact: bool
+    #: ``match tag N`` — evaluated against the tag lattice.
+    tag_eq: Optional[int] = None
+    #: ``match protocol X`` values — resolvable on redistribution edges
+    #: where the source domain is known.
+    protocol_values: Tuple[str, ...] = ()
+    #: as-path / metric matches present (never resolvable here).
+    other_inexact: bool = False
+    #: Ordered community rewrites: ("replace"|"add", members).
+    community_ops: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    #: ``set tag N``.
+    set_tag: Optional[int] = None
+    #: Community-list names this clause matches on (resolved members in
+    #: ``matched_communities``) — inputs to the community-dataflow rule.
+    matched_lists: Tuple[str, ...] = ()
+    matched_communities: Tuple[str, ...] = ()
+    location: Location = Location()
+
+    def is_exact(self, protocols_resolved: bool) -> bool:
+        """Whether first-match residual subtraction is sound for this
+        clause: every match condition is exactly represented."""
+        return (
+            self.guard_exact
+            and self.tag_eq is None
+            and not self.other_inexact
+            and (not self.protocol_values or protocols_resolved)
+        )
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """A compiled route-map: the transfer function's static half."""
+
+    hostname: str
+    name: str
+    defined: bool
+    clauses: Tuple[ClauseSummary, ...] = ()
+    location: Location = Location()
+
+    def is_identity(self) -> bool:
+        """Structurally a no-op: undefined (model default permits
+        unchanged) or a map whose first clause permits everything
+        without rewriting."""
+        if not self.defined:
+            return True
+        if not self.clauses:
+            return False  # no clause matched -> implicit deny everything
+        first = self.clauses[0]
+        return (
+            first.action is Action.PERMIT
+            and first.guard == TRUE
+            and first.guard_exact
+            and first.tag_eq is None
+            and not first.protocol_values
+            and not first.other_inexact
+            and not first.community_ops
+            and first.set_tag is None
+        )
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed propagation edge with everything blame needs."""
+
+    src: NodeId
+    dst: NodeId
+    kind: str  # "redistribute" | "bgp-session" | "ospf-adjacency"
+    #: Device to blame (dst-side for redistribute, sender for sessions).
+    hostname: str
+    location: Location = Location()
+    #: Redistribute edges: the statement.
+    redist: Optional[Redistribution] = None
+    #: Session edges.
+    is_ebgp: bool = False
+    export_policy: Optional[str] = None
+    import_policy: Optional[str] = None
+    #: Receiver-side neighbor statement (import blame anchor).
+    import_location: Location = Location()
+
+    def describe(self) -> str:
+        if self.kind == "redistribute":
+            assert self.redist is not None
+            via = (
+                f" route-map {self.redist.route_map}"
+                if self.redist.route_map
+                else ""
+            )
+            return (
+                f"{self.hostname}: redistribute {self.redist.source.value} "
+                f"into {self.dst[1]}{via}"
+            )
+        if self.kind == "bgp-session":
+            flavor = "eBGP" if self.is_ebgp else "iBGP"
+            return f"{flavor} session {self.src[0]} -> {self.dst[0]}"
+        return f"OSPF adjacency {self.src[0]} -> {self.dst[0]}"
+
+
+@dataclass
+class PropagationGraph:
+    """Nodes, edges, seeds, and compiled policy summaries."""
+
+    universe: RouteSpaceUniverse
+    nodes: List[NodeId] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+    seeds: Dict[NodeId, AbstractRoutes] = field(default_factory=dict)
+    out_edges: Dict[NodeId, List[int]] = field(default_factory=dict)
+    summaries: Dict[Tuple[str, Optional[str]], PolicySummary] = field(
+        default_factory=dict
+    )
+
+    def summary(
+        self, hostname: str, name: Optional[str]
+    ) -> Optional[PolicySummary]:
+        """The compiled summary for ``name`` on ``hostname``; ``None``
+        when no policy applies at all."""
+        if name is None:
+            return None
+        return self.summaries.get((hostname, name))
+
+    def edge_pairs(self) -> List[Tuple[NodeId, NodeId]]:
+        return [(edge.src, edge.dst) for edge in self.edges]
+
+
+def _route_map_location(route_map: Optional[RouteMap]) -> Location:
+    if route_map is None:
+        return Location()
+    return Location(route_map.source_file, route_map.source_line)
+
+
+def compile_policy(
+    universe: RouteSpaceUniverse, device: Device, name: str
+) -> PolicySummary:
+    """Compile one route-map into its clause summaries (shared
+    universe, so summaries from different devices compose)."""
+    route_map = device.route_maps.get(name)
+    if route_map is None:
+        return PolicySummary(device.hostname, name, defined=False)
+    encoder = RouteSpaceEncoder(device, universe=universe)
+    engine = universe.engine
+    clauses: List[ClauseSummary] = []
+    for clause in route_map.sorted_clauses():
+        guard = TRUE
+        guard_exact = True
+        tag_eq: Optional[int] = None
+        protocol_values: List[str] = []
+        other_inexact = False
+        matched_lists: List[str] = []
+        matched_communities: List[str] = []
+        for match in clause.matches:
+            if match.kind is MatchKind.PREFIX_LIST:
+                plist = device.prefix_lists.get(match.value)
+                if plist is None:
+                    # undefined_prefix_list_fails_match: never holds.
+                    guard = FALSE
+                else:
+                    guard = engine.and_(
+                        guard, encoder.prefix_list_space(plist)
+                    )
+            elif match.kind is MatchKind.COMMUNITY:
+                guard = engine.and_(
+                    guard, encoder.community_list_space(match.value)
+                )
+                matched_lists.append(match.value)
+                clist = device.community_lists.get(match.value)
+                if clist is not None:
+                    matched_communities.extend(clist.communities)
+            elif match.kind is MatchKind.TAG:
+                try:
+                    value = int(match.value)
+                except ValueError:
+                    other_inexact = True
+                    continue
+                if tag_eq is not None and tag_eq != value:
+                    guard = FALSE  # tag == a and tag == b, a != b
+                else:
+                    tag_eq = value
+            elif match.kind is MatchKind.PROTOCOL:
+                protocol_values.append(match.value)
+            else:
+                # as-path regexes, metric: widen to ⊤.
+                other_inexact = True
+        community_ops: List[Tuple[str, Tuple[str, ...]]] = []
+        set_tag: Optional[int] = None
+        for set_clause in clause.sets:
+            if set_clause.kind is SetKind.COMMUNITY:
+                community_ops.append(
+                    ("replace", tuple(set_clause.value.split()))
+                )
+            elif set_clause.kind is SetKind.COMMUNITY_ADDITIVE:
+                community_ops.append(("add", tuple(set_clause.value.split())))
+            elif set_clause.kind is SetKind.TAG:
+                try:
+                    set_tag = int(set_clause.value)
+                except ValueError:
+                    pass
+        clauses.append(
+            ClauseSummary(
+                seq=clause.seq,
+                action=clause.action,
+                guard=guard,
+                guard_exact=guard_exact,
+                tag_eq=tag_eq,
+                protocol_values=tuple(protocol_values),
+                other_inexact=other_inexact,
+                community_ops=tuple(community_ops),
+                set_tag=set_tag,
+                matched_lists=tuple(matched_lists),
+                matched_communities=tuple(matched_communities),
+                location=Location(clause.source_file, clause.source_line),
+            )
+        )
+    return PolicySummary(
+        hostname=device.hostname,
+        name=name,
+        defined=True,
+        clauses=tuple(clauses),
+        location=_route_map_location(route_map),
+    )
+
+
+def _seed_atoms(
+    universe: RouteSpaceUniverse, prefixes: List[object]
+) -> AbstractRoutes:
+    """Freshly-originated routes for ``prefixes``: exact atoms carrying
+    no communities, no flags, and the default tag."""
+    if not prefixes:
+        return AbstractRoutes.bottom()
+    engine = universe.engine
+    bdd = engine.or_all(
+        [universe.prefix_atom(prefix) for prefix in prefixes]  # type: ignore[arg-type]
+    )
+    bdd = engine.and_(bdd, universe.without_communities())
+    return AbstractRoutes(bdd, frozenset({DEFAULT_TAG}))
+
+
+def build_graph(
+    snapshot: Snapshot, universe: RouteSpaceUniverse
+) -> PropagationGraph:
+    graph = PropagationGraph(universe=universe)
+    node_set: Set[NodeId] = set()
+
+    def add_node(node: NodeId, seed: AbstractRoutes) -> None:
+        if node in node_set:
+            existing = graph.seeds[node]
+            graph.seeds[node] = existing.join(seed, universe)
+            return
+        node_set.add(node)
+        graph.nodes.append(node)
+        graph.seeds[node] = seed
+
+    def ensure_summary(device: Device, name: Optional[str]) -> None:
+        if name is None:
+            return
+        key = (device.hostname, name)
+        if key not in graph.summaries:
+            graph.summaries[key] = compile_policy(universe, device, name)
+
+    # -- nodes + seeds -----------------------------------------------------
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        connected = [
+            iface.prefix
+            for iface in device.interfaces.values()
+            if iface.enabled and iface.prefix is not None
+        ]
+        add_node((hostname, DOMAIN_CONNECTED), _seed_atoms(universe, connected))
+        add_node(
+            (hostname, DOMAIN_STATIC),
+            _seed_atoms(
+                universe, [route.prefix for route in device.static_routes]
+            ),
+        )
+        if device.ospf is not None:
+            ospf_prefixes = [
+                iface.prefix
+                for iface in device.interfaces.values()
+                if iface.enabled
+                and iface.ospf_enabled
+                and iface.prefix is not None
+            ]
+            if device.ospf.default_information_originate:
+                from repro.hdr.ip import Prefix
+
+                ospf_prefixes.append(Prefix("0.0.0.0/0"))
+            add_node((hostname, DOMAIN_OSPF), _seed_atoms(universe, ospf_prefixes))
+        if device.bgp is not None:
+            add_node(
+                (hostname, DOMAIN_BGP),
+                _seed_atoms(universe, list(device.bgp.networks)),
+            )
+
+    # -- redistribution edges ----------------------------------------------
+    for hostname in snapshot.hostnames():
+        device = snapshot.device(hostname)
+        targets: List[Tuple[str, List[Redistribution]]] = []
+        if device.ospf is not None:
+            targets.append((DOMAIN_OSPF, list(device.ospf.redistributions)))
+        if device.bgp is not None:
+            targets.append((DOMAIN_BGP, list(device.bgp.redistributions)))
+        for domain, redistributions in targets:
+            for redist in redistributions:
+                src_domain = _REDIST_DOMAIN.get(redist.source)
+                if src_domain is None:
+                    continue
+                src = (hostname, src_domain)
+                if src not in node_set or src_domain == domain:
+                    continue  # no such routes can exist on this device
+                ensure_summary(device, redist.route_map)
+                graph.edges.append(
+                    Edge(
+                        src=src,
+                        dst=(hostname, domain),
+                        kind="redistribute",
+                        hostname=hostname,
+                        location=Location(
+                            redist.source_file, redist.source_line
+                        ),
+                        redist=redist,
+                    )
+                )
+
+    # -- OSPF adjacency edges ----------------------------------------------
+    seen_adjacent: Set[Tuple[NodeId, NodeId]] = set()
+    topology = build_layer3_topology(snapshot)
+    for l3_edge in topology.edges():
+        tail_host, head_host = l3_edge.tail.node, l3_edge.head.node
+        if tail_host == head_host:
+            continue
+        tail_node, head_node = (tail_host, DOMAIN_OSPF), (head_host, DOMAIN_OSPF)
+        if tail_node not in node_set or head_node not in node_set:
+            continue
+        tail_iface = snapshot.device(tail_host).interfaces.get(
+            l3_edge.tail.interface
+        )
+        head_iface = snapshot.device(head_host).interfaces.get(
+            l3_edge.head.interface
+        )
+        if (
+            tail_iface is None
+            or head_iface is None
+            or not tail_iface.ospf_enabled
+            or not head_iface.ospf_enabled
+        ):
+            continue
+        # Passive interfaces form no adjacency concretely; keeping the
+        # edge anyway only over-approximates, and tolerates dialects
+        # that advertise-but-not-peer differently.
+        if (tail_node, head_node) in seen_adjacent:
+            continue
+        seen_adjacent.add((tail_node, head_node))
+        graph.edges.append(
+            Edge(
+                src=tail_node,
+                dst=head_node,
+                kind="ospf-adjacency",
+                hostname=head_host,
+                location=Location(
+                    head_iface.source_file, head_iface.source_line
+                ),
+            )
+        )
+
+    # -- BGP session edges -------------------------------------------------
+    sessions, _issues = compute_bgp_sessions(snapshot)
+    for session in sessions:
+        src = (session.local_node, DOMAIN_BGP)
+        dst = (session.remote_node, DOMAIN_BGP)
+        if src not in node_set or dst not in node_set or src == dst:
+            continue
+        sender = snapshot.device(session.local_node)
+        receiver = snapshot.device(session.remote_node)
+        export_policy = session.neighbor.export_policy
+        receiver_neighbor = (
+            receiver.bgp.neighbors.get(session.local_ip)
+            if receiver.bgp is not None
+            else None
+        )
+        import_policy = (
+            receiver_neighbor.import_policy if receiver_neighbor else None
+        )
+        ensure_summary(sender, export_policy)
+        ensure_summary(receiver, import_policy)
+        graph.edges.append(
+            Edge(
+                src=src,
+                dst=dst,
+                kind="bgp-session",
+                hostname=session.local_node,
+                location=Location(
+                    session.neighbor.source_file, session.neighbor.source_line
+                ),
+                is_ebgp=not session.is_ibgp,
+                export_policy=export_policy,
+                import_policy=import_policy,
+                import_location=(
+                    Location(
+                        receiver_neighbor.source_file,
+                        receiver_neighbor.source_line,
+                    )
+                    if receiver_neighbor is not None
+                    else Location()
+                ),
+            )
+        )
+
+    graph.nodes.sort()
+    graph.edges.sort(key=lambda e: (e.src, e.dst, e.kind, str(e.location)))
+    graph.out_edges = {node: [] for node in graph.nodes}
+    for index, edge in enumerate(graph.edges):
+        graph.out_edges[edge.src].append(index)
+    return graph

@@ -32,6 +32,10 @@ class Rule:
     #: — the runner can then memoize per device and re-lint only devices
     #: that changed. ``"snapshot"`` (the default) for rules that relate
     #: multiple devices (duplicate IPs, session compatibility, ...).
+    #: ``"dataflow"`` for rules that read the propagation-graph fixpoint
+    #: (:mod:`repro.lint.dataflow`) — the runner computes the fixpoint
+    #: once before the pool forks and delta runs warm-start it instead
+    #: of re-iterating the whole graph.
     scope: str = "snapshot"
 
     def run(self, snapshot: Snapshot) -> List[Finding]:
@@ -54,7 +58,7 @@ def rule(
     whose findings are per-device functions of that device alone should
     declare ``scope="device"`` to opt into per-device memoization."""
 
-    if scope not in ("snapshot", "device"):
+    if scope not in ("snapshot", "device", "dataflow"):
         raise ValueError(f"unknown lint rule scope: {scope!r}")
 
     def decorate(fn: RuleFn) -> RuleFn:
@@ -73,6 +77,7 @@ def _load_builtin_rules() -> None:
     from repro.lint import rules_cross  # noqa: F401
     from repro.lint import rules_hygiene  # noqa: F401
     from repro.lint import rules_semantic  # noqa: F401
+    from repro.lint.dataflow import rules  # noqa: F401
 
 
 def all_rules() -> List[Rule]:

@@ -2,12 +2,13 @@
 
 The packet-space encoder (`repro.hdr`) models packets; route maps match
 on route attributes instead — the announced prefix (address + length)
-and the community set. This module builds a per-device BDD over:
+and the community set. This module builds a BDD over:
 
 * 32 variables for the prefix network address (MSB first),
 * 6 variables for the prefix length (0..32 in a 6-bit field),
-* one variable per distinct community string named by the device's
-  community lists ("does the route carry community C").
+* one variable per distinct community string,
+* optional extra flag variables (the dataflow engine uses one to track
+  "this route entered BGP through redistribution").
 
 That is enough to encode prefix-list and community-list matches
 *exactly*, mirroring the concrete first-match semantics of
@@ -16,11 +17,24 @@ cannot encode (as-path regexes, tag/metric/protocol) are treated as
 "unknown": the clause's space becomes an over-approximation, which
 keeps unreachability findings sound — a clause is only flagged when
 even the over-approximation has no route left to match.
+
+Two layers:
+
+* :class:`RouteSpaceUniverse` — the shared variable order (address +
+  length + a fixed community alphabet). One universe per device for the
+  single-device clause-reachability rules; one snapshot-wide universe
+  for the cross-device dataflow fixpoint, so sets built on different
+  devices combine.
+* :class:`RouteSpace` — a public, immutable set-of-routes value with
+  ``union`` / ``intersect`` / ``complement``; the dataflow lattice's
+  carrier.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.bdd.engine import FALSE, TRUE, BddEngine
 from repro.config.model import (
@@ -31,32 +45,63 @@ from repro.config.model import (
     PrefixListLine,
     RouteMapClause,
 )
+from repro.hdr.ip import Prefix
 
 ADDR_BITS = 32
 LEN_BITS = 6  # values 0..63; only 0..32 are produced by parsers
 
 
-class RouteSpaceEncoder:
-    """Per-device symbolic encoder for route-map match spaces."""
+class RouteSpaceUniverse:
+    """The variable order shared by every :class:`RouteSpace` built
+    against it: 32 address bits, 6 length bits, then one variable per
+    community in a fixed (sorted) alphabet, then any extra flag
+    variables. Sets from two universes never mix; the dataflow engine
+    builds one snapshot-wide universe so sets built on different
+    devices can be joined.
+    """
 
-    def __init__(self, device: Device):
-        self.device = device
-        communities = sorted(
-            {
-                community
-                for clist in device.community_lists.values()
-                for community in clist.communities
-            }
-        )
+    def __init__(
+        self,
+        communities: Sequence[str] = (),
+        flags: Sequence[str] = (),
+    ):
+        self.communities: Tuple[str, ...] = tuple(sorted(set(communities)))
+        self.flags: Tuple[str, ...] = tuple(flags)
         self._community_var: Dict[str, int] = {
             community: ADDR_BITS + LEN_BITS + index
-            for index, community in enumerate(communities)
+            for index, community in enumerate(self.communities)
         }
-        self.engine = BddEngine(ADDR_BITS + LEN_BITS + len(communities))
+        base = ADDR_BITS + LEN_BITS + len(self.communities)
+        self._flag_var: Dict[str, int] = {
+            name: base + index for index, name in enumerate(self.flags)
+        }
+        self.engine = BddEngine(base + len(self.flags))
+
+    def fingerprint(self) -> str:
+        """Content address of the variable order. Two universes with the
+        same fingerprint produce comparable canonical BDDs."""
+        return self.fingerprint_of(self.communities, self.flags)
+
+    @staticmethod
+    def fingerprint_of(
+        communities: Sequence[str], flags: Sequence[str]
+    ) -> str:
+        """The fingerprint a universe built from these inputs would
+        have, without building one (communities are normalized the same
+        way the constructor does)."""
+        digest = hashlib.sha256()
+        for community in sorted(set(communities)):
+            digest.update(community.encode())
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+        for flag in flags:
+            digest.update(flag.encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
 
     # -- field primitives --------------------------------------------------
 
-    def _length_eq(self, value: int) -> int:
+    def length_eq(self, value: int) -> int:
         engine = self.engine
         bdd = TRUE
         for bit in range(LEN_BITS):
@@ -71,10 +116,10 @@ class RouteSpaceEncoder:
         if low > high:
             return FALSE
         return self.engine.or_all(
-            [self._length_eq(value) for value in range(low, high + 1)]
+            [self.length_eq(value) for value in range(low, high + 1)]
         )
 
-    def address_under(self, prefix) -> int:
+    def address_under(self, prefix: Prefix) -> int:
         """Routes whose network address lies inside ``prefix`` (the
         containment half of ``Prefix.contains_prefix``)."""
         engine = self.engine
@@ -87,11 +132,196 @@ class RouteSpaceEncoder:
                 bdd = engine.and_(bdd, engine.nvar(bit))
         return bdd
 
+    def prefix_atom(self, prefix: Prefix) -> int:
+        """The exact single point for one announced prefix: all 32
+        address bits pinned to the (masked) network address plus the
+        exact length. Community/flag variables are left free — intersect
+        with :meth:`without_communities` to pin them all to absent."""
+        engine = self.engine
+        bdd = self.length_eq(prefix.length)
+        network = prefix.network
+        for bit in range(ADDR_BITS):
+            if network.bit(bit):
+                bdd = engine.and_(bdd, engine.var(bit))
+            else:
+                bdd = engine.and_(bdd, engine.nvar(bit))
+        return bdd
+
     def community(self, name: str) -> int:
         level = self._community_var.get(name)
         if level is None:
             return FALSE
         return self.engine.var(level)
+
+    def has_community(self, name: str) -> bool:
+        return name in self._community_var
+
+    def flag(self, name: str) -> int:
+        return self.engine.var(self._flag_var[name])
+
+    def community_levels(self) -> List[int]:
+        return [self._community_var[c] for c in self.communities]
+
+    def community_level(self, name: str) -> Optional[int]:
+        return self._community_var.get(name)
+
+    def flag_level(self, name: str) -> int:
+        return self._flag_var[name]
+
+    def flag_levels(self) -> List[int]:
+        return [self._flag_var[f] for f in self.flags]
+
+    def without_communities(self) -> int:
+        """The constraint "carries no community and no flag" — the state
+        of a freshly originated (connected/static/network-statement)
+        route."""
+        engine = self.engine
+        bdd = TRUE
+        for level in self._community_var.values():
+            bdd = engine.and_(bdd, engine.nvar(level))
+        for level in self._flag_var.values():
+            bdd = engine.and_(bdd, engine.nvar(level))
+        return bdd
+
+    def space(self, bdd: int) -> "RouteSpace":
+        return RouteSpace(self, bdd)
+
+    def empty(self) -> "RouteSpace":
+        return RouteSpace(self, FALSE)
+
+    def full(self) -> "RouteSpace":
+        return RouteSpace(self, TRUE)
+
+
+@dataclass(frozen=True)
+class RouteSpace:
+    """A set of abstract routes (prefix + community/flag membership)
+    over a :class:`RouteSpaceUniverse`.
+
+    **Over-approximation contract.** Spaces produced from route-map
+    clauses are *supersets* of the concrete match sets whenever a clause
+    contains a match the encoding cannot express (as-path regex, tag,
+    metric, protocol): inexact constraints widen to ⊤ — they are never
+    used to *shrink* a set. Consequently:
+
+    * ``union`` and ``intersect`` of over-approximations are again
+      over-approximations, so emptiness of any combination soundly
+      proves concrete emptiness (the unreachable-clause argument);
+    * ``complement`` of an over-approximation is an
+      *under*-approximation — never complement an inexact space and
+      then claim a route is outside the original set. Complement is
+      exact only for spaces built purely from encodable constraints
+      (prefix lists, community lists, atoms).
+    """
+
+    universe: RouteSpaceUniverse
+    bdd: int
+
+    def _check(self, other: "RouteSpace") -> None:
+        if other.universe is not self.universe:
+            raise ValueError(
+                "RouteSpace operands belong to different universes"
+            )
+
+    def union(self, other: "RouteSpace") -> "RouteSpace":
+        self._check(other)
+        return RouteSpace(
+            self.universe, self.universe.engine.or_(self.bdd, other.bdd)
+        )
+
+    def intersect(self, other: "RouteSpace") -> "RouteSpace":
+        self._check(other)
+        return RouteSpace(
+            self.universe, self.universe.engine.and_(self.bdd, other.bdd)
+        )
+
+    def complement(self) -> "RouteSpace":
+        """Set complement over the full universe. See the class
+        docstring: only meaningful for exactly-encoded spaces."""
+        return RouteSpace(
+            self.universe, self.universe.engine.not_(self.bdd)
+        )
+
+    def difference(self, other: "RouteSpace") -> "RouteSpace":
+        self._check(other)
+        return RouteSpace(
+            self.universe, self.universe.engine.diff(self.bdd, other.bdd)
+        )
+
+    def is_empty(self) -> bool:
+        return self.bdd == FALSE
+
+    def contains_prefix(self, prefix: Prefix) -> bool:
+        """True when some route announcing exactly ``prefix`` (any
+        community/flag membership) is in the set."""
+        atom = self.universe.prefix_atom(prefix)
+        return self.universe.engine.and_(atom, self.bdd) != FALSE
+
+    def example(
+        self,
+    ) -> Optional[Tuple[Prefix, FrozenSet[str]]]:
+        """One witness route from the set: its prefix and the
+        communities it carries (free variables default to absent)."""
+        assignment = self.universe.engine.any_sat(self.bdd)
+        if assignment is None:
+            return None
+        address = 0
+        for bit in range(ADDR_BITS):
+            address = (address << 1) | assignment.get(bit, 0)
+        length = 0
+        for bit in range(LEN_BITS):
+            length = (length << 1) | assignment.get(ADDR_BITS + bit, 0)
+        length = min(length, 32)
+        carried = frozenset(
+            community
+            for community, level in self.universe._community_var.items()
+            if assignment.get(level, 0)
+        )
+        return Prefix(address, length), carried
+
+    def canonical(self) -> object:
+        """Engine-independent structural form (see
+        :meth:`repro.bdd.engine.BddEngine.canonical`); equal across
+        engines sharing the universe fingerprint iff the sets match."""
+        return self.universe.engine.canonical(self.bdd)
+
+
+class RouteSpaceEncoder:
+    """Per-device symbolic encoder for route-map match spaces.
+
+    Builds a private single-device universe by default; pass a shared
+    ``universe`` (the dataflow engine's snapshot-wide one) to make the
+    resulting spaces combinable across devices.
+    """
+
+    def __init__(
+        self, device: Device, universe: Optional[RouteSpaceUniverse] = None
+    ):
+        self.device = device
+        if universe is None:
+            universe = RouteSpaceUniverse(
+                communities={
+                    community
+                    for clist in device.community_lists.values()
+                    for community in clist.communities
+                }
+            )
+        self.universe = universe
+        self.engine = universe.engine
+
+    # -- field primitives (delegated to the universe) ----------------------
+
+    def _length_eq(self, value: int) -> int:
+        return self.universe.length_eq(value)
+
+    def length_in_range(self, low: int, high: int) -> int:
+        return self.universe.length_in_range(low, high)
+
+    def address_under(self, prefix: Prefix) -> int:
+        return self.universe.address_under(prefix)
+
+    def community(self, name: str) -> int:
+        return self.universe.community(name)
 
     # -- structure spaces --------------------------------------------------
 

@@ -33,6 +33,9 @@ class LintReport:
     rule_seconds: Dict[str, float] = field(default_factory=dict)
     rules_run: List[str] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: Propagation-fixpoint stats when any dataflow-scoped rule ran:
+    #: {"fixpoint_seconds", "iterations", "nodes", "edges", "warm_start"}.
+    dataflow: Optional[Dict] = None
 
     def active(self) -> List[Finding]:
         """Findings not suppressed by lint-disable comments or config."""
@@ -77,6 +80,7 @@ class LintReport:
                 for rule_id, seconds in sorted(self.rule_seconds.items())
             },
             "total_seconds": round(self.total_seconds, 6),
+            **({"dataflow": self.dataflow} if self.dataflow else {}),
         }
 
 
@@ -125,6 +129,8 @@ def lint_snapshot(
     config: Optional[LintConfig] = None,
     jobs: Optional[int] = None,
     cache=None,
+    snapshot_key: Optional[str] = None,
+    delta: Optional[Dict] = None,
 ) -> LintReport:
     """Run every enabled rule against ``snapshot`` and assemble a report.
 
@@ -139,9 +145,42 @@ def lint_snapshot(
     which relate devices to each other — always run in full. Findings
     are memoized *pre*-suppression and *pre*-severity-override, so
     lintconfig changes apply to memoized findings too.
+
+    ``snapshot_key`` / ``delta`` wire the dataflow fixpoint into the
+    incremental pipeline: the fixpoint is persisted under
+    ``snapshot_key`` and, on a delta-derived session, ``delta =
+    {"base_key", "dirty_devices", "fallback"}`` lets it warm-start from
+    the base snapshot's cached fixpoint (only the dirty propagation
+    subgraph re-iterates).
     """
     config = config or LintConfig()
     rules = [r for r in all_rules() if config.rule_enabled(r.rule_id)]
+
+    # Dataflow-scoped rules share one propagation fixpoint. Compute it
+    # before the pool forks: workers inherit the BDD tables and the
+    # analysis copy-on-write through the module-global slot.
+    dataflow_stats: Optional[Dict] = None
+    if any(rule.scope == "dataflow" for rule in rules):
+        from repro.lint.dataflow import engine as dataflow_engine
+
+        analysis = dataflow_engine.analyze(
+            snapshot, cache=cache, snapshot_key=snapshot_key, delta=delta
+        )
+        dataflow_engine.set_shared(snapshot, analysis)
+        dataflow_stats = {
+            "fixpoint_seconds": round(analysis.fixpoint_seconds, 6),
+            "iterations": analysis.iterations,
+            "nodes": len(analysis.graph.nodes),
+            "edges": len(analysis.graph.edges),
+            "warm_start": analysis.warm_start,
+        }
+        metrics = obs.metrics()
+        metrics.observe(
+            "lint.dataflow.fixpoint_seconds", analysis.fixpoint_seconds
+        )
+        metrics.observe("lint.dataflow.iterations", analysis.iterations)
+        if analysis.warm_start:
+            metrics.inc("lint.dataflow.warm_starts")
 
     # Work items: one per snapshot-scoped rule, one per (device rule,
     # device) pair not served from the memo. hostname None = whole
@@ -192,10 +231,16 @@ def lint_snapshot(
         return rule.rule_id, hostname, findings, elapsed
 
     started = time.perf_counter()
-    results = pmap(run_one, items, jobs=jobs, min_items=2)
+    try:
+        results = pmap(run_one, items, jobs=jobs, min_items=2)
+    finally:
+        if dataflow_stats is not None:
+            from repro.lint.dataflow import engine as dataflow_engine
+
+            dataflow_engine.clear_shared()
     total_seconds = time.perf_counter() - started
 
-    report = LintReport(total_seconds=total_seconds)
+    report = LintReport(total_seconds=total_seconds, dataflow=dataflow_stats)
     metrics = obs.metrics()
     raw: Dict[str, List[Finding]] = {rule.rule_id: [] for rule in rules}
     seconds_by_rule: Dict[str, float] = {rule.rule_id: 0.0 for rule in rules}

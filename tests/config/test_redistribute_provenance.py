@@ -1,0 +1,96 @@
+"""Cross-vendor provenance parity for redistribution statements: both
+dialects must blame the exact ``redistribute`` / ``export`` line, since
+dataflow findings (route-leak, redistribution-loop) point users there."""
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.config.model import Protocol
+
+CISCO = """
+hostname c1
+interface Ethernet0
+ ip address 10.0.0.1 255.255.255.0
+ no shutdown
+ip route 10.9.0.0 255.255.0.0 Null0
+router ospf 1
+ redistribute static route-map FILTER
+router bgp 65001
+ redistribute static route-map FILTER
+ neighbor 10.0.0.2 remote-as 65002
+route-map FILTER permit 10
+"""
+
+JUNIPER = """
+set system host-name j1
+set interfaces ge-0/0/0 unit 0 family inet address 10.0.0.1/24
+set routing-options static route 10.9.0.0/16 discard
+set protocols ospf area 0 interface ge-0/0/0
+set protocols ospf export FILTER
+set protocols bgp local-as 65001
+set protocols bgp export FILTER
+set protocols bgp group PEERS neighbor 10.0.0.2 peer-as 65002
+set policy-options policy-statement FILTER term 1 then accept
+"""
+
+
+def line_of(text, marker):
+    for number, line in enumerate(text.splitlines(), start=1):
+        if marker in line:
+            return number
+    raise AssertionError(f"marker {marker!r} not found")
+
+
+def single_redistribution(process):
+    assert process is not None
+    assert len(process.redistributions) == 1
+    return process.redistributions[0]
+
+
+class TestCiscoProvenance:
+    def test_ospf_and_bgp_redistribute_blame_their_lines(self):
+        snapshot = load_snapshot_from_texts({"c1": CISCO})
+        device = snapshot.device("c1")
+        ospf = single_redistribution(device.ospf)
+        assert ospf.source == Protocol.STATIC
+        assert ospf.route_map == "FILTER"
+        assert ospf.source_file == "c1"
+        assert ospf.source_line == line_of(
+            CISCO, "redistribute static route-map FILTER"
+        )
+        bgp = single_redistribution(device.bgp)
+        assert bgp.route_map == "FILTER"
+        assert bgp.source_file == "c1"
+        # The BGP statement is a *different* line than the OSPF one.
+        assert bgp.source_line > ospf.source_line
+        assert CISCO.splitlines()[bgp.source_line - 1].strip() == (
+            "redistribute static route-map FILTER"
+        )
+
+
+class TestJuniperProvenance:
+    def test_export_statements_blame_their_lines(self):
+        snapshot = load_snapshot_from_texts({"j1": JUNIPER})
+        device = snapshot.device("j1")
+        ospf = single_redistribution(device.ospf)
+        assert ospf.route_map == "FILTER"
+        assert ospf.source_file == "j1"
+        assert ospf.source_line == line_of(JUNIPER, "protocols ospf export")
+        bgp = single_redistribution(device.bgp)
+        assert bgp.route_map == "FILTER"
+        assert bgp.source_file == "j1"
+        assert bgp.source_line == line_of(JUNIPER, "protocols bgp export")
+
+
+class TestParity:
+    def test_vendors_agree_on_shape(self):
+        """The dataflow graph builder consumes redistributions without
+        knowing the vendor: both dialects must fill the same fields
+        with real (nonzero) line numbers."""
+        snapshot = load_snapshot_from_texts({"c1": CISCO, "j1": JUNIPER})
+        for hostname in ("c1", "j1"):
+            device = snapshot.device(hostname)
+            for process in (device.ospf, device.bgp):
+                redist = single_redistribution(process)
+                assert redist.source == Protocol.STATIC
+                assert redist.route_map == "FILTER"
+                assert redist.source_file == hostname
+                assert redist.source_line > 0

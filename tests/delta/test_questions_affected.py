@@ -41,8 +41,9 @@ BATTERY = [
 ]
 
 #: Wall-clock fields that legitimately differ between two identical
-#: executions; everything else must match byte for byte.
-VOLATILE = {"rule_seconds", "total_seconds"}
+#: executions (the lint dataflow block carries fixpoint timing and the
+#: cold/warm-start flag); everything else must match byte for byte.
+VOLATILE = {"rule_seconds", "total_seconds", "dataflow"}
 
 
 def canonical(answer):

@@ -1,0 +1,190 @@
+"""Warm-started dataflow fixpoints must be indistinguishable from cold
+ones. The property test drives random single-device edits through the
+delta path and compares canonical fixpoint states against a full
+recomputation; the unit tests pin the warm/fallback decision logic."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.loader import load_snapshot_from_texts
+from repro.core.cache import SnapshotCache
+from repro.lint.dataflow import analyze
+
+#: A three-AS chain (r1 -- r2 -- r3) with redistribution at one end and
+#: a route-map in the middle, so edits interact with every edge kind.
+BASE = {
+    "r1": """
+hostname r1
+interface Ethernet0
+ ip address 10.0.12.1 255.255.255.0
+ no shutdown
+ip route 10.9.1.0 255.255.255.0 Null0
+router bgp 65001
+ redistribute static
+ network 10.1.0.0 mask 255.255.255.0
+ neighbor 10.0.12.2 remote-as 65002
+""",
+    "r2": """
+hostname r2
+interface Ethernet0
+ ip address 10.0.12.2 255.255.255.0
+ no shutdown
+interface Ethernet1
+ ip address 10.0.23.2 255.255.255.0
+ no shutdown
+ip prefix-list TEN seq 5 permit 10.0.0.0/8 le 32
+route-map TO_R3 permit 10
+ match ip address prefix-list TEN
+router bgp 65002
+ network 10.2.0.0 mask 255.255.255.0
+ neighbor 10.0.12.1 remote-as 65001
+ neighbor 10.0.23.3 remote-as 65003
+ neighbor 10.0.23.3 route-map TO_R3 out
+""",
+    "r3": """
+hostname r3
+interface Ethernet0
+ ip address 10.0.23.3 255.255.255.0
+ no shutdown
+router bgp 65003
+ network 10.3.0.0 mask 255.255.255.0
+ neighbor 10.0.23.2 remote-as 65002
+""",
+}
+
+#: Single-line edits that keep the device set fixed. Some change
+#: routing (new seeds, new redistribution), some are no-ops for the
+#: graph, and some change the community alphabet — which must force the
+#: full-fixpoint fallback rather than produce a stale universe.
+EDITS = [
+    "ip route 10.{a}.{b}.0 255.255.255.0 Null0\n",
+    "ip route 172.16.{b}.0 255.255.255.0 Null0\n",
+    "ip prefix-list EXTRA{a} seq 5 permit 10.{a}.0.0/16\n",
+    "ip community-list standard NEW{a} permit 65000:{b}\n",
+    "! lint-disable route-leak\n",
+]
+
+
+def warm_vs_cold(tmp_path, host, edit):
+    cache = SnapshotCache(str(tmp_path))
+    base_snapshot = load_snapshot_from_texts(BASE)
+    analyze(base_snapshot, cache=cache, snapshot_key="base")
+
+    edited = dict(BASE)
+    edited[host] = edited[host] + edit
+    new_snapshot = load_snapshot_from_texts(edited)
+    warm = analyze(
+        new_snapshot,
+        cache=cache,
+        snapshot_key="edited",
+        delta={
+            "base_key": "base",
+            "dirty_devices": [host],
+            "fallback": False,
+        },
+    )
+    cold = analyze(new_snapshot)
+    return warm, cold
+
+
+class TestWarmStartEquivalence:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        host=st.sampled_from(sorted(BASE)),
+        edit=st.sampled_from(EDITS),
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=1, max_value=254),
+    )
+    def test_single_device_edit_never_diverges(
+        self, tmp_path, host, edit, a, b
+    ):
+        warm, cold = warm_vs_cold(
+            tmp_path, host, edit.format(a=a, b=b)
+        )
+        assert warm.canonical_states() == cold.canonical_states()
+        # Edge outputs feed the rules directly; they must agree too.
+        assert len(warm.edge_outputs) == len(cold.edge_outputs)
+        for ours, theirs in zip(warm.edge_outputs, cold.edge_outputs):
+            assert warm.universe.engine.canonical(
+                ours.bdd
+            ) == cold.universe.engine.canonical(theirs.bdd)
+            assert ours.tags == theirs.tags
+
+
+class TestWarmStartDecision:
+    def test_routing_edit_warm_starts(self, tmp_path):
+        warm, _ = warm_vs_cold(
+            tmp_path, "r1", "ip route 10.77.0.0 255.255.0.0 Null0\n"
+        )
+        assert warm.warm_start is True
+
+    def test_community_alphabet_change_falls_back(self, tmp_path):
+        # A new community changes the BDD variable order, so the cached
+        # universe is unusable: the engine must recompute from scratch.
+        warm, _ = warm_vs_cold(
+            tmp_path, "r2", "ip community-list standard X permit 65000:9\n"
+        )
+        assert warm.warm_start is False
+
+    def test_delta_fallback_flag_respected(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path))
+        snapshot = load_snapshot_from_texts(BASE)
+        analyze(snapshot, cache=cache, snapshot_key="base")
+        result = analyze(
+            snapshot,
+            cache=cache,
+            snapshot_key="again",
+            delta={
+                "base_key": "base",
+                "dirty_devices": ["r1"],
+                "fallback": True,
+            },
+        )
+        assert result.warm_start is False
+
+    def test_device_set_change_falls_back(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path))
+        analyze(
+            load_snapshot_from_texts(BASE), cache=cache, snapshot_key="base"
+        )
+        grown = dict(BASE)
+        grown["r4"] = "hostname r4\n"
+        result = analyze(
+            load_snapshot_from_texts(grown),
+            cache=cache,
+            snapshot_key="grown",
+            delta={
+                "base_key": "base",
+                "dirty_devices": ["r4"],
+                "fallback": False,
+            },
+        )
+        assert result.warm_start is False
+
+    def test_cache_miss_falls_back(self, tmp_path):
+        cache = SnapshotCache(str(tmp_path))
+        result = analyze(
+            load_snapshot_from_texts(BASE),
+            cache=cache,
+            snapshot_key="fresh",
+            delta={
+                "base_key": "never-stored",
+                "dirty_devices": ["r1"],
+                "fallback": False,
+            },
+        )
+        assert result.warm_start is False
+
+    def test_clean_devices_keep_cached_values(self, tmp_path):
+        # An edit on r3 (a sink) must not reset r1's state: the warm
+        # run re-iterates only the dirty subgraph.
+        warm, cold = warm_vs_cold(
+            tmp_path, "r3", "ip route 10.88.0.0 255.255.0.0 Null0\n"
+        )
+        assert warm.warm_start is True
+        assert warm.iterations < cold.iterations

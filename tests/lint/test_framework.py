@@ -59,7 +59,12 @@ class TestRegistry:
         assert [r.rule_id for r in rules] == sorted(r.rule_id for r in rules)
         for rule in rules:
             assert rule.description
-            assert rule.category in {"semantic", "cross-device", "hygiene"}
+            assert rule.category in {
+                "semantic",
+                "cross-device",
+                "hygiene",
+                "dataflow",
+            }
 
     def test_get_rule(self):
         assert get_rule("duplicate-ip").severity is Severity.WARNING
